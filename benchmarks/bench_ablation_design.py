@@ -1,0 +1,108 @@
+"""Ablations for the design choices DESIGN.md calls out.
+
+Not a paper table — these quantify the three implementation decisions the
+reproduction makes on top of the paper's pseudocode:
+
+1. **pivot selection**: the cheap ``d(u) * d(v)`` surrogate vs the paper's
+   exact ``|N(e, G')|`` criterion (correctness is identical; tree size and
+   wall-clock differ);
+2. **(q, p)-core pruning** before single-pair counting (§3.3);
+3. **vectorised DP** (the Algorithm 5 differential-interval equivalent)
+   vs the naive per-edge DP of Algorithm 4.
+"""
+
+from common import fmt_time, graph, print_table, run_timed
+
+from repro.core.dpcount import count_zigzags, count_zigzags_naive
+from repro.core.epivoter import EPivoter
+
+DATASETS = ("Github", "Twitter", "Amazon")
+
+
+def test_ablation_pivot_rule(benchmark):
+    def compute():
+        out = {}
+        for name in DATASETS:
+            g = graph(name)
+            product_counts, product_seconds = run_timed(
+                EPivoter(g, pivot="product").count_all, 4, 4
+            )
+            exact_counts_, exact_seconds = run_timed(
+                EPivoter(g, pivot="exact").count_all, 4, 4
+            )
+            assert product_counts == exact_counts_  # identical results
+            out[name] = (product_seconds, exact_seconds)
+        return out
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = [
+        [name, fmt_time(product), fmt_time(exact)]
+        for name, (product, exact) in results.items()
+    ]
+    print_table(
+        "Ablation: pivot rule (counts identical; cost of the exact rule)",
+        ["dataset", "product surrogate", "exact |N(e,G')|"],
+        rows,
+    )
+    # The surrogate must not lose badly: it exists to be cheaper.
+    for product, exact in results.values():
+        assert product < exact * 2
+
+
+def test_ablation_core_pruning(benchmark):
+    pair = (4, 4)
+
+    def compute():
+        out = {}
+        for name in DATASETS:
+            g = graph(name)
+            with_core, with_seconds = run_timed(
+                EPivoter(g).count_single, *pair, use_core=True
+            )
+            without_core, without_seconds = run_timed(
+                EPivoter(g).count_single, *pair, use_core=False
+            )
+            assert with_core == without_core
+            out[name] = (with_seconds, without_seconds)
+        return out
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = [
+        [name, fmt_time(with_s), fmt_time(without_s)]
+        for name, (with_s, without_s) in results.items()
+    ]
+    print_table(
+        f"Ablation: (q,p)-core pruning for single-pair {pair} counting",
+        ["dataset", "with core", "without core"],
+        rows,
+    )
+    # Core reduction should help (or at worst be a wash) on every dataset.
+    speedups = [without_s / with_s for with_s, without_s in results.values()]
+    assert max(speedups) > 1.0
+
+
+def test_ablation_dp_vectorisation(benchmark):
+    h = 3
+
+    def compute():
+        out = {}
+        for name in ("Github", "Amazon"):
+            g = graph(name)
+            fast, fast_seconds = run_timed(count_zigzags, g, h, True)
+            naive, naive_seconds = run_timed(count_zigzags_naive, g, h)
+            assert fast == naive
+            out[name] = (fast_seconds, naive_seconds)
+        return out
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = [
+        [name, fmt_time(fast_s), fmt_time(naive_s), f"{naive_s / fast_s:5.1f}x"]
+        for name, (fast_s, naive_s) in results.items()
+    ]
+    print_table(
+        f"Ablation: vectorised DP (Alg. 5 equivalent) vs naive DP (Alg. 4), h = {h}",
+        ["dataset", "vectorised", "naive", "speedup"],
+        rows,
+    )
+    for fast_s, naive_s in results.values():
+        assert fast_s < naive_s

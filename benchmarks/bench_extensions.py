@@ -1,0 +1,92 @@
+"""Extension benchmarks: uniform biclique sampling and adaptive estimation.
+
+Not paper exhibits — these measure the two features built on top of the
+paper's machinery (README "extensions"): the exact uniform
+(p, q)-biclique sampler derived from the unique representation, and the
+adaptive (epsilon, delta) estimator derived from Theorem 4.11.
+"""
+
+from common import fmt_time, graph, exact_counts, print_table, run_timed
+
+from repro.core.adaptive import adaptive_count
+from repro.core.sampler import BicliqueSampler
+
+
+def test_extension_uniform_sampler(benchmark):
+    pairs = ((2, 2), (3, 3), (2, 4))
+    draws = 1_000
+
+    def compute():
+        out = {}
+        for name in ("Github", "Amazon"):
+            g = graph(name)
+            for pair in pairs:
+                sampler, build_seconds = run_timed(BicliqueSampler, g, *pair)
+                if sampler.count == 0:
+                    out[(name, pair)] = (0, build_seconds, None)
+                    continue
+                _, draw_seconds = run_timed(sampler.sample_many, draws, 7)
+                out[(name, pair)] = (sampler.count, build_seconds, draw_seconds)
+        return out
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = []
+    for (name, pair), (count, build_s, draw_s) in results.items():
+        per_draw = "-" if draw_s is None else f"{1e6 * draw_s / draws:8.1f}us"
+        rows.append([name, str(pair), f"{count:.3e}", fmt_time(build_s), per_draw])
+    print_table(
+        f"Extension: uniform biclique sampler (build once, {draws} draws)",
+        ["dataset", "(p,q)", "population", "build", "per draw"],
+        rows,
+    )
+    # Counts must agree with the exact reference, and draws must be cheap
+    # relative to the build.
+    for (name, pair), (count, build_s, draw_s) in results.items():
+        assert count == exact_counts(name)[pair]
+        if draw_s is not None:
+            assert draw_s / draws < max(build_s, 0.05)
+
+
+def test_extension_adaptive_estimator(benchmark):
+    cases = (("Github", (3, 3)), ("Twitter", (3, 3)), ("Amazon", (2, 3)))
+
+    def compute():
+        out = {}
+        for name, pair in cases:
+            g = graph(name)
+            for delta in (0.10, 0.05):
+                result, seconds = run_timed(
+                    adaptive_count, g, *pair,
+                    delta=delta, epsilon=0.05, seed=9, max_samples=60_000,
+                )
+                truth = exact_counts(name)[pair]
+                error = abs(result.estimate - truth) / truth if truth else 0.0
+                out[(name, pair, delta)] = (
+                    result.samples_used, result.satisfied, error, seconds
+                )
+        return out
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = []
+    for (name, pair, delta), (used, satisfied, error, seconds) in results.items():
+        rows.append(
+            [
+                name, str(pair), f"{delta:.2f}", str(used),
+                "yes" if satisfied else "cap", f"{100 * error:6.2f}%",
+                fmt_time(seconds),
+            ]
+        )
+    print_table(
+        "Extension: adaptive estimation (target delta at 95% confidence)",
+        ["dataset", "(p,q)", "delta", "samples", "bound met", "error", "time"],
+        rows,
+    )
+    # Tighter targets must not use fewer samples, and realised error should
+    # respect the target wherever the bound was met.
+    for name, pair in cases:
+        loose = results[(name, pair, 0.10)][0]
+        tight = results[(name, pair, 0.05)][0]
+        assert tight >= loose
+        used, satisfied, error, _ = results[(name, pair, 0.05)]
+        if satisfied:
+            assert error < 0.15  # generous: delta is a w.h.p. bound

@@ -1,0 +1,57 @@
+"""Fig. 11: single-(p, q) estimation runtime with varying T.
+
+Paper uses (9, 9) at full scale; our stand-ins support (4, 4).
+Shape: runtime grows with T and ZZ++ stays the cheapest.
+"""
+
+from common import fmt_time, graph, print_table, run_timed
+
+from repro.core.hybrid import hybrid_count_single
+from repro.core.zigzag import zigzag_count_single, zigzagpp_count_single
+
+DATASETS = ("Amazon", "DBLP")
+PAIR = (4, 4)
+T_VALUES = (500, 2_000, 8_000)
+
+
+def test_fig11_single_pair_runtime_vs_T(benchmark):
+    algorithms = {
+        "ZZ": lambda g, t: run_timed(
+            zigzag_count_single, g, *PAIR, samples=t, seed=1
+        )[1],
+        "ZZ++": lambda g, t: run_timed(
+            zigzagpp_count_single, g, *PAIR, samples=t, seed=2
+        )[1],
+        "EP/ZZ": lambda g, t: run_timed(
+            hybrid_count_single, g, *PAIR, samples=t, seed=3, estimator="zigzag"
+        )[1],
+        "EP/ZZ++": lambda g, t: run_timed(
+            hybrid_count_single, g, *PAIR, samples=t, seed=4, estimator="zigzag++"
+        )[1],
+    }
+
+    def compute():
+        return {
+            name: {
+                alg: [fn(graph(name), t) for t in T_VALUES]
+                for alg, fn in algorithms.items()
+            }
+            for name in DATASETS
+        }
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    for name in DATASETS:
+        rows = [
+            [alg] + [fmt_time(t) for t in results[name][alg]]
+            for alg in algorithms
+        ]
+        print_table(
+            f"Fig. 11 ({name}): single-{PAIR} runtime vs T",
+            ["algorithm"] + [f"T={t}" for t in T_VALUES],
+            rows,
+        )
+    for name in DATASETS:
+        for alg in algorithms:
+            series = results[name][alg]
+            assert series[-1] >= series[0] * 0.5

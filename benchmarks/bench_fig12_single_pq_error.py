@@ -1,0 +1,66 @@
+"""Fig. 12: single-(p, q) estimation error with varying T.
+
+Shape: error decreases with T; ZZ is tighter than ZZ++; the hybrids
+improve on their pure counterparts.  Averaged over seeds.
+"""
+
+from common import exact_counts, fmt_err, graph, print_table
+
+from repro.core.hybrid import hybrid_count_single
+from repro.core.zigzag import zigzag_count_single, zigzagpp_count_single
+
+DATASETS = ("Amazon", "DBLP")
+PAIR = (4, 4)
+T_VALUES = (500, 2_000, 8_000)
+SEEDS = range(5)
+
+
+def _mean_error(fn, g, truth):
+    if truth == 0:
+        return 0.0
+    errors = [abs(fn(g, seed) - truth) / truth for seed in SEEDS]
+    return sum(errors) / len(errors)
+
+
+def test_fig12_single_pair_error_vs_T(benchmark):
+    algorithms = {
+        "ZZ": lambda g, t, s: zigzag_count_single(g, *PAIR, samples=t, seed=s),
+        "ZZ++": lambda g, t, s: zigzagpp_count_single(g, *PAIR, samples=t, seed=s),
+        "EP/ZZ": lambda g, t, s: hybrid_count_single(
+            g, *PAIR, samples=t, seed=s, estimator="zigzag"
+        ),
+        "EP/ZZ++": lambda g, t, s: hybrid_count_single(
+            g, *PAIR, samples=t, seed=s, estimator="zigzag++"
+        ),
+    }
+
+    def compute():
+        out = {}
+        for name in DATASETS:
+            g = graph(name)
+            truth = exact_counts(name)[PAIR]
+            out[name] = {
+                alg: [
+                    _mean_error(lambda g_, s, t=t, fn=fn: fn(g_, t, s), g, truth)
+                    for t in T_VALUES
+                ]
+                for alg, fn in algorithms.items()
+            }
+        return out
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    for name in DATASETS:
+        rows = [
+            [alg] + [fmt_err(e) for e in results[name][alg]]
+            for alg in algorithms
+        ]
+        print_table(
+            f"Fig. 12 ({name}): single-{PAIR} error vs T ({len(list(SEEDS))} seeds)",
+            ["algorithm"] + [f"T={t}" for t in T_VALUES],
+            rows,
+        )
+    for name in DATASETS:
+        for alg in algorithms:
+            series = results[name][alg]
+            assert series[-1] <= series[0] + 0.05

@@ -1,0 +1,53 @@
+"""Fig. 6: runtime of the sampling algorithms as h_max grows.
+
+Paper shape: runtime grows only mildly with h_max (the DP tables are
+O(h |E|)), and ZZ++ stays faster than ZZ.
+"""
+
+from common import SAMPLES, fmt_time, graph, print_table, run_timed
+
+from repro.core.hybrid import hybrid_count_all
+from repro.core.zigzag import zigzag_count_all, zigzagpp_count_all
+
+DATASETS = ("Amazon", "DBLP")
+H_VALUES = (3, 4, 5, 6)
+
+
+def test_fig6_runtime_vs_hmax(benchmark):
+    algorithms = {
+        "ZZ": lambda g, h: run_timed(zigzag_count_all, g, h, SAMPLES, 1)[1],
+        "ZZ++": lambda g, h: run_timed(zigzagpp_count_all, g, h, SAMPLES, 2)[1],
+        "EP/ZZ": lambda g, h: run_timed(
+            hybrid_count_all, g, h, SAMPLES, 3, estimator="zigzag"
+        )[1],
+        "EP/ZZ++": lambda g, h: run_timed(
+            hybrid_count_all, g, h, SAMPLES, 4, estimator="zigzag++"
+        )[1],
+    }
+
+    def compute():
+        return {
+            name: {
+                alg: [fn(graph(name), h) for h in H_VALUES]
+                for alg, fn in algorithms.items()
+            }
+            for name in DATASETS
+        }
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    for name in DATASETS:
+        rows = [
+            [alg] + [fmt_time(t) for t in results[name][alg]]
+            for alg in algorithms
+        ]
+        print_table(
+            f"Fig. 6 ({name}): runtime vs h_max (T = {SAMPLES})",
+            ["algorithm"] + [f"h={h}" for h in H_VALUES],
+            rows,
+        )
+    # Shape: runtime is not exploding with h_max (sub-quadratic growth).
+    for name in DATASETS:
+        for alg in algorithms:
+            series = results[name][alg]
+            assert series[-1] < series[0] * 6 + 1.0

@@ -1,0 +1,52 @@
+"""Fig. 8: runtime of the sampling algorithms with varying sample size T.
+
+Paper shape: runtime increases with T; ZZ++ is the fastest throughout.
+"""
+
+from common import H_MAX, fmt_time, graph, print_table, run_timed
+
+from repro.core.hybrid import hybrid_count_all
+from repro.core.zigzag import zigzag_count_all, zigzagpp_count_all
+
+DATASETS = ("Amazon", "DBLP")
+T_VALUES = (500, 1_000, 2_000, 4_000, 8_000)
+
+
+def test_fig8_runtime_vs_samples(benchmark):
+    algorithms = {
+        "ZZ": lambda g, t: run_timed(zigzag_count_all, g, H_MAX, t, 1)[1],
+        "ZZ++": lambda g, t: run_timed(zigzagpp_count_all, g, H_MAX, t, 2)[1],
+        "EP/ZZ": lambda g, t: run_timed(
+            hybrid_count_all, g, H_MAX, t, 3, estimator="zigzag"
+        )[1],
+        "EP/ZZ++": lambda g, t: run_timed(
+            hybrid_count_all, g, H_MAX, t, 4, estimator="zigzag++"
+        )[1],
+    }
+
+    def compute():
+        return {
+            name: {
+                alg: [fn(graph(name), t) for t in T_VALUES]
+                for alg, fn in algorithms.items()
+            }
+            for name in DATASETS
+        }
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    for name in DATASETS:
+        rows = [
+            [alg] + [fmt_time(t) for t in results[name][alg]]
+            for alg in algorithms
+        ]
+        print_table(
+            f"Fig. 8 ({name}): runtime vs sample size (h_max = {H_MAX})",
+            ["algorithm"] + [f"T={t}" for t in T_VALUES],
+            rows,
+        )
+    # Shape: runtime grows with T for every algorithm on every dataset.
+    for name in DATASETS:
+        for alg in algorithms:
+            series = results[name][alg]
+            assert series[-1] >= series[0] * 0.8  # monotone up to noise

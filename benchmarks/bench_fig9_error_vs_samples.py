@@ -1,0 +1,64 @@
+"""Fig. 9: mean estimation error with varying sample size T.
+
+Paper shape: errors decrease as T grows; hybrids track or beat their pure
+counterparts; ZZ is tighter than ZZ++ at equal T.  Errors are averaged
+over several seeds to tame single-run noise (the paper averages 20 runs).
+"""
+
+from common import H_MAX, exact_counts, fmt_err, graph, print_table
+
+from repro.core.hybrid import hybrid_count_all
+from repro.core.zigzag import zigzag_count_all, zigzagpp_count_all
+
+DATASETS = ("Amazon", "DBLP")
+T_VALUES = (500, 2_000, 8_000)
+SEEDS = range(5)
+
+
+def _mean_error(make, exact):
+    errors = [make(seed).mean_relative_error(exact) for seed in SEEDS]
+    return sum(errors) / len(errors)
+
+
+def test_fig9_error_vs_samples(benchmark):
+    algorithms = {
+        "ZZ": lambda g, t, s: zigzag_count_all(g, H_MAX, t, s),
+        "ZZ++": lambda g, t, s: zigzagpp_count_all(g, H_MAX, t, s),
+        "EP/ZZ": lambda g, t, s: hybrid_count_all(g, H_MAX, t, s, estimator="zigzag"),
+        "EP/ZZ++": lambda g, t, s: hybrid_count_all(
+            g, H_MAX, t, s, estimator="zigzag++"
+        ),
+    }
+
+    def compute():
+        out = {}
+        for name in DATASETS:
+            g = graph(name)
+            exact = exact_counts(name)
+            out[name] = {
+                alg: [
+                    _mean_error(lambda s, t=t, fn=fn: fn(g, t, s), exact)
+                    for t in T_VALUES
+                ]
+                for alg, fn in algorithms.items()
+            }
+        return out
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    for name in DATASETS:
+        rows = [
+            [alg] + [fmt_err(e) for e in results[name][alg]]
+            for alg in algorithms
+        ]
+        print_table(
+            f"Fig. 9 ({name}): mean relative error vs T "
+            f"(h_max = {H_MAX}, {len(list(SEEDS))} seeds)",
+            ["algorithm"] + [f"T={t}" for t in T_VALUES],
+            rows,
+        )
+    # Shape: error at the largest T is below error at the smallest T.
+    for name in DATASETS:
+        for alg in algorithms:
+            series = results[name][alg]
+            assert series[-1] <= series[0] + 0.02

@@ -1,0 +1,163 @@
+"""Table 2: sampling algorithms vs PSA on DBLP (time and error).
+
+Columns follow the paper: a balanced pair, an imbalanced pair, all
+p = q < h_max, and all pairs below h_max.  PSA blows up on imbalanced
+pairs exactly as the paper's INF entries show.
+"""
+
+from common import H_MAX, SAMPLES, fmt_err, fmt_time, graph, exact_counts, print_table, run_timed
+
+from repro.baselines.psa import EnumerationBudgetExceeded, psa_count
+from repro.core.hybrid import hybrid_count_all, hybrid_count_single
+from repro.core.zigzag import (
+    zigzag_count_all,
+    zigzag_count_single,
+    zigzagpp_count_all,
+    zigzagpp_count_single,
+)
+
+DATASET = "DBLP"
+PAIR_BALANCED = (3, 3)   # paper: (5, 5)
+PAIR_IMBALANCED = (2, 4)  # paper: (2, 5)
+PSA_BUDGET = 300_000
+
+
+def _error(estimate: float, truth: float) -> "float | None":
+    if truth == 0:
+        return None if estimate == 0 else float("inf")
+    return abs(estimate - truth) / truth
+
+
+def test_table2_sampling_vs_psa(benchmark):
+    g = graph(DATASET)
+    exact = exact_counts(DATASET)
+
+    def single_runner(fn):
+        def run(pair):
+            est, seconds = run_timed(fn, g, *pair, samples=SAMPLES, seed=5)
+            return seconds, _error(est, exact[pair])
+
+        return run
+
+    def all_runner(fn, diagonal_only):
+        def run(_pair_ignored):
+            counts, seconds = run_timed(fn, g, H_MAX, SAMPLES, 6)
+            errors = []
+            for p in range(2, H_MAX + 1):
+                for q in range(2, H_MAX + 1):
+                    if diagonal_only and p != q:
+                        continue
+                    e = _error(counts[p, q], exact[p, q])
+                    if e is not None and e != float("inf"):
+                        errors.append(e)
+            mean = sum(errors) / len(errors) if errors else 0.0
+            return seconds, mean
+
+        return run
+
+    # The paper gives PSA a T * h_max edge budget; at 1/100 scale that
+    # would cover the whole graph and trivially be exact, so cap the
+    # budget at a third of the edges to preserve the sampled-regime
+    # behaviour the paper measures.
+    psa_edges = min(SAMPLES * H_MAX, g.num_edges // 3)
+
+    def psa_single(pair):
+        try:
+            est, seconds = run_timed(
+                psa_count, g, *pair,
+                sample_size=psa_edges, seed=7, budget=PSA_BUDGET,
+            )
+            return seconds, _error(est, exact[pair])
+        except EnumerationBudgetExceeded:
+            return None, None
+
+    def psa_sweep(diagonal_only):
+        def run(_pair_ignored):
+            total = 0.0
+            errors = []
+            for p in range(2, H_MAX + 1):
+                for q in range(2, H_MAX + 1):
+                    if diagonal_only and p != q:
+                        continue
+                    result = psa_single((p, q))
+                    if result[0] is None:
+                        return None, None
+                    total += result[0]
+                    if result[1] is not None:
+                        errors.append(result[1])
+            return total, sum(errors) / len(errors) if errors else 0.0
+
+        return run
+
+    algorithms = {
+        "ZZ": (
+            single_runner(zigzag_count_single),
+            all_runner(zigzag_count_all, True),
+            all_runner(zigzag_count_all, False),
+        ),
+        "ZZ++": (
+            single_runner(zigzagpp_count_single),
+            all_runner(zigzagpp_count_all, True),
+            all_runner(zigzagpp_count_all, False),
+        ),
+        "EP/ZZ": (
+            single_runner(lambda g_, p, q, samples, seed: hybrid_count_single(
+                g_, p, q, samples=samples, seed=seed, estimator="zigzag")),
+            all_runner(lambda g_, h, t, s: hybrid_count_all(
+                g_, h, t, s, estimator="zigzag"), True),
+            all_runner(lambda g_, h, t, s: hybrid_count_all(
+                g_, h, t, s, estimator="zigzag"), False),
+        ),
+        "EP/ZZ++": (
+            single_runner(lambda g_, p, q, samples, seed: hybrid_count_single(
+                g_, p, q, samples=samples, seed=seed, estimator="zigzag++")),
+            all_runner(lambda g_, h, t, s: hybrid_count_all(
+                g_, h, t, s, estimator="zigzag++"), True),
+            all_runner(lambda g_, h, t, s: hybrid_count_all(
+                g_, h, t, s, estimator="zigzag++"), False),
+        ),
+        "PSA": (psa_single, psa_sweep(True), psa_sweep(False)),
+    }
+
+    def compute():
+        table = {}
+        for name, (single, diag, full) in algorithms.items():
+            table[name] = {
+                "imbalanced": single(PAIR_IMBALANCED),
+                "balanced": single(PAIR_BALANCED),
+                "diagonal": diag(None),
+                "all": full(None),
+            }
+        return table
+
+    table = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    rows = []
+    for name in algorithms:
+        cells = [name]
+        for key in ("imbalanced", "balanced", "diagonal", "all"):
+            seconds, err = table[name][key]
+            cells.append(fmt_time(seconds))
+            cells.append(fmt_err(err))
+        rows.append(cells)
+    print_table(
+        f"Table 2: sampling algorithms on {DATASET} "
+        f"(pairs {PAIR_IMBALANCED} / {PAIR_BALANCED}, T = {SAMPLES})",
+        [
+            "algorithm",
+            f"{PAIR_IMBALANCED} time", "err",
+            f"{PAIR_BALANCED} time", "err",
+            "p=q<%d time" % (H_MAX + 1), "err",
+            "all pairs time", "err",
+        ],
+        rows,
+    )
+    # Shape assertions: zigzag estimators stay accurate; PSA is much worse
+    # (or INF) wherever it terminates.
+    for name in ("ZZ", "ZZ++", "EP/ZZ", "EP/ZZ++"):
+        _, err = table[name]["diagonal"]
+        assert err is not None and err < 0.25
+    psa_diag = table["PSA"]["diagonal"]
+    zz_diag = table["ZZ"]["diagonal"]
+    if psa_diag[1] is not None:
+        assert psa_diag[1] > zz_diag[1]

@@ -1,0 +1,71 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's Section 7
+on the scaled synthetic stand-ins (DESIGN.md §3) and prints the same rows
+or series the paper reports.  Absolute numbers differ (pure Python,
+1/100-scale graphs); EXPERIMENTS.md records the shape comparison.
+
+Run with:  pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import time
+from functools import lru_cache
+
+from repro.core.counts import BicliqueCounts
+from repro.core.epivoter import count_all
+from repro.graph.bigraph import BipartiteGraph
+from repro.graph.datasets import load_dataset
+
+# Scaled default parameters (paper: h_max = 10, T = 1e5).  The stand-ins
+# are ~1/100 scale, so a ~1/50 sample budget keeps relative sampling
+# density comparable while the suite stays fast.
+H_MAX = 5
+SAMPLES = 2_000
+
+#: The Table 1 datasets, in the paper's order.
+DATASETS = ("Github", "StackOF", "Twitter", "IMDB", "Actor2", "Amazon", "DBLP")
+
+
+@lru_cache(maxsize=None)
+def graph(name: str) -> BipartiteGraph:
+    """Load (and cache) a stand-in dataset, degree-ordered."""
+    return load_dataset(name).degree_ordered()[0]
+
+
+@lru_cache(maxsize=None)
+def exact_counts(name: str, h_max: int = H_MAX) -> BicliqueCounts:
+    """Cached exact reference counts for error measurements."""
+    return count_all(graph(name), h_max, h_max)
+
+
+def run_timed(fn, *args, **kwargs) -> tuple[object, float]:
+    """Call ``fn`` and return ``(result, seconds)``."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def fmt_time(seconds: "float | None") -> str:
+    if seconds is None:
+        return "INF"
+    return f"{seconds:8.2f}s"
+
+
+def fmt_err(error: "float | None") -> str:
+    if error is None:
+        return "   -"
+    return f"{100 * error:6.2f}%"
+
+
+def print_table(title: str, header: list[str], rows: list[list[str]]) -> None:
+    """Print an aligned table with a title banner (paper-style rows)."""
+    print(f"\n=== {title} ===")
+    widths = [
+        max(len(header[i]), max((len(r[i]) for r in rows), default=0))
+        for i in range(len(header))
+    ]
+    print("  ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+    for row in rows:
+        print("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))

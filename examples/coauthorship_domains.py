@@ -1,0 +1,52 @@
+"""Scenario: telling network domains apart with hcc profiles (Fig. 14).
+
+The paper shows that bipartite networks from the same domain share similar
+higher-order clustering coefficient curves.  This example computes
+``hcc_{k,k}`` for the twelve Fig. 14 stand-in datasets (four domains,
+three graphs each) and prints per-domain profiles so the within-domain
+similarity is visible.
+
+Run:  python examples/coauthorship_domains.py
+"""
+
+from collections import defaultdict
+
+from repro.apps.clustering import hcc_profile
+from repro.graph.datasets import FIG14_DATASETS
+
+H_MAX = 4
+
+
+def main() -> None:
+    by_domain: dict[str, list[tuple[str, dict[int, float]]]] = defaultdict(list)
+    for spec in FIG14_DATASETS:
+        graph = spec.build()
+        profile = hcc_profile(graph, H_MAX)
+        by_domain[spec.domain].append((spec.name, profile))
+        print(f"computed {spec.name:<18} ({spec.domain}): {graph}")
+
+    print("\nhcc profiles by domain (columns: k = 2..%d)" % H_MAX)
+    for domain, rows in by_domain.items():
+        print(f"\n[{domain}]")
+        for name, profile in rows:
+            cells = "  ".join(f"{profile[k]:.4f}" for k in range(2, H_MAX + 1))
+            print(f"  {name:<18} {cells}")
+
+    # Quantify the claim: average within-domain profile distance should be
+    # below the average cross-domain distance.
+    def distance(a: dict[int, float], b: dict[int, float]) -> float:
+        return sum((a[k] - b[k]) ** 2 for k in a) ** 0.5
+
+    within, cross = [], []
+    flat = [(d, p) for d, rows in by_domain.items() for _, p in rows]
+    for i, (d1, p1) in enumerate(flat):
+        for d2, p2 in flat[i + 1:]:
+            (within if d1 == d2 else cross).append(distance(p1, p2))
+    print(
+        f"\nmean within-domain distance: {sum(within) / len(within):.4f}\n"
+        f"mean cross-domain distance:  {sum(cross) / len(cross):.4f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

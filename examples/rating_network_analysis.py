@@ -1,0 +1,60 @@
+"""Scenario: cohesion analysis of a user-item rating network.
+
+The paper motivates biclique counting with cohesive-subgraph analysis:
+groups of users who all rated the same group of items are (p, q)-bicliques,
+and their prevalence (relative to near-misses) is the higher-order
+clustering coefficient.  This example:
+
+1. loads the Amazon-like synthetic stand-in (a scaled power-law rating
+   network, see DESIGN.md §3);
+2. counts all small bicliques exactly with EPivoter;
+3. compares with the ZigZag++ sampling estimate and reports its error;
+4. computes the hcc profile and extracts the densest (2,2)-community.
+
+Run:  python examples/rating_network_analysis.py
+"""
+
+import time
+
+from repro import count_all, load_dataset, zigzagpp_count_all
+from repro.apps.clustering import hcc_profile
+from repro.apps.densest import peeling_densest
+
+
+def main() -> None:
+    graph = load_dataset("Amazon")
+    print(f"rating network (synthetic Amazon stand-in): {graph}")
+
+    start = time.perf_counter()
+    exact = count_all(graph, 5, 5)
+    exact_time = time.perf_counter() - start
+    print(f"\nEPivoter exact counts (p, q <= 5) in {exact_time:.2f}s:")
+    header = "p\\q " + "".join(f"{q:>12}" for q in range(1, 6))
+    print(header)
+    for p in range(1, 6):
+        print(f"{p:>3} " + "".join(f"{exact[p, q]:>12}" for q in range(1, 6)))
+
+    start = time.perf_counter()
+    estimate = zigzagpp_count_all(graph, h_max=5, samples=20_000, seed=11)
+    est_time = time.perf_counter() - start
+    print(
+        f"\nZigZag++ estimate in {est_time:.2f}s "
+        f"(mean relative error {estimate.mean_relative_error(exact):.2%})"
+    )
+
+    print("\nhigher-order clustering coefficients:")
+    for k, value in sorted(hcc_profile(graph, 4).items()):
+        print(f"  hcc({k},{k}) = {value:.4f}")
+
+    # Densest butterfly community on a manageable induced slice.
+    sub, left_ids, right_ids = graph.induced_subgraph(range(300), range(300))
+    community = peeling_densest(sub, 2, 2, recompute_every=10)
+    print(
+        f"\ndensest (2,2) community (peeling, 1/4-approx): "
+        f"{len(community.left)} users x {len(community.right)} items, "
+        f"density {community.density:.2f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

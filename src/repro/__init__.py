@@ -1,0 +1,69 @@
+"""repro: efficient (p, q)-biclique counting in large bipartite graphs.
+
+A from-scratch reproduction of the SIGMOD 2023 paper "Efficient Biclique
+Counting in Large Bipartite Graphs": the exact EPivoter algorithm, the
+ZigZag / ZigZag++ h-zigzag sampling estimators, the hybrid sparse/dense
+framework, the BC and PSA baselines, and the two applications (higher-
+order clustering coefficients and (p, q)-biclique densest subgraphs).
+
+Quick start::
+
+    from repro import BipartiteGraph, count_all
+
+    g = BipartiteGraph(3, 3, [(u, v) for u in range(3) for v in range(3)])
+    counts = count_all(g)
+    print(counts[2, 2])   # 9 butterflies in K_{3,3}
+"""
+
+from repro.core import (
+    AdaptiveEstimate,
+    BicliqueSampler,
+    adaptive_count,
+    BicliqueCounts,
+    EPivoter,
+    count_all,
+    count_local,
+    count_single,
+    enumerate_maximal_bicliques,
+    hybrid_count_all,
+    partition_graph,
+    zigzag_count_all,
+    zigzag_count_single,
+    zigzagpp_count_all,
+    zigzagpp_count_single,
+)
+from repro.graph import (
+    BipartiteGraph,
+    available_datasets,
+    butterfly_count,
+    load_dataset,
+    read_edge_list,
+    write_edge_list,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveEstimate",
+    "BicliqueSampler",
+    "adaptive_count",
+    "BicliqueCounts",
+    "EPivoter",
+    "count_all",
+    "count_local",
+    "count_single",
+    "enumerate_maximal_bicliques",
+    "hybrid_count_all",
+    "partition_graph",
+    "zigzag_count_all",
+    "zigzag_count_single",
+    "zigzagpp_count_all",
+    "zigzagpp_count_single",
+    "BipartiteGraph",
+    "available_datasets",
+    "butterfly_count",
+    "load_dataset",
+    "read_edge_list",
+    "write_edge_list",
+    "__version__",
+]

@@ -1,0 +1,22 @@
+"""Applications of biclique counting: clustering coefficients, densest subgraph."""
+
+from repro.apps.clustering import hcc, hcc_profile, wedge_count
+from repro.apps.core_numbers import BicliqueCoreDecomposition, biclique_core_numbers
+from repro.apps.densest import (
+    DensestResult,
+    biclique_density,
+    exact_densest,
+    peeling_densest,
+)
+
+__all__ = [
+    "BicliqueCoreDecomposition",
+    "biclique_core_numbers",
+    "hcc",
+    "hcc_profile",
+    "wedge_count",
+    "DensestResult",
+    "biclique_density",
+    "exact_densest",
+    "peeling_densest",
+]

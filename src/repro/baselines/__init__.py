@@ -1,0 +1,26 @@
+"""Baselines: BC enumeration [33], PSA priority sampling [2], brute force."""
+
+from repro.baselines.bclist import EnumerationBudgetExceeded, bc_count, bc_enumerate
+from repro.baselines.brute import (
+    count_all_bicliques_brute,
+    count_bicliques_brute,
+    count_zigzags_brute,
+    enumerate_maximal_bicliques_brute,
+    local_counts_brute,
+)
+from repro.baselines.psa import priority_sample_edges, psa_count
+from repro.baselines.vertex_pivot import enumerate_maximal_bicliques_vertex
+
+__all__ = [
+    "EnumerationBudgetExceeded",
+    "bc_count",
+    "bc_enumerate",
+    "count_all_bicliques_brute",
+    "count_bicliques_brute",
+    "count_zigzags_brute",
+    "enumerate_maximal_bicliques_brute",
+    "local_counts_brute",
+    "priority_sample_edges",
+    "psa_count",
+    "enumerate_maximal_bicliques_vertex",
+]

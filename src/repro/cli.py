@@ -1,0 +1,235 @@
+"""Command-line interface: ``repro-biclique``.
+
+Subcommands mirror the library's main entry points:
+
+* ``count``     — exact counting (EPivoter), all pairs or a single pair;
+* ``estimate``  — sampling estimates (ZigZag / ZigZag++ / hybrid);
+* ``maximal``   — maximal biclique enumeration (EPMBCE);
+* ``hcc``       — higher-order clustering coefficient profile;
+* ``densest``   — (p, q)-biclique densest subgraph (peeling or exact);
+* ``datasets``  — list the bundled synthetic stand-in datasets.
+
+Graphs come either from ``--dataset NAME`` (synthetic stand-ins) or
+``--input FILE`` (edge-list format, see :mod:`repro.graph.io`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.apps.clustering import hcc_profile
+from repro.apps.densest import exact_densest, peeling_densest
+from repro.core.epivoter import EPivoter
+from repro.core.hybrid import hybrid_count_all
+from repro.core.mbce import enumerate_maximal_bicliques
+from repro.core.zigzag import zigzag_count_all, zigzagpp_count_all
+from repro.graph.bigraph import BipartiteGraph
+from repro.graph.datasets import available_datasets, dataset_spec, load_dataset
+from repro.graph.io import read_edge_list
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_graph(args: argparse.Namespace) -> BipartiteGraph:
+    if args.dataset and args.input:
+        raise SystemExit("use either --dataset or --input, not both")
+    if args.dataset:
+        return load_dataset(args.dataset)
+    if args.input:
+        graph, _, _ = read_edge_list(args.input)
+        return graph
+    raise SystemExit("a graph is required: pass --dataset NAME or --input FILE")
+
+
+def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", help="bundled synthetic dataset name")
+    parser.add_argument("--input", help="edge-list file (u v per line)")
+
+
+def _print_counts(counts, limit_p: int, limit_q: int, stream) -> None:
+    header = "p\\q " + " ".join(f"{q:>14d}" for q in range(1, limit_q + 1))
+    print(header, file=stream)
+    for p in range(1, limit_p + 1):
+        cells = []
+        for q in range(1, limit_q + 1):
+            value = counts[p, q]
+            if isinstance(value, float):
+                cells.append(f"{value:>14.4g}")
+            else:
+                cells.append(f"{value:>14d}")
+        print(f"{p:>3d} " + " ".join(cells), file=stream)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-biclique",
+        description="(p, q)-biclique counting (SIGMOD 2023 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    count = sub.add_parser("count", help="exact counting with EPivoter")
+    _add_graph_arguments(count)
+    count.add_argument("-p", type=int, default=None, help="count only (p, q)")
+    count.add_argument("-q", type=int, default=None)
+    count.add_argument("--max-p", type=int, default=10)
+    count.add_argument("--max-q", type=int, default=10)
+    count.add_argument("--pivot", choices=["product", "exact"], default="product")
+
+    estimate = sub.add_parser("estimate", help="sampling estimates")
+    _add_graph_arguments(estimate)
+    estimate.add_argument(
+        "--algorithm",
+        choices=["zigzag", "zigzag++", "hybrid", "hybrid++"],
+        default="zigzag++",
+    )
+    estimate.add_argument("--h-max", type=int, default=10)
+    estimate.add_argument("--samples", type=int, default=100_000)
+    estimate.add_argument("--seed", type=int, default=None)
+
+    maximal = sub.add_parser("maximal", help="enumerate maximal bicliques")
+    _add_graph_arguments(maximal)
+    maximal.add_argument("--limit", type=int, default=50, help="print at most N")
+
+    hcc_cmd = sub.add_parser("hcc", help="clustering coefficient profile")
+    _add_graph_arguments(hcc_cmd)
+    hcc_cmd.add_argument("--h-max", type=int, default=6)
+
+    densest = sub.add_parser("densest", help="densest subgraph")
+    _add_graph_arguments(densest)
+    densest.add_argument("-p", type=int, required=True)
+    densest.add_argument("-q", type=int, required=True)
+    densest.add_argument("--method", choices=["peeling", "exact"], default="peeling")
+
+    stats = sub.add_parser("stats", help="summary statistics of a graph")
+    _add_graph_arguments(stats)
+
+    partition = sub.add_parser("partition", help="sparse/dense split (Alg. 9)")
+    _add_graph_arguments(partition)
+    partition.add_argument("--tau", type=float, default=None)
+    partition.add_argument("--quantile", type=float, default=0.9)
+
+    adaptive = sub.add_parser(
+        "adaptive", help="estimate one (p, q) to a target accuracy"
+    )
+    _add_graph_arguments(adaptive)
+    adaptive.add_argument("-p", type=int, required=True)
+    adaptive.add_argument("-q", type=int, required=True)
+    adaptive.add_argument("--delta", type=float, default=0.05)
+    adaptive.add_argument("--epsilon", type=float, default=0.05)
+    adaptive.add_argument("--max-samples", type=int, default=100_000)
+    adaptive.add_argument("--seed", type=int, default=None)
+
+    sub.add_parser("datasets", help="list bundled synthetic datasets")
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    out = sys.stdout
+
+    if args.command == "datasets":
+        print(f"{'name':<20} {'|U|':>8} {'|V|':>8} {'|E|':>8}  paper scale", file=out)
+        for name in available_datasets():
+            spec = dataset_spec(name)
+            print(
+                f"{name:<20} {spec.n_left:>8} {spec.n_right:>8} {spec.num_edges:>8}"
+                f"  {spec.paper_n_left}x{spec.paper_n_right} ({spec.paper_num_edges} edges)",
+                file=out,
+            )
+        return 0
+
+    graph = _load_graph(args)
+    print(f"graph: {graph}", file=out)
+    start = time.perf_counter()
+
+    if args.command == "count":
+        engine = EPivoter(graph, pivot=args.pivot)
+        if (args.p is None) != (args.q is None):
+            raise SystemExit("-p and -q must be given together")
+        if args.p is not None:
+            value = engine.count_single(args.p, args.q)
+            print(f"C({args.p},{args.q}) = {value}", file=out)
+        else:
+            counts = engine.count_all(args.max_p, args.max_q)
+            _print_counts(counts, args.max_p, args.max_q, out)
+    elif args.command == "estimate":
+        if args.algorithm == "zigzag":
+            counts = zigzag_count_all(graph, args.h_max, args.samples, args.seed)
+        elif args.algorithm == "zigzag++":
+            counts = zigzagpp_count_all(graph, args.h_max, args.samples, args.seed)
+        else:
+            estimator = "zigzag" if args.algorithm == "hybrid" else "zigzag++"
+            counts = hybrid_count_all(
+                graph, args.h_max, args.samples, args.seed, estimator=estimator
+            )
+        _print_counts(counts, args.h_max, args.h_max, out)
+    elif args.command == "maximal":
+        bicliques = enumerate_maximal_bicliques(graph)
+        print(f"{len(bicliques)} maximal bicliques", file=out)
+        for left, right in bicliques[: args.limit]:
+            print(f"  {list(left)} x {list(right)}", file=out)
+        if len(bicliques) > args.limit:
+            print(f"  ... ({len(bicliques) - args.limit} more)", file=out)
+    elif args.command == "hcc":
+        profile = hcc_profile(graph, args.h_max)
+        for k, value in sorted(profile.items()):
+            print(f"hcc({k},{k}) = {value:.6f}", file=out)
+    elif args.command == "densest":
+        if args.method == "peeling":
+            result = peeling_densest(graph, args.p, args.q)
+        else:
+            result = exact_densest(graph, args.p, args.q)
+        print(
+            f"density = {result.density:.4f} over {result.num_vertices} vertices"
+            f" ({result.biclique_count} bicliques)",
+            file=out,
+        )
+    elif args.command == "stats":
+        from repro.graph.statistics import summarize
+
+        summary = summarize(graph)
+        for field_name in (
+            "n_left", "n_right", "num_edges", "mean_degree_left",
+            "mean_degree_right", "max_degree_left", "max_degree_right",
+            "density", "num_components", "degeneracy",
+        ):
+            value = getattr(summary, field_name)
+            rendered = f"{value:.6f}" if isinstance(value, float) else str(value)
+            print(f"{field_name:<18} {rendered}", file=out)
+    elif args.command == "partition":
+        from repro.core.hybrid import partition_graph
+
+        ordered = graph.degree_ordered()[0]
+        sparse, dense, weights = partition_graph(
+            ordered, tau=args.tau, quantile=args.quantile
+        )
+        print(
+            f"sparse region: {len(sparse)} vertices; "
+            f"dense region: {len(dense)} vertices; "
+            f"max weight {max(weights, default=0)}",
+            file=out,
+        )
+    elif args.command == "adaptive":
+        from repro.core.adaptive import adaptive_count
+
+        result = adaptive_count(
+            graph, args.p, args.q,
+            delta=args.delta, epsilon=args.epsilon,
+            max_samples=args.max_samples, seed=args.seed,
+        )
+        lo, hi = result.interval
+        status = "met" if result.satisfied else "sample cap reached"
+        print(
+            f"C({args.p},{args.q}) ~= {result.estimate:.1f} "
+            f"[{lo:.1f}, {hi:.1f}] after {result.samples_used} samples ({status})",
+            file=out,
+        )
+
+    print(f"elapsed: {time.perf_counter() - start:.3f}s", file=out)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,41 @@
+"""The paper's contribution: EPivoter, zigzag sampling, hybrid counting."""
+
+from repro.core.adaptive import AdaptiveEstimate, adaptive_count
+from repro.core.counts import BicliqueCounts
+from repro.core.dpcount import ZigzagDP, count_zigzags, count_zigzags_naive
+from repro.core.epivoter import EPivoter, count_all, count_local, count_single
+from repro.core.hybrid import hybrid_count_all, partition_graph, vertex_weights
+from repro.core.mbce import enumerate_maximal_bicliques
+from repro.core.sampler import BicliqueSampler
+from repro.core.zigzag import (
+    SamplingStats,
+    star_counts,
+    zigzag_count_all,
+    zigzag_count_single,
+    zigzagpp_count_all,
+    zigzagpp_count_single,
+)
+
+__all__ = [
+    "AdaptiveEstimate",
+    "adaptive_count",
+    "BicliqueCounts",
+    "ZigzagDP",
+    "count_zigzags",
+    "count_zigzags_naive",
+    "EPivoter",
+    "count_all",
+    "count_local",
+    "count_single",
+    "hybrid_count_all",
+    "partition_graph",
+    "vertex_weights",
+    "enumerate_maximal_bicliques",
+    "BicliqueSampler",
+    "SamplingStats",
+    "star_counts",
+    "zigzag_count_all",
+    "zigzag_count_single",
+    "zigzagpp_count_all",
+    "zigzagpp_count_single",
+]

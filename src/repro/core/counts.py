@@ -1,0 +1,120 @@
+"""Result containers for biclique counts.
+
+:class:`BicliqueCounts` is the common return type of every all-pairs
+counting algorithm.  Cells are exact Python integers for exact algorithms
+and floats for the sampling estimators; the container is agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+__all__ = ["BicliqueCounts"]
+
+
+class BicliqueCounts:
+    """A ``max_p x max_q`` matrix of (p, q)-biclique counts, 1-indexed.
+
+    ``counts[p, q]`` is the number (or estimate) of (p, q)-bicliques for
+    ``1 <= p <= max_p`` and ``1 <= q <= max_q``.  Out-of-range queries
+    return 0, which keeps ratio formulas (wedges, clustering coefficients)
+    free of bound checks.
+    """
+
+    __slots__ = ("max_p", "max_q", "_cells")
+
+    def __init__(self, max_p: int, max_q: int):
+        if max_p < 1 or max_q < 1:
+            raise ValueError("max_p and max_q must be at least 1")
+        self.max_p = max_p
+        self.max_q = max_q
+        self._cells: list[list[float | int]] = [
+            [0] * (max_q + 1) for _ in range(max_p + 1)
+        ]
+
+    def add(self, p: int, q: int, amount: "int | float") -> None:
+        """Add ``amount`` to cell (p, q); silently ignore out-of-range."""
+        if 1 <= p <= self.max_p and 1 <= q <= self.max_q:
+            self._cells[p][q] += amount
+
+    def set(self, p: int, q: int, value: "int | float") -> None:
+        """Set cell (p, q); raises on out-of-range."""
+        if not (1 <= p <= self.max_p and 1 <= q <= self.max_q):
+            raise IndexError(f"(p={p}, q={q}) outside 1..{self.max_p} x 1..{self.max_q}")
+        self._cells[p][q] = value
+
+    def __getitem__(self, key: tuple[int, int]) -> "int | float":
+        p, q = key
+        if p < 1 or q < 1 or p > self.max_p or q > self.max_q:
+            return 0
+        return self._cells[p][q]
+
+    def items(self) -> Iterator[tuple[int, int, "int | float"]]:
+        """Yield ``(p, q, count)`` for every cell (including zeros)."""
+        for p in range(1, self.max_p + 1):
+            for q in range(1, self.max_q + 1):
+                yield p, q, self._cells[p][q]
+
+    def nonzero(self) -> Iterator[tuple[int, int, "int | float"]]:
+        """Yield ``(p, q, count)`` for non-zero cells only."""
+        return (item for item in self.items() if item[2])
+
+    def total(self) -> "int | float":
+        """Sum of every cell (total bicliques with both sides non-empty)."""
+        return sum(count for _, _, count in self.items())
+
+    def merged_with(self, other: "BicliqueCounts") -> "BicliqueCounts":
+        """Cell-wise sum; shapes are unified to the maximum extent."""
+        result = BicliqueCounts(max(self.max_p, other.max_p), max(self.max_q, other.max_q))
+        for p, q, count in self.items():
+            result.add(p, q, count)
+        for p, q, count in other.items():
+            result.add(p, q, count)
+        return result
+
+    def relative_error(self, exact: "BicliqueCounts") -> dict[tuple[int, int], float]:
+        """Per-cell relative error ``|est - exact| / exact`` vs a reference.
+
+        Cells where the reference is 0 are skipped unless the estimate is
+        non-zero there, in which case the error is reported as ``inf``.
+        """
+        errors: dict[tuple[int, int], float] = {}
+        for p in range(1, min(self.max_p, exact.max_p) + 1):
+            for q in range(1, min(self.max_q, exact.max_q) + 1):
+                true = exact[p, q]
+                est = self[p, q]
+                if true:
+                    errors[(p, q)] = abs(est - true) / true
+                elif est:
+                    errors[(p, q)] = float("inf")
+        return errors
+
+    def max_relative_error(self, exact: "BicliqueCounts") -> float:
+        """Maximum per-cell relative error vs a reference (0 if no cells)."""
+        errors = self.relative_error(exact)
+        return max(errors.values(), default=0.0)
+
+    def mean_relative_error(self, exact: "BicliqueCounts") -> float:
+        """Mean per-cell relative error vs a reference (0 if no cells)."""
+        errors = self.relative_error(exact)
+        finite = [e for e in errors.values() if e != float("inf")]
+        if not finite:
+            return 0.0
+        return sum(finite) / len(finite)
+
+    def to_rows(self) -> list[list["int | float"]]:
+        """Dense row-major copy ``rows[p-1][q-1] = counts[p, q]``."""
+        return [row[1:] for row in self._cells[1:]]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BicliqueCounts):
+            return NotImplemented
+        return (
+            self.max_p == other.max_p
+            and self.max_q == other.max_q
+            and self._cells == other._cells
+        )
+
+    def __repr__(self) -> str:
+        filled = sum(1 for _, _, c in self.items() if c)
+        return f"BicliqueCounts(max_p={self.max_p}, max_q={self.max_q}, nonzero={filled})"

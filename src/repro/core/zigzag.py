@@ -1,0 +1,420 @@
+"""The ZigZag and ZigZag++ sampling estimators (Algorithms 7–8).
+
+Both estimators decompose the graph into local neighborhood subgraphs,
+count h-zigzags exactly in each with the DP of :mod:`repro.core.dpcount`,
+draw uniform zigzag samples allocated proportionally across subgraphs, and
+convert zigzag "hits" (samples that induce a biclique) into unbiased
+(p, q)-biclique count estimates via Theorem 4.4.
+
+* **ZigZag** (Algorithm 7) uses one subgraph per *edge* ``e(u, v)`` — the
+  ordering-neighborhood graph ``G'_e`` — and samples ``(h-1)``-zigzags:
+  a (p, q)-biclique whose lexicographically smallest edge is ``e``
+  corresponds to a (p-1, q-1)-biclique of ``G'_e``.
+* **ZigZag++** (Algorithm 8) uses one subgraph per *left vertex* ``w`` —
+  the 2-hop graph ``G_w`` — and samples ``h``-zigzags whose head edge
+  leaves ``w``: a (p, q)-biclique whose smallest left vertex is ``w``
+  contains ``C(q, p)`` (resp. ``C(p-1, q-1)``) such zigzags.
+
+Cells with ``min(p, q) = 1`` (stars) are computed exactly in closed form;
+sampling covers ``2 <= min(p, q) <= h_max``.  The proportional sample
+allocation is randomised with a multinomial draw, which keeps the global
+estimator exactly unbiased (DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.counts import BicliqueCounts
+from repro.core.dpcount import ZigzagDP
+from repro.graph.bigraph import BipartiteGraph
+from repro.graph.subgraph import LocalSubgraph, edge_neighborhood_graph, two_hop_graph
+from repro.utils.combinatorics import binomial
+from repro.utils.rng import as_generator
+
+__all__ = [
+    "zigzag_count_all",
+    "zigzagpp_count_all",
+    "zigzag_count_single",
+    "zigzagpp_count_single",
+    "SamplingStats",
+    "star_counts",
+]
+
+
+@dataclass
+class SamplingStats:
+    """Diagnostics collected during estimation (Table 4 of the paper).
+
+    ``zigzag_totals[h]`` is the total number of (level-h) zigzags across
+    all subgraphs; ``max_hit[(p, q)]`` is the largest per-sample biclique
+    count ``Z = max c_{p,q}(Z_i)`` observed; ``samples[h]`` the realised
+    sample count.
+    """
+
+    zigzag_totals: dict[int, float] = field(default_factory=dict)
+    max_hit: dict[tuple[int, int], float] = field(default_factory=dict)
+    samples: dict[int, int] = field(default_factory=dict)
+
+    def z_over_rho_squared(self, p: int, q: int, estimate: float, level: int, denom: int) -> float:
+        """The sampling-hardness ratio ``(Z / rho)^2`` of Theorem 4.11."""
+        total = self.zigzag_totals.get(level, 0.0)
+        if not total or not estimate:
+            return float("inf")
+        rho = denom * estimate / total
+        z = self.max_hit.get((p, q), 0.0)
+        if rho == 0:
+            return float("inf")
+        return (z / rho) ** 2
+
+
+def star_counts(
+    graph: BipartiteGraph,
+    counts: BicliqueCounts,
+    left_region: "set[int] | None" = None,
+) -> None:
+    """Fill the exact closed-form cells with ``min(p, q) = 1``.
+
+    Without a region: ``C_{1,q} = sum_u C(d(u), q)`` and
+    ``C_{p,1} = sum_v C(d(v), p)``.  With ``left_region`` only the stars
+    whose *minimal left vertex* lies in the region are counted — the
+    attribution rule the hybrid algorithm uses to keep regions disjoint
+    (every biclique belongs to the region of its smallest left vertex
+    under the degree ordering).
+    """
+    if left_region is None:
+        left_degrees = graph.degrees_left()
+        right_degrees = graph.degrees_right()
+        for q in range(1, counts.max_q + 1):
+            counts.add(1, q, sum(binomial(d, q) for d in left_degrees))
+        for p in range(2, counts.max_p + 1):
+            counts.add(p, 1, sum(binomial(d, p) for d in right_degrees))
+        return
+    for q in range(1, counts.max_q + 1):
+        counts.add(
+            1, q, sum(binomial(graph.degree_left(u), q) for u in left_region)
+        )
+    # (p, 1) stars: choose a right vertex v and p of its neighbors; the
+    # star belongs to the region of the smallest chosen neighbor, so for
+    # each neighbor u (rank r from the end) it is the minimum of
+    # C(#later neighbors, p - 1) stars.
+    for v in range(graph.n_right):
+        adj = graph.neighbors_right(v)
+        degree = len(adj)
+        for rank, u in enumerate(adj):
+            if u not in left_region:
+                continue
+            later = degree - rank - 1
+            for p in range(2, counts.max_p + 1):
+                counts.add(p, 1, binomial(later, p - 1))
+
+
+# ----------------------------------------------------------------------
+# Shared estimation driver
+# ----------------------------------------------------------------------
+
+
+def _hit_pools(local: BipartiteGraph, left: list[int], right: list[int]):
+    """If ``(left, right)`` induces a biclique in ``local``, return the
+    sizes of the extension pools ``(|N(L) \\ R|, |N(R) \\ L|)``; else None.
+    """
+    common_right = set(local.neighbors_left(left[0]))
+    for u in left[1:]:
+        common_right.intersection_update(local.neighbors_left(u))
+        if len(common_right) < len(right):
+            return None
+    if not common_right.issuperset(right):
+        return None
+    common_left = set(local.neighbors_right(right[0]))
+    for v in right[1:]:
+        common_left.intersection_update(local.neighbors_right(v))
+    return len(common_right) - len(right), len(common_left) - len(left)
+
+
+class _Estimator:
+    """Two-pass proportional-allocation zigzag estimation engine.
+
+    Subclasses define the subgraph family and how a local hit maps onto
+    global (p, q) cells; everything else (DP construction, allocation,
+    sampling, unbiased scaling) is shared between ZigZag and ZigZag++.
+    """
+
+    #: Sampled levels map to cells with min(p, q) = level + cell_offset.
+    cell_offset = 0
+
+    def __init__(
+        self,
+        graph: BipartiteGraph,
+        h_max: int,
+        samples: int,
+        rng: np.random.Generator,
+        levels: "list[int] | None" = None,
+        unit_filter: "set[int] | None" = None,
+    ):
+        if h_max < 2:
+            raise ValueError("h_max must be at least 2")
+        if samples < 1:
+            raise ValueError("samples must be positive")
+        self.graph = graph
+        self.h_max = h_max
+        self.samples = samples
+        self.rng = rng
+        self.levels = levels if levels is not None else self.default_levels()
+        self.unit_filter = unit_filter
+        self.stats = SamplingStats()
+
+    # Subclass hooks -----------------------------------------------------
+
+    def default_levels(self) -> list[int]:
+        raise NotImplementedError
+
+    def units(self) -> list[int]:
+        """Identifiers of the subgraph family (edge index / left vertex)."""
+        raise NotImplementedError
+
+    def build(self, unit: int) -> LocalSubgraph:
+        raise NotImplementedError
+
+    def head_range(self, dp: ZigzagDP) -> "tuple[int, int] | None":
+        return None
+
+    def cells_for_hit(self, level: int, pool_right: int, pool_left: int):
+        """Yield ``(p, q, weight)`` contributions of one hit sample."""
+        raise NotImplementedError
+
+    def denominator(self, p: int, q: int) -> int:
+        raise NotImplementedError
+
+    # Driver -------------------------------------------------------------
+
+    def run(self) -> BicliqueCounts:
+        counts = BicliqueCounts(self.h_max, self.h_max)
+        star_counts(self.graph, counts, self.unit_filter)
+        units = self.units()
+        max_level = max(self.levels, default=0)
+        if max_level == 0 or not units:
+            return counts
+        # Pass 1: exact zigzag totals per unit and per level.
+        totals = np.zeros((len(units), len(self.levels)))
+        for row, unit in enumerate(units):
+            local = self.build(unit)
+            if local.num_edges == 0:
+                continue
+            dp = ZigzagDP(local.graph, max_level)
+            head = self.head_range(dp)
+            for col, level in enumerate(self.levels):
+                totals[row, col] = dp.zigzag_count(level, head)
+        level_totals = totals.sum(axis=0)
+        for col, level in enumerate(self.levels):
+            self.stats.zigzag_totals[level] = float(level_totals[col])
+        # Pass 2: multinomial allocation, sampling, accumulation.
+        allocation = np.zeros_like(totals, dtype=np.int64)
+        for col, level in enumerate(self.levels):
+            if level_totals[col] <= 0:
+                continue
+            probs = totals[:, col] / level_totals[col]
+            allocation[:, col] = self.rng.multinomial(self.samples, probs)
+            self.stats.samples[level] = int(allocation[:, col].sum())
+        sums: dict[tuple[int, int], float] = {}
+        for row, unit in enumerate(units):
+            if not allocation[row].any():
+                continue
+            local = self.build(unit)
+            dp = ZigzagDP(local.graph, max_level)
+            head = self.head_range(dp)
+            for col, level in enumerate(self.levels):
+                for _ in range(int(allocation[row, col])):
+                    left, right = dp.sample(level, self.rng, head)
+                    pools = _hit_pools(local.graph, left, right)
+                    if pools is None:
+                        continue
+                    pool_right, pool_left = pools
+                    for p, q, weight in self.cells_for_hit(level, pool_right, pool_left):
+                        sums[(p, q)] = sums.get((p, q), 0.0) + weight
+                        if weight > self.stats.max_hit.get((p, q), 0.0):
+                            self.stats.max_hit[(p, q)] = float(weight)
+        for (p, q), total in sums.items():
+            level = min(p, q) - self.cell_offset
+            zigzags = self.stats.zigzag_totals.get(level, 0.0)
+            drawn = self.stats.samples.get(level, 0)
+            if not zigzags or not drawn:
+                continue
+            estimate = zigzags * total / (drawn * self.denominator(p, q))
+            counts.add(p, q, estimate)
+        return counts
+
+
+class _ZigZag(_Estimator):
+    """Per-edge neighborhood subgraphs (Algorithm 7)."""
+
+    cell_offset = 1  # local level h' serves cells with min(p, q) = h' + 1
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._edges = list(self.graph.edges())
+
+    def default_levels(self) -> list[int]:
+        return list(range(1, self.h_max))
+
+    def units(self) -> list[int]:
+        if self.unit_filter is None:
+            return list(range(len(self._edges)))
+        return [
+            i for i, (u, _) in enumerate(self._edges) if u in self.unit_filter
+        ]
+
+    def build(self, unit: int) -> LocalSubgraph:
+        u, v = self._edges[unit]
+        return edge_neighborhood_graph(self.graph, u, v)
+
+    def cells_for_hit(self, level: int, pool_right: int, pool_left: int):
+        base = level + 1
+        for extra in range(0, min(pool_right, self.h_max - base) + 1):
+            yield base, base + extra, binomial(pool_right, extra)
+        for extra in range(1, min(pool_left, self.h_max - base) + 1):
+            yield base + extra, base, binomial(pool_left, extra)
+
+    def denominator(self, p: int, q: int) -> int:
+        return binomial(max(p, q) - 1, min(p, q) - 1)
+
+
+class _ZigZagPP(_Estimator):
+    """Per-vertex 2-hop subgraphs (Algorithm 8)."""
+
+    cell_offset = 0  # level h serves cells with min(p, q) = h
+
+    def default_levels(self) -> list[int]:
+        return list(range(2, self.h_max + 1))
+
+    def units(self) -> list[int]:
+        vertices = range(self.graph.n_left)
+        if self.unit_filter is None:
+            return list(vertices)
+        return [w for w in vertices if w in self.unit_filter]
+
+    def build(self, unit: int) -> LocalSubgraph:
+        return two_hop_graph(self.graph, unit)
+
+    def head_range(self, dp: ZigzagDP) -> tuple[int, int]:
+        # The subgraph owner w has local left id 0 by construction.
+        return dp.head_range_for_left(0)
+
+    def cells_for_hit(self, level: int, pool_right: int, pool_left: int):
+        for extra in range(0, min(pool_right, self.h_max - level) + 1):
+            yield level, level + extra, binomial(pool_right, extra)
+        for extra in range(1, min(pool_left, self.h_max - level) + 1):
+            yield level + extra, level, binomial(pool_left, extra)
+
+    def denominator(self, p: int, q: int) -> int:
+        if p <= q:
+            return binomial(q, p)
+        return binomial(p - 1, q - 1)
+
+
+# ----------------------------------------------------------------------
+# Public API
+# ----------------------------------------------------------------------
+
+
+def _prepare(graph: BipartiteGraph) -> BipartiteGraph:
+    if graph.is_degree_ordered():
+        return graph
+    ordered, _, _ = graph.degree_ordered()
+    return ordered
+
+
+def zigzag_count_all(
+    graph: BipartiteGraph,
+    h_max: int = 10,
+    samples: int = 100_000,
+    seed: "int | None | np.random.Generator" = None,
+    return_stats: bool = False,
+    left_region: "set[int] | None" = None,
+):
+    """Estimate all (p, q)-biclique counts with ZigZag (Algorithm 7).
+
+    ``samples`` is the per-level sample budget ``T``; ``left_region``
+    optionally restricts the root edges to those whose left endpoint lies
+    in the region (used by the hybrid algorithm, which passes a dense
+    region of an already degree-ordered graph).
+
+    Returns a :class:`BicliqueCounts` (float cells for sampled levels,
+    exact integers for ``min(p, q) = 1``), plus :class:`SamplingStats`
+    when ``return_stats`` is set.
+    """
+    ordered = _prepare(graph)
+    engine = _ZigZag(
+        ordered, h_max, samples, as_generator(seed), unit_filter=left_region
+    )
+    counts = engine.run()
+    if return_stats:
+        return counts, engine.stats
+    return counts
+
+
+def zigzagpp_count_all(
+    graph: BipartiteGraph,
+    h_max: int = 10,
+    samples: int = 100_000,
+    seed: "int | None | np.random.Generator" = None,
+    return_stats: bool = False,
+    left_region: "set[int] | None" = None,
+):
+    """Estimate all (p, q)-biclique counts with ZigZag++ (Algorithm 8)."""
+    ordered = _prepare(graph)
+    engine = _ZigZagPP(
+        ordered, h_max, samples, as_generator(seed), unit_filter=left_region
+    )
+    counts = engine.run()
+    if return_stats:
+        return counts, engine.stats
+    return counts
+
+
+def zigzag_count_single(
+    graph: BipartiteGraph,
+    p: int,
+    q: int,
+    samples: int = 100_000,
+    seed: "int | None | np.random.Generator" = None,
+) -> float:
+    """Estimate one (p, q) count with ZigZag, sampling only the needed level.
+
+    Implements the paper's remark in §4.2: a single pair needs zigzags of
+    one length only, ``h = min(p, q)`` (here ``h - 1`` in the local
+    subgraphs).
+    """
+    if min(p, q) < 1:
+        raise ValueError("p and q must be positive")
+    ordered = _prepare(graph)
+    counts = BicliqueCounts(max(p, 2), max(q, 2))
+    if min(p, q) == 1:
+        star_counts(ordered, counts)
+        return counts[p, q]
+    engine = _ZigZag(
+        ordered, max(p, q), samples, as_generator(seed), levels=[min(p, q) - 1]
+    )
+    return engine.run()[p, q]
+
+
+def zigzagpp_count_single(
+    graph: BipartiteGraph,
+    p: int,
+    q: int,
+    samples: int = 100_000,
+    seed: "int | None | np.random.Generator" = None,
+) -> float:
+    """Estimate one (p, q) count with ZigZag++ (single sampled level)."""
+    if min(p, q) < 1:
+        raise ValueError("p and q must be positive")
+    ordered = _prepare(graph)
+    counts = BicliqueCounts(max(p, 2), max(q, 2))
+    if min(p, q) == 1:
+        star_counts(ordered, counts)
+        return counts[p, q]
+    engine = _ZigZagPP(
+        ordered, max(p, q), samples, as_generator(seed), levels=[min(p, q)]
+    )
+    return engine.run()[p, q]

@@ -1,0 +1,65 @@
+"""Bipartite-graph substrate: container, subgraphs, cores, I/O, generators."""
+
+from repro.graph.bigraph import LEFT, RIGHT, BipartiteGraph
+from repro.graph.butterflies import butterflies_per_edge, butterfly_count
+from repro.graph.core_decomposition import alpha_beta_core, core_for_biclique
+from repro.graph.datasets import (
+    FIG14_DATASETS,
+    TABLE1_DATASETS,
+    DatasetSpec,
+    available_datasets,
+    dataset_spec,
+    load_dataset,
+)
+from repro.graph.generators import (
+    affiliation_bipartite,
+    chung_lu_bipartite,
+    erdos_renyi_bipartite,
+)
+from repro.graph.io import parse_edge_list, read_edge_list, write_edge_list
+from repro.graph.projection import (
+    butterflies_from_projection,
+    project_left,
+    project_right,
+)
+from repro.graph.statistics import (
+    GraphSummary,
+    bipartite_degeneracy,
+    connected_components,
+    degree_histogram,
+    summarize,
+)
+from repro.graph.subgraph import LocalSubgraph, edge_neighborhood_graph, two_hop_graph
+
+__all__ = [
+    "LEFT",
+    "RIGHT",
+    "BipartiteGraph",
+    "butterflies_per_edge",
+    "butterfly_count",
+    "alpha_beta_core",
+    "core_for_biclique",
+    "FIG14_DATASETS",
+    "TABLE1_DATASETS",
+    "DatasetSpec",
+    "available_datasets",
+    "dataset_spec",
+    "load_dataset",
+    "affiliation_bipartite",
+    "chung_lu_bipartite",
+    "erdos_renyi_bipartite",
+    "parse_edge_list",
+    "read_edge_list",
+    "write_edge_list",
+    "butterflies_from_projection",
+    "project_left",
+    "project_right",
+    "GraphSummary",
+    "bipartite_degeneracy",
+    "connected_components",
+    "degree_histogram",
+    "summarize",
+    "LocalSubgraph",
+    "edge_neighborhood_graph",
+    "two_hop_graph",
+]

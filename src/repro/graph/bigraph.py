@@ -1,0 +1,270 @@
+"""The bipartite graph container used by every algorithm in this library.
+
+Follows the notation of Section 2 of the paper:
+
+* ``U`` and ``V`` are disjoint vertex sides, identified here by integer ids
+  ``0..n1-1`` and ``0..n2-1`` respectively (sides are separate id spaces).
+* ``N(u)`` / ``N(v)`` are neighbor sets, stored as **sorted tuples** so that
+  ordering-neighbor queries (``N^{>u}(v)``) are binary searches.
+* The *degree ordering* ``<_d`` sorts each side by non-decreasing degree,
+  ties broken by vertex id.  :meth:`BipartiteGraph.degree_ordered` relabels
+  vertices so the degree ordering coincides with the integer order, which
+  is what the counting algorithms assume.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterable, Iterator
+
+__all__ = ["BipartiteGraph", "LEFT", "RIGHT"]
+
+LEFT = 0
+RIGHT = 1
+
+
+class BipartiteGraph:
+    """An immutable bipartite graph ``G(U, V, E)``.
+
+    Parameters
+    ----------
+    n_left, n_right:
+        Number of vertices on each side.  Vertices are ``0..n_left-1`` on
+        the left and ``0..n_right-1`` on the right (separate id spaces).
+    edges:
+        Iterable of ``(u, v)`` pairs with ``u`` a left id and ``v`` a right
+        id.  Duplicates are removed; self-checks reject out-of-range ids.
+
+    Examples
+    --------
+    >>> g = BipartiteGraph(2, 2, [(0, 0), (0, 1), (1, 0), (1, 1)])
+    >>> g.num_edges
+    4
+    >>> g.neighbors_left(0)
+    (0, 1)
+    """
+
+    __slots__ = ("n_left", "n_right", "_adj_left", "_adj_right", "_num_edges")
+
+    def __init__(self, n_left: int, n_right: int, edges: Iterable[tuple[int, int]]):
+        if n_left < 0 or n_right < 0:
+            raise ValueError("side sizes must be non-negative")
+        self.n_left = n_left
+        self.n_right = n_right
+        adj_left: list[set[int]] = [set() for _ in range(n_left)]
+        adj_right: list[set[int]] = [set() for _ in range(n_right)]
+        for u, v in edges:
+            if not (0 <= u < n_left):
+                raise ValueError(f"left vertex {u} out of range [0, {n_left})")
+            if not (0 <= v < n_right):
+                raise ValueError(f"right vertex {v} out of range [0, {n_right})")
+            adj_left[u].add(v)
+            adj_right[v].add(u)
+        self._adj_left: tuple[tuple[int, ...], ...] = tuple(
+            tuple(sorted(s)) for s in adj_left
+        )
+        self._adj_right: tuple[tuple[int, ...], ...] = tuple(
+            tuple(sorted(s)) for s in adj_right
+        )
+        self._num_edges = sum(len(s) for s in self._adj_left)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def num_edges(self) -> int:
+        """Number of (undirected bipartite) edges ``|E|``."""
+        return self._num_edges
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        """``(|U|, |V|, |E|)``."""
+        return (self.n_left, self.n_right, self._num_edges)
+
+    def neighbors_left(self, u: int) -> tuple[int, ...]:
+        """``N(u)`` for a left vertex, as a sorted tuple of right ids."""
+        return self._adj_left[u]
+
+    def neighbors_right(self, v: int) -> tuple[int, ...]:
+        """``N(v)`` for a right vertex, as a sorted tuple of left ids."""
+        return self._adj_right[v]
+
+    def neighbors(self, side: int, vertex: int) -> tuple[int, ...]:
+        """Side-generic neighbor accessor (``side`` is LEFT or RIGHT)."""
+        if side == LEFT:
+            return self._adj_left[vertex]
+        if side == RIGHT:
+            return self._adj_right[vertex]
+        raise ValueError("side must be LEFT (0) or RIGHT (1)")
+
+    def degree_left(self, u: int) -> int:
+        """``d(u)`` for a left vertex."""
+        return len(self._adj_left[u])
+
+    def degree_right(self, v: int) -> int:
+        """``d(v)`` for a right vertex."""
+        return len(self._adj_right[v])
+
+    def degrees_left(self) -> list[int]:
+        """Degree sequence of the left side."""
+        return [len(s) for s in self._adj_left]
+
+    def degrees_right(self) -> list[int]:
+        """Degree sequence of the right side."""
+        return [len(s) for s in self._adj_right]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True iff ``e(u, v)`` is an edge (binary search, O(log d))."""
+        adj = self._adj_left[u]
+        i = bisect_right(adj, v) - 1
+        return i >= 0 and adj[i] == v
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate all edges as ``(u, v)`` pairs, sorted by ``(u, v)``."""
+        for u, adj in enumerate(self._adj_left):
+            for v in adj:
+                yield (u, v)
+
+    # ------------------------------------------------------------------
+    # Ordering-neighbor queries (Section 2)
+    # ------------------------------------------------------------------
+
+    def higher_neighbors_of_right(self, v: int, u: int) -> tuple[int, ...]:
+        """``N^{>u}(v)``: left neighbors of ``v`` with id greater than ``u``.
+
+        Assumes the graph is degree-ordered, so integer comparison is the
+        degree ordering ``<_d``.
+        """
+        adj = self._adj_right[v]
+        return adj[bisect_right(adj, u):]
+
+    def higher_neighbors_of_left(self, u: int, v: int) -> tuple[int, ...]:
+        """``N^{>v}(u)``: right neighbors of ``u`` with id greater than ``v``."""
+        adj = self._adj_left[u]
+        return adj[bisect_right(adj, v):]
+
+    def common_neighbors_of_left(self, vertices: Iterable[int]) -> set[int]:
+        """``N(S)`` for a set ``S`` of left vertices (right-side ids)."""
+        iterator = iter(vertices)
+        try:
+            first = next(iterator)
+        except StopIteration:
+            raise ValueError("common neighborhood of an empty set is undefined")
+        result = set(self._adj_left[first])
+        for u in iterator:
+            result.intersection_update(self._adj_left[u])
+            if not result:
+                break
+        return result
+
+    def common_neighbors_of_right(self, vertices: Iterable[int]) -> set[int]:
+        """``N(S)`` for a set ``S`` of right vertices (left-side ids)."""
+        iterator = iter(vertices)
+        try:
+            first = next(iterator)
+        except StopIteration:
+            raise ValueError("common neighborhood of an empty set is undefined")
+        result = set(self._adj_right[first])
+        for v in iterator:
+            result.intersection_update(self._adj_right[v])
+            if not result:
+                break
+        return result
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+
+    def degree_ordered(self) -> "tuple[BipartiteGraph, list[int], list[int]]":
+        """Relabel both sides by the degree ordering ``<_d``.
+
+        Returns ``(graph, left_map, right_map)`` where ``left_map[old] =
+        new`` (and similarly for the right side).  In the result, vertex
+        ids increase with (degree, old id), so ``a < b`` implies
+        ``d(a) <= d(b)`` — the property all counting algorithms rely on.
+        """
+        left_order = sorted(range(self.n_left), key=lambda u: (len(self._adj_left[u]), u))
+        right_order = sorted(
+            range(self.n_right), key=lambda v: (len(self._adj_right[v]), v)
+        )
+        left_map = [0] * self.n_left
+        for new_id, old_id in enumerate(left_order):
+            left_map[old_id] = new_id
+        right_map = [0] * self.n_right
+        for new_id, old_id in enumerate(right_order):
+            right_map[old_id] = new_id
+        relabeled = BipartiteGraph(
+            self.n_left,
+            self.n_right,
+            ((left_map[u], right_map[v]) for u, v in self.edges()),
+        )
+        return relabeled, left_map, right_map
+
+    def is_degree_ordered(self) -> bool:
+        """True iff ids on both sides are non-decreasing in degree."""
+        left_ok = all(
+            len(self._adj_left[i]) <= len(self._adj_left[i + 1])
+            for i in range(self.n_left - 1)
+        )
+        right_ok = all(
+            len(self._adj_right[i]) <= len(self._adj_right[i + 1])
+            for i in range(self.n_right - 1)
+        )
+        return left_ok and right_ok
+
+    def swap_sides(self) -> "BipartiteGraph":
+        """Return the graph with left and right sides exchanged."""
+        return BipartiteGraph(
+            self.n_right, self.n_left, ((v, u) for u, v in self.edges())
+        )
+
+    def induced_subgraph(
+        self, left_vertices: Iterable[int], right_vertices: Iterable[int]
+    ) -> "tuple[BipartiteGraph, list[int], list[int]]":
+        """Subgraph induced by vertex subsets, with compact relabeling.
+
+        Returns ``(graph, left_ids, right_ids)`` where ``left_ids[new] =
+        old`` (and similarly on the right).  The relative order of ids is
+        preserved, so a degree-*ordered* parent does **not** guarantee a
+        degree-ordered child (degrees change); callers that need the
+        ordering re-apply :meth:`degree_ordered`.
+        """
+        left_ids = sorted(set(left_vertices))
+        right_ids = sorted(set(right_vertices))
+        left_pos = {old: new for new, old in enumerate(left_ids)}
+        right_pos = {old: new for new, old in enumerate(right_ids)}
+        right_set = set(right_ids)
+        edges = [
+            (left_pos[u], right_pos[v])
+            for u in left_ids
+            for v in self._adj_left[u]
+            if v in right_set
+        ]
+        return (
+            BipartiteGraph(len(left_ids), len(right_ids), edges),
+            left_ids,
+            right_ids,
+        )
+
+    # ------------------------------------------------------------------
+    # Dunder methods
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return (
+            f"BipartiteGraph(|U|={self.n_left}, |V|={self.n_right}, "
+            f"|E|={self._num_edges})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BipartiteGraph):
+            return NotImplemented
+        return (
+            self.n_left == other.n_left
+            and self.n_right == other.n_right
+            and self._adj_left == other._adj_left
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.n_left, self.n_right, self._adj_left))

@@ -1,0 +1,75 @@
+"""(α, β)-core reduction for bipartite graphs (Liu et al., VLDB J. 2020).
+
+The (α, β)-core of ``G`` is the maximal subgraph in which every left
+vertex has degree at least ``α`` and every right vertex degree at least
+``β``.  Any (p, q)-biclique lies inside the (q, p)-core (each left member
+has ``q`` right neighbors inside the biclique, and vice versa), so
+shrinking to the core is a sound preprocessing step for fixed-(p, q)
+counting — the "pruning tricks" of Section 3.3.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.graph.bigraph import BipartiteGraph
+
+__all__ = ["alpha_beta_core", "core_for_biclique"]
+
+
+def alpha_beta_core(
+    graph: BipartiteGraph, alpha: int, beta: int
+) -> tuple[BipartiteGraph, list[int], list[int]]:
+    """Compute the (α, β)-core by iterative peeling.
+
+    Returns ``(core_graph, left_ids, right_ids)`` with the usual
+    ``new -> old`` id maps.  Runs in ``O(|E|)``.
+    """
+    if alpha < 0 or beta < 0:
+        raise ValueError("alpha and beta must be non-negative")
+    deg_left = graph.degrees_left()
+    deg_right = graph.degrees_right()
+    removed_left = [False] * graph.n_left
+    removed_right = [False] * graph.n_right
+    queue: deque[tuple[int, int]] = deque()
+    for u in range(graph.n_left):
+        if deg_left[u] < alpha:
+            removed_left[u] = True
+            queue.append((0, u))
+    for v in range(graph.n_right):
+        if deg_right[v] < beta:
+            removed_right[v] = True
+            queue.append((1, v))
+    while queue:
+        side, vertex = queue.popleft()
+        if side == 0:
+            for v in graph.neighbors_left(vertex):
+                if not removed_right[v]:
+                    deg_right[v] -= 1
+                    if deg_right[v] < beta:
+                        removed_right[v] = True
+                        queue.append((1, v))
+        else:
+            for u in graph.neighbors_right(vertex):
+                if not removed_left[u]:
+                    deg_left[u] -= 1
+                    if deg_left[u] < alpha:
+                        removed_left[u] = True
+                        queue.append((0, u))
+    left_keep = [u for u in range(graph.n_left) if not removed_left[u]]
+    right_keep = [v for v in range(graph.n_right) if not removed_right[v]]
+    core, left_ids, right_ids = graph.induced_subgraph(left_keep, right_keep)
+    return core, left_ids, right_ids
+
+
+def core_for_biclique(
+    graph: BipartiteGraph, p: int, q: int
+) -> tuple[BipartiteGraph, list[int], list[int]]:
+    """Shrink ``graph`` to the region that can contain a (p, q)-biclique.
+
+    This is the (q, p)-core: left members need ``q`` right neighbors and
+    right members need ``p`` left neighbors.
+    """
+    if p < 1 or q < 1:
+        raise ValueError("p and q must be positive")
+    return alpha_beta_core(graph, alpha=q, beta=p)

@@ -1,0 +1,71 @@
+"""Edge-list I/O in the KONECT-ish format used by the paper's datasets.
+
+Format: one ``u v`` pair per line, ``#`` or ``%`` comment lines ignored.
+Vertex labels may be arbitrary strings; they are mapped to dense integer
+ids per side (the mapping is returned so results can be translated back).
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO
+
+from repro.graph.bigraph import BipartiteGraph
+
+__all__ = ["read_edge_list", "write_edge_list", "parse_edge_list"]
+
+
+def parse_edge_list(text: str) -> tuple[BipartiteGraph, list[str], list[str]]:
+    """Parse edge-list text; see :func:`read_edge_list`."""
+    return _read(io.StringIO(text))
+
+
+def read_edge_list(path: "str | Path") -> tuple[BipartiteGraph, list[str], list[str]]:
+    """Read a bipartite edge list from ``path``.
+
+    Returns ``(graph, left_labels, right_labels)`` where
+    ``left_labels[id]`` is the original label of left vertex ``id``.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        return _read(handle)
+
+
+def _read(handle: TextIO) -> tuple[BipartiteGraph, list[str], list[str]]:
+    left_ids: dict[str, int] = {}
+    right_ids: dict[str, int] = {}
+    edges: list[tuple[int, int]] = []
+    for line_no, raw in enumerate(handle, start=1):
+        line = raw.strip()
+        if not line or line.startswith(("#", "%")):
+            continue
+        parts = line.split()
+        if len(parts) < 2:
+            raise ValueError(f"line {line_no}: expected 'u v', got {line!r}")
+        u_label, v_label = parts[0], parts[1]
+        u = left_ids.setdefault(u_label, len(left_ids))
+        v = right_ids.setdefault(v_label, len(right_ids))
+        edges.append((u, v))
+    graph = BipartiteGraph(len(left_ids), len(right_ids), edges)
+    left_labels = [""] * len(left_ids)
+    for label, idx in left_ids.items():
+        left_labels[idx] = label
+    right_labels = [""] * len(right_ids)
+    for label, idx in right_ids.items():
+        right_labels[idx] = label
+    return graph, left_labels, right_labels
+
+
+def write_edge_list(
+    graph: BipartiteGraph,
+    path: "str | Path",
+    left_labels: "list[str] | None" = None,
+    right_labels: "list[str] | None" = None,
+) -> None:
+    """Write ``graph`` as an edge list; labels default to integer ids."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"# bipartite |U|={graph.n_left} |V|={graph.n_right} |E|={graph.num_edges}\n")
+        for u, v in graph.edges():
+            u_label = left_labels[u] if left_labels is not None else str(u)
+            v_label = right_labels[v] if right_labels is not None else str(v)
+            handle.write(f"{u_label} {v_label}\n")

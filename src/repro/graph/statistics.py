@@ -1,0 +1,142 @@
+"""Descriptive statistics for bipartite graphs.
+
+Summary quantities used throughout the evaluation harness (Table 1 and
+the dataset-characterisation discussion): degree distributions, density,
+connected components, and the bipartite degeneracy (the (α, β)-core
+peeling depth), which predicts how hard a graph is for the enumeration
+algorithms.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+
+from repro.graph.bigraph import BipartiteGraph
+
+__all__ = [
+    "GraphSummary",
+    "summarize",
+    "connected_components",
+    "degree_histogram",
+    "bipartite_degeneracy",
+]
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """One-line quantitative profile of a bipartite graph."""
+
+    n_left: int
+    n_right: int
+    num_edges: int
+    mean_degree_left: float
+    mean_degree_right: float
+    max_degree_left: int
+    max_degree_right: int
+    density: float
+    num_components: int
+    degeneracy: int
+
+
+def degree_histogram(graph: BipartiteGraph, side: str = "left") -> dict[int, int]:
+    """``{degree: count}`` for one side (``"left"`` or ``"right"``)."""
+    if side == "left":
+        degrees = graph.degrees_left()
+    elif side == "right":
+        degrees = graph.degrees_right()
+    else:
+        raise ValueError("side must be 'left' or 'right'")
+    return dict(Counter(degrees))
+
+
+def connected_components(graph: BipartiteGraph) -> list[tuple[list[int], list[int]]]:
+    """Connected components as ``(left_vertices, right_vertices)`` pairs.
+
+    Isolated vertices form singleton components on their own side.
+    """
+    seen_left = [False] * graph.n_left
+    seen_right = [False] * graph.n_right
+    components: list[tuple[list[int], list[int]]] = []
+    for start in range(graph.n_left):
+        if seen_left[start]:
+            continue
+        seen_left[start] = True
+        left_part, right_part = [start], []
+        queue: deque[tuple[int, int]] = deque([(0, start)])
+        while queue:
+            side, vertex = queue.popleft()
+            if side == 0:
+                for v in graph.neighbors_left(vertex):
+                    if not seen_right[v]:
+                        seen_right[v] = True
+                        right_part.append(v)
+                        queue.append((1, v))
+            else:
+                for u in graph.neighbors_right(vertex):
+                    if not seen_left[u]:
+                        seen_left[u] = True
+                        left_part.append(u)
+                        queue.append((0, u))
+        components.append((sorted(left_part), sorted(right_part)))
+    for v in range(graph.n_right):
+        if not seen_right[v]:
+            components.append(([], [v]))
+    return components
+
+
+def bipartite_degeneracy(graph: BipartiteGraph) -> int:
+    """The bipartite degeneracy: max over the peeling order of the minimum
+    degree — the largest ``k`` such that the (k, k)-core is non-empty."""
+    degrees = graph.degrees_left() + graph.degrees_right()
+    offset = graph.n_left
+    alive = [True] * len(degrees)
+    # Bucket queue over degrees.
+    buckets: dict[int, set[int]] = {}
+    for node, degree in enumerate(degrees):
+        buckets.setdefault(degree, set()).add(node)
+    remaining = len(degrees)
+    degeneracy = 0
+    current = 0
+    while remaining:
+        while current not in buckets or not buckets[current]:
+            current += 1
+        node = buckets[current].pop()
+        if not alive[node]:
+            continue
+        alive[node] = False
+        remaining -= 1
+        degeneracy = max(degeneracy, degrees[node])
+        neighbors = (
+            graph.neighbors_left(node)
+            if node < offset
+            else graph.neighbors_right(node - offset)
+        )
+        for other in neighbors:
+            other_node = other + offset if node < offset else other
+            if alive[other_node]:
+                d = degrees[other_node]
+                buckets[d].discard(other_node)
+                degrees[other_node] = d - 1
+                buckets.setdefault(d - 1, set()).add(other_node)
+                current = min(current, d - 1)
+    return degeneracy
+
+
+def summarize(graph: BipartiteGraph) -> GraphSummary:
+    """Compute a :class:`GraphSummary` in one pass (plus BFS + peeling)."""
+    degrees_left = graph.degrees_left()
+    degrees_right = graph.degrees_right()
+    possible = graph.n_left * graph.n_right
+    return GraphSummary(
+        n_left=graph.n_left,
+        n_right=graph.n_right,
+        num_edges=graph.num_edges,
+        mean_degree_left=(graph.num_edges / graph.n_left) if graph.n_left else 0.0,
+        mean_degree_right=(graph.num_edges / graph.n_right) if graph.n_right else 0.0,
+        max_degree_left=max(degrees_left, default=0),
+        max_degree_right=max(degrees_right, default=0),
+        density=(graph.num_edges / possible) if possible else 0.0,
+        num_components=len(connected_components(graph)),
+        degeneracy=bipartite_degeneracy(graph),
+    )

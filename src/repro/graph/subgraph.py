@@ -1,0 +1,86 @@
+"""Neighborhood subgraph constructions used by the sampling algorithms.
+
+Two locality structures from Section 4 of the paper:
+
+* the **edge neighborhood graph** ``G'_e`` of an edge ``e(u, v)``: the
+  subgraph induced by the ordering neighbors ``N^{>u}(v)`` (left) and
+  ``N^{>v}(u)`` (right).  Every biclique whose lexicographically smallest
+  edge is ``e`` equals ``({u}, {v})`` plus a biclique of ``G'_e``
+  (ZigZag, Algorithm 7);
+* the **2-hop subgraph** ``G_w`` of a left vertex ``w`` (Definition 4.8):
+  right side ``N(w)``, left side ``{w} ∪ N^{>w}(v) for v in N(w)``.  Every
+  biclique whose smallest left vertex is ``w`` lives in ``G_w``
+  (ZigZag++, Algorithm 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.bigraph import BipartiteGraph
+
+__all__ = ["LocalSubgraph", "edge_neighborhood_graph", "two_hop_graph"]
+
+
+@dataclass(frozen=True)
+class LocalSubgraph:
+    """A compact local subgraph plus the id maps back to the parent graph.
+
+    ``left_ids[new] = old`` and ``right_ids[new] = old``; relative vertex
+    order is preserved, so the parent's degree ordering induces the same
+    ordering on local ids (what the zigzag DP requires).
+    """
+
+    graph: BipartiteGraph
+    left_ids: tuple[int, ...]
+    right_ids: tuple[int, ...]
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.num_edges
+
+
+def edge_neighborhood_graph(graph: BipartiteGraph, u: int, v: int) -> LocalSubgraph:
+    """Build ``G'_e`` for the edge ``e(u, v)`` of a degree-ordered graph.
+
+    The subgraph is induced by ``N^{>u}(v)`` on the left and ``N^{>v}(u)``
+    on the right; its edges are exactly the ordering neighbors
+    ``\\vec{N}(e(u, v))`` of the paper.
+    """
+    left_ids = graph.higher_neighbors_of_right(v, u)
+    right_ids = graph.higher_neighbors_of_left(u, v)
+    right_pos = {old: new for new, old in enumerate(right_ids)}
+    right_set = set(right_ids)
+    edges = []
+    for new_u, old_u in enumerate(left_ids):
+        for old_v in graph.neighbors_left(old_u):
+            if old_v in right_set:
+                edges.append((new_u, right_pos[old_v]))
+    local = BipartiteGraph(len(left_ids), len(right_ids), edges)
+    return LocalSubgraph(local, tuple(left_ids), tuple(right_ids))
+
+
+def two_hop_graph(graph: BipartiteGraph, w: int) -> LocalSubgraph:
+    """Build the 2-hop subgraph ``G_w`` of left vertex ``w`` (Def. 4.8).
+
+    Left side: ``{w}`` plus every ``u > w`` adjacent to some ``v`` in
+    ``N(w)``; right side: ``N(w)``; edges: all parent edges between the two
+    sides.  ``w`` keeps the smallest local left id, so zigzags *starting at
+    w* are exactly the local zigzags whose head edge leaves local vertex 0.
+    """
+    right_ids = graph.neighbors_left(w)
+    left_set = {w}
+    for v in right_ids:
+        left_set.update(graph.higher_neighbors_of_right(v, w))
+    left_ids = sorted(left_set)
+    left_pos = {old: new for new, old in enumerate(left_ids)}
+    right_pos = {old: new for new, old in enumerate(right_ids)}
+    right_set = set(right_ids)
+    edges = []
+    for old_u in left_ids:
+        new_u = left_pos[old_u]
+        for old_v in graph.neighbors_left(old_u):
+            if old_v in right_set:
+                edges.append((new_u, right_pos[old_v]))
+    local = BipartiteGraph(len(left_ids), len(right_ids), edges)
+    return LocalSubgraph(local, tuple(left_ids), tuple(right_ids))

@@ -1,0 +1,17 @@
+"""Shared substrates: combinatorics, RNG plumbing, timing, max-flow."""
+
+from repro.utils.combinatorics import binomial, binomial_row, falling_factorial
+from repro.utils.maxflow import DinicMaxFlow
+from repro.utils.rng import as_generator, spawn
+from repro.utils.timer import Stopwatch, timed
+
+__all__ = [
+    "binomial",
+    "binomial_row",
+    "falling_factorial",
+    "DinicMaxFlow",
+    "as_generator",
+    "spawn",
+    "Stopwatch",
+    "timed",
+]

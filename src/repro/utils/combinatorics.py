@@ -1,0 +1,68 @@
+"""Exact integer combinatorics used by the counting algorithms.
+
+All biclique counts in this library are exact Python integers; the counting
+formulas of EPivoter (Algorithm 3) and the zigzag estimators reduce to sums
+of products of binomial coefficients.  The binomial table is memoised
+because the recursion evaluates the same small coefficients millions of
+times.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+__all__ = [
+    "binomial",
+    "binomial_row",
+    "falling_factorial",
+    "stars_side_counts",
+]
+
+
+@lru_cache(maxsize=None)
+def binomial(n: int, k: int) -> int:
+    """Return ``C(n, k)`` as an exact integer; 0 outside the valid range.
+
+    Unlike :func:`math.comb`, negative ``n`` or ``k`` yield 0 instead of
+    raising, which lets counting formulas be written without bound checks.
+    """
+    if k < 0 or n < 0 or k > n:
+        return 0
+    return math.comb(n, k)
+
+
+def binomial_row(n: int, k_max: int) -> list[int]:
+    """Return ``[C(n, 0), C(n, 1), ..., C(n, k_max)]`` as exact integers."""
+    if n < 0 or k_max < 0:
+        raise ValueError("binomial_row requires n >= 0 and k_max >= 0")
+    row = [1]
+    value = 1
+    for k in range(1, k_max + 1):
+        if k > n:
+            value = 0
+        else:
+            value = value * (n - k + 1) // k
+        row.append(value)
+    return row
+
+
+def falling_factorial(n: int, k: int) -> int:
+    """Return ``n * (n-1) * ... * (n-k+1)``; 1 when ``k == 0``."""
+    if k < 0:
+        raise ValueError("falling_factorial requires k >= 0")
+    result = 1
+    for i in range(k):
+        result *= n - i
+    return result
+
+
+def stars_side_counts(degrees: list[int], size: int) -> int:
+    """Count stars: the number of (1, size)-bicliques rooted on one side.
+
+    A (1, q)-biclique is a vertex together with ``q`` of its neighbors, so
+    the total is ``sum(C(d, q))`` over the side's degree sequence.
+    """
+    if size < 0:
+        raise ValueError("size must be non-negative")
+    return sum(binomial(d, size) for d in degrees)

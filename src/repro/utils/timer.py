@@ -1,0 +1,36 @@
+"""Tiny wall-clock timing helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["Stopwatch", "timed"]
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch; ``with sw: ...`` adds to ``sw.elapsed``."""
+
+    elapsed: float = 0.0
+    _start: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed += time.perf_counter() - self._start
+
+
+@contextmanager
+def timed(label: str, sink: "dict[str, float] | None" = None):
+    """Time a block; optionally record ``sink[label] = seconds``."""
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        seconds = time.perf_counter() - start
+        if sink is not None:
+            sink[label] = seconds

@@ -1,0 +1,63 @@
+"""Shared fixtures and graph builders for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph.bigraph import BipartiteGraph
+
+
+def random_bigraph(
+    rng: random.Random,
+    max_left: int = 7,
+    max_right: int = 7,
+    density: "float | None" = None,
+) -> BipartiteGraph:
+    """A random bipartite graph for oracle-based comparisons."""
+    n_left = rng.randint(1, max_left)
+    n_right = rng.randint(1, max_right)
+    if density is None:
+        density = rng.random()
+    edges = [
+        (u, v)
+        for u in range(n_left)
+        for v in range(n_right)
+        if rng.random() < density
+    ]
+    return BipartiteGraph(n_left, n_right, edges)
+
+
+def complete_bigraph(n_left: int, n_right: int) -> BipartiteGraph:
+    return BipartiteGraph(
+        n_left, n_right, [(u, v) for u in range(n_left) for v in range(n_right)]
+    )
+
+
+def path_bigraph(length: int) -> BipartiteGraph:
+    """A bipartite path u0-v0-u1-v1-...: no (2,2)-bicliques at all."""
+    edges = []
+    for i in range(length):
+        edges.append((i, i))
+        if i + 1 < (length + 1):
+            edges.append((i + 1, i))
+    n = length + 1
+    return BipartiteGraph(n, n, [(u, v) for u, v in edges if u <= length and v <= length])
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def small_example() -> BipartiteGraph:
+    """The running example of Fig. 2 (4 left, 4 right vertices)."""
+    edges = [
+        (0, 0), (0, 1), (0, 2),
+        (1, 0), (1, 1), (1, 2),
+        (2, 0), (2, 1), (2, 3),
+        (3, 0),
+    ]
+    return BipartiteGraph(4, 4, edges)

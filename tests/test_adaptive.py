@@ -1,0 +1,90 @@
+"""Tests for the adaptive (epsilon, delta) sampling estimator."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.brute import count_bicliques_brute
+from repro.core.adaptive import adaptive_count
+from repro.graph.bigraph import BipartiteGraph
+
+from .conftest import complete_bigraph
+
+
+@pytest.fixture(scope="module")
+def dense_graph():
+    r = random.Random(7)
+    return BipartiteGraph(
+        9, 9, [(u, v) for u in range(9) for v in range(9) if r.random() < 0.6]
+    )
+
+
+class TestAdaptiveCount:
+    @pytest.mark.parametrize("estimator", ["zigzag", "zigzag++"])
+    def test_estimate_accuracy(self, dense_graph, estimator):
+        exact = count_bicliques_brute(dense_graph, 3, 3)
+        result = adaptive_count(
+            dense_graph, 3, 3, delta=0.1, epsilon=0.1,
+            estimator=estimator, seed=3, max_samples=80_000,
+        )
+        assert result.estimate == pytest.approx(exact, rel=0.25)
+        assert result.samples_used <= 80_000
+
+    def test_interval_contains_truth_usually(self, dense_graph):
+        exact = count_bicliques_brute(dense_graph, 2, 3)
+        hits = 0
+        for seed in range(10):
+            result = adaptive_count(
+                dense_graph, 2, 3, delta=0.1, epsilon=0.1, seed=seed,
+                max_samples=40_000,
+            )
+            lo, hi = result.interval
+            hits += lo <= exact <= hi
+        assert hits >= 8  # Hoeffding intervals are conservative
+
+    def test_rounds_grow_geometrically(self, dense_graph):
+        result = adaptive_count(
+            dense_graph, 4, 4, delta=0.02, epsilon=0.05,
+            initial_samples=100, max_samples=3_000, seed=1,
+        )
+        sizes = [total for total, _ in result.rounds]
+        assert sizes == sorted(sizes)
+        assert sizes[-1] <= 3_000
+
+    def test_zero_count_detected_exactly(self):
+        # Disjoint edges: no (2,2)-bicliques, no level-1 zigzags in the
+        # neighborhoods -> exact zero with `satisfied`.
+        g = BipartiteGraph(4, 4, [(i, i) for i in range(4)])
+        result = adaptive_count(g, 2, 2, seed=1, initial_samples=10, max_samples=100)
+        assert result.estimate == 0.0
+        assert result.satisfied
+        assert result.half_width == 0.0
+
+    def test_hard_cap_reported(self, dense_graph):
+        result = adaptive_count(
+            dense_graph, 4, 4, delta=0.001, epsilon=0.001,
+            initial_samples=50, max_samples=200, seed=2,
+        )
+        assert result.samples_used == 200
+        assert not result.satisfied
+
+    def test_easy_target_satisfied(self):
+        g = complete_bigraph(6, 6)
+        result = adaptive_count(
+            g, 2, 2, delta=0.3, epsilon=0.3, seed=4, max_samples=50_000
+        )
+        assert result.satisfied
+
+    def test_validation(self, dense_graph):
+        with pytest.raises(ValueError):
+            adaptive_count(dense_graph, 1, 3)
+        with pytest.raises(ValueError):
+            adaptive_count(dense_graph, 2, 2, delta=0.0)
+        with pytest.raises(ValueError):
+            adaptive_count(dense_graph, 2, 2, epsilon=1.5)
+        with pytest.raises(ValueError):
+            adaptive_count(dense_graph, 2, 2, initial_samples=0)
+        with pytest.raises(ValueError):
+            adaptive_count(dense_graph, 2, 2, estimator="psa")

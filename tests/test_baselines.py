@@ -1,0 +1,162 @@
+"""Tests for the BC and PSA baselines and the brute-force oracle itself."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.bclist import EnumerationBudgetExceeded, bc_count, bc_enumerate
+from repro.baselines.brute import (
+    count_all_bicliques_brute,
+    count_bicliques_brute,
+    local_counts_brute,
+)
+from repro.baselines.psa import priority_sample_edges, psa_count
+from repro.graph.bigraph import BipartiteGraph
+
+from .conftest import complete_bigraph, random_bigraph
+
+
+class TestBruteOracle:
+    """The oracle itself is checked on closed-form graphs."""
+
+    def test_complete_graph_closed_form(self):
+        from math import comb
+
+        g = complete_bigraph(4, 5)
+        for p in range(1, 5):
+            for q in range(1, 6):
+                assert count_bicliques_brute(g, p, q) == comb(4, p) * comb(5, q)
+
+    def test_all_pairs_consistent_with_single(self, rng):
+        g = random_bigraph(rng, 5, 5)
+        table = count_all_bicliques_brute(g, 4, 4)
+        for p in range(1, 5):
+            for q in range(1, 5):
+                assert table[p, q] == count_bicliques_brute(g, p, q)
+
+    def test_local_counts_sum(self, rng):
+        g = random_bigraph(rng, 5, 5, density=0.6)
+        left, right = local_counts_brute(g, 2, 2)
+        total = count_bicliques_brute(g, 2, 2)
+        assert sum(left) == 2 * total
+        assert sum(right) == 2 * total
+
+    def test_invalid_pair(self):
+        with pytest.raises(ValueError):
+            count_bicliques_brute(complete_bigraph(2, 2), 0, 2)
+
+
+class TestBCCount:
+    def test_matches_brute(self, rng):
+        for _ in range(40):
+            g = random_bigraph(rng, 7, 7)
+            for p, q in [(1, 1), (2, 2), (3, 2), (2, 4), (3, 3)]:
+                assert bc_count(g, p, q) == count_bicliques_brute(g, p, q)
+
+    def test_swapped_anchor_side(self, rng):
+        # p > q triggers the side swap.
+        for _ in range(20):
+            g = random_bigraph(rng, 6, 6)
+            assert bc_count(g, 4, 2) == count_bicliques_brute(g, 4, 2)
+
+    def test_no_core(self, rng):
+        for _ in range(10):
+            g = random_bigraph(rng, 6, 6)
+            assert bc_count(g, 2, 2, use_core=False) == count_bicliques_brute(g, 2, 2)
+
+    def test_budget_exceeded(self):
+        g = complete_bigraph(8, 8)
+        with pytest.raises(EnumerationBudgetExceeded):
+            bc_count(g, 4, 4, budget=3)
+
+    def test_budget_sufficient(self):
+        g = complete_bigraph(3, 3)
+        assert bc_count(g, 2, 2, budget=10**6) == 9
+
+    def test_invalid_pair(self):
+        with pytest.raises(ValueError):
+            bc_count(complete_bigraph(2, 2), 0, 1)
+
+    def test_empty_after_core(self):
+        g = BipartiteGraph(3, 3, [(0, 0), (1, 1)])
+        assert bc_count(g, 2, 2) == 0
+
+
+class TestBCEnumerate:
+    def test_enumerates_exact_count(self, rng):
+        for _ in range(25):
+            g = random_bigraph(rng, 6, 6)
+            for p, q in [(2, 2), (1, 3), (3, 2)]:
+                instances = list(bc_enumerate(g, p, q))
+                assert len(instances) == count_bicliques_brute(g, p, q)
+
+    def test_instances_are_bicliques(self, rng):
+        g = random_bigraph(rng, 6, 6, density=0.6)
+        for left, right in bc_enumerate(g, 2, 2):
+            assert len(left) == 2 and len(right) == 2
+            for u in left:
+                for v in right:
+                    assert g.has_edge(u, v)
+
+    def test_no_duplicates(self, rng):
+        g = random_bigraph(rng, 6, 6, density=0.7)
+        instances = list(bc_enumerate(g, 2, 3))
+        assert len(instances) == len(set(instances))
+
+    def test_budget(self):
+        g = complete_bigraph(6, 6)
+        with pytest.raises(EnumerationBudgetExceeded):
+            list(bc_enumerate(g, 2, 2, budget=5))
+
+    def test_invalid_pair(self):
+        with pytest.raises(ValueError):
+            list(bc_enumerate(complete_bigraph(2, 2), 1, 0))
+
+
+class TestPrioritySampling:
+    def test_full_sample_keeps_everything(self, rng):
+        g = random_bigraph(rng, 6, 6, density=0.5)
+        kept, probs = priority_sample_edges(g, 10**6, seed=1)
+        assert set(kept) == set(g.edges())
+        assert all(p == 1.0 for p in probs.values())
+
+    def test_sample_size_respected(self, rng):
+        g = random_bigraph(rng, 7, 7, density=0.8)
+        if g.num_edges < 5:
+            return
+        kept, probs = priority_sample_edges(g, 5, seed=2)
+        assert len(kept) == 5
+        assert all(0 < p <= 1.0 for p in probs.values())
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            priority_sample_edges(complete_bigraph(2, 2), 0)
+
+    def test_empty_graph(self):
+        kept, probs = priority_sample_edges(BipartiteGraph(2, 2, []), 3, seed=1)
+        assert kept == [] and probs == {}
+
+
+class TestPSACount:
+    def test_full_sample_is_exact(self, rng):
+        for _ in range(10):
+            g = random_bigraph(rng, 6, 6, density=0.5)
+            exact = count_bicliques_brute(g, 2, 2)
+            assert psa_count(g, 2, 2, sample_size=10**6, seed=3) == pytest.approx(
+                float(exact)
+            )
+
+    def test_empty_graph(self):
+        assert psa_count(BipartiteGraph(2, 2, []), 2, 2, sample_size=5) == 0.0
+
+    def test_budget_propagates(self):
+        g = complete_bigraph(7, 7)
+        with pytest.raises(EnumerationBudgetExceeded):
+            psa_count(g, 2, 2, sample_size=10**6, seed=1, budget=3)
+
+    def test_deterministic_for_seed(self, rng):
+        g = random_bigraph(rng, 7, 7, density=0.7)
+        k = max(2, g.num_edges // 2)
+        assert psa_count(g, 2, 2, sample_size=k, seed=11) == psa_count(
+            g, 2, 2, sample_size=k, seed=11
+        )

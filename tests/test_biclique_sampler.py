@@ -1,0 +1,100 @@
+"""Tests for the exact uniform biclique sampler."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.baselines.bclist import bc_enumerate
+from repro.baselines.brute import count_bicliques_brute
+from repro.core.sampler import BicliqueSampler
+from repro.graph.bigraph import BipartiteGraph
+
+from .conftest import complete_bigraph, random_bigraph
+
+
+class TestSamplerBasics:
+    def test_count_matches_brute(self, rng):
+        for _ in range(25):
+            g = random_bigraph(rng, 6, 6)
+            for p, q in [(1, 1), (2, 2), (2, 3), (3, 2)]:
+                sampler = BicliqueSampler(g, p, q)
+                assert sampler.count == count_bicliques_brute(g, p, q)
+
+    def test_samples_are_valid_bicliques(self, rng):
+        g = random_bigraph(rng, 7, 7, density=0.6)
+        if count_bicliques_brute(g, 2, 2) == 0:
+            return
+        sampler = BicliqueSampler(g, 2, 2)
+        rand = np.random.default_rng(1)
+        for _ in range(200):
+            left, right = sampler.sample(rand)
+            assert len(left) == 2 and len(right) == 2
+            assert len(set(left)) == 2 and len(set(right)) == 2
+            for u in left:
+                for v in right:
+                    assert g.has_edge(u, v)
+
+    def test_empty_raises(self):
+        g = BipartiteGraph(2, 2, [(0, 0)])
+        sampler = BicliqueSampler(g, 2, 2)
+        assert sampler.count == 0
+        with pytest.raises(ValueError):
+            sampler.sample(seed=1)
+
+    def test_invalid_pair(self):
+        with pytest.raises(ValueError):
+            BicliqueSampler(complete_bigraph(2, 2), 0, 1)
+
+    def test_sample_many(self):
+        sampler = BicliqueSampler(complete_bigraph(3, 3), 2, 2)
+        draws = sampler.sample_many(50, seed=2)
+        assert len(draws) == 50
+        with pytest.raises(ValueError):
+            sampler.sample_many(-1)
+
+
+class TestUniformity:
+    def test_every_biclique_reachable(self):
+        # On a small graph, enough draws must hit every (2,2)-biclique.
+        g = BipartiteGraph(
+            5, 5, [(u, v) for u in range(5) for v in range(5) if (u * v) % 3 != 1]
+        )
+        universe = set(bc_enumerate(g, 2, 2))
+        sampler = BicliqueSampler(g, 2, 2)
+        assert sampler.count == len(universe)
+        rand = np.random.default_rng(3)
+        seen = {sampler.sample(rand) for _ in range(4000)}
+        assert seen == universe
+
+    def test_uniform_frequencies(self):
+        g = complete_bigraph(4, 4)
+        sampler = BicliqueSampler(g, 2, 2)
+        assert sampler.count == 36
+        rand = np.random.default_rng(4)
+        draws = 36_000
+        frequencies = Counter(sampler.sample(rand) for _ in range(draws))
+        assert len(frequencies) == 36
+        expected = draws / 36
+        for value in frequencies.values():
+            assert abs(value - expected) / expected < 0.15
+
+    def test_imbalanced_pair_uniform(self):
+        g = complete_bigraph(3, 5)
+        sampler = BicliqueSampler(g, 2, 3)
+        from math import comb
+
+        assert sampler.count == comb(3, 2) * comb(5, 3)
+        rand = np.random.default_rng(5)
+        seen = {sampler.sample(rand) for _ in range(5000)}
+        assert len(seen) == sampler.count
+
+    def test_original_labelling(self):
+        # Vertex ids in samples refer to the input graph's labels, even
+        # though the sampler reorders internally.
+        g = BipartiteGraph(3, 2, [(0, 0), (0, 1), (2, 0), (2, 1)])
+        sampler = BicliqueSampler(g, 2, 2)
+        assert sampler.count == 1
+        assert sampler.sample(seed=1) == ((0, 2), (0, 1))

@@ -1,0 +1,201 @@
+"""Tests for the BipartiteGraph container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.bigraph import LEFT, RIGHT, BipartiteGraph
+
+from .conftest import complete_bigraph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = BipartiteGraph(0, 0, [])
+        assert g.shape == (0, 0, 0)
+
+    def test_no_edges(self):
+        g = BipartiteGraph(3, 2, [])
+        assert g.num_edges == 0
+        assert g.degrees_left() == [0, 0, 0]
+        assert g.degrees_right() == [0, 0]
+
+    def test_duplicate_edges_collapse(self):
+        g = BipartiteGraph(2, 2, [(0, 0), (0, 0), (0, 0), (1, 1)])
+        assert g.num_edges == 2
+
+    def test_left_vertex_out_of_range(self):
+        with pytest.raises(ValueError, match="left vertex"):
+            BipartiteGraph(2, 2, [(2, 0)])
+
+    def test_right_vertex_out_of_range(self):
+        with pytest.raises(ValueError, match="right vertex"):
+            BipartiteGraph(2, 2, [(0, 5)])
+
+    def test_negative_vertex_rejected(self):
+        with pytest.raises(ValueError):
+            BipartiteGraph(2, 2, [(-1, 0)])
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            BipartiteGraph(-1, 2, [])
+
+    def test_repr_mentions_shape(self):
+        g = BipartiteGraph(2, 3, [(0, 0)])
+        assert "|U|=2" in repr(g) and "|V|=3" in repr(g) and "|E|=1" in repr(g)
+
+
+class TestAccessors:
+    def test_neighbors_sorted(self):
+        g = BipartiteGraph(1, 4, [(0, 3), (0, 1), (0, 2)])
+        assert g.neighbors_left(0) == (1, 2, 3)
+
+    def test_neighbors_right(self):
+        g = BipartiteGraph(3, 1, [(2, 0), (0, 0)])
+        assert g.neighbors_right(0) == (0, 2)
+
+    def test_generic_neighbors(self):
+        g = BipartiteGraph(2, 2, [(0, 1), (1, 1)])
+        assert g.neighbors(LEFT, 0) == (1,)
+        assert g.neighbors(RIGHT, 1) == (0, 1)
+
+    def test_generic_neighbors_bad_side(self):
+        g = BipartiteGraph(1, 1, [(0, 0)])
+        with pytest.raises(ValueError):
+            g.neighbors(2, 0)
+
+    def test_degrees(self):
+        g = complete_bigraph(2, 3)
+        assert g.degree_left(0) == 3
+        assert g.degree_right(2) == 2
+        assert g.degrees_left() == [3, 3]
+        assert g.degrees_right() == [2, 2, 2]
+
+    def test_has_edge(self):
+        g = BipartiteGraph(2, 3, [(0, 0), (0, 2), (1, 1)])
+        assert g.has_edge(0, 0)
+        assert g.has_edge(0, 2)
+        assert not g.has_edge(0, 1)
+        assert not g.has_edge(1, 2)
+
+    def test_edges_iteration_sorted(self):
+        g = BipartiteGraph(2, 2, [(1, 1), (0, 1), (1, 0), (0, 0)])
+        assert list(g.edges()) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+
+class TestOrderingNeighbors:
+    def test_higher_neighbors_of_right(self):
+        g = BipartiteGraph(4, 1, [(0, 0), (1, 0), (3, 0)])
+        assert g.higher_neighbors_of_right(0, 0) == (1, 3)
+        assert g.higher_neighbors_of_right(0, 1) == (3,)
+        assert g.higher_neighbors_of_right(0, 3) == ()
+
+    def test_higher_neighbors_of_left(self):
+        g = BipartiteGraph(1, 4, [(0, 0), (0, 2), (0, 3)])
+        assert g.higher_neighbors_of_left(0, 0) == (2, 3)
+        assert g.higher_neighbors_of_left(0, 2) == (3,)
+
+    def test_higher_neighbors_with_nonmember_reference(self):
+        # The reference vertex need not be a neighbor itself.
+        g = BipartiteGraph(4, 1, [(0, 0), (2, 0)])
+        assert g.higher_neighbors_of_right(0, 1) == (2,)
+
+
+class TestCommonNeighbors:
+    def test_common_of_left(self):
+        g = BipartiteGraph(3, 3, [(0, 0), (0, 1), (1, 1), (1, 2), (2, 1)])
+        assert g.common_neighbors_of_left([0, 1, 2]) == {1}
+
+    def test_common_of_right(self):
+        g = complete_bigraph(3, 2)
+        assert g.common_neighbors_of_right([0, 1]) == {0, 1, 2}
+
+    def test_common_of_empty_raises(self):
+        g = complete_bigraph(2, 2)
+        with pytest.raises(ValueError):
+            g.common_neighbors_of_left([])
+
+    def test_common_short_circuit(self):
+        g = BipartiteGraph(3, 2, [(0, 0), (1, 1), (2, 0), (2, 1)])
+        assert g.common_neighbors_of_left([0, 1]) == set()
+
+
+class TestDegreeOrdering:
+    def test_already_ordered(self):
+        g = BipartiteGraph(2, 2, [(1, 0), (1, 1)])
+        assert g.is_degree_ordered()
+
+    def test_not_ordered(self):
+        g = BipartiteGraph(2, 2, [(0, 0), (0, 1)])
+        assert not g.is_degree_ordered()
+
+    def test_degree_ordered_is_permutation(self, rng):
+        from .conftest import random_bigraph
+
+        for _ in range(25):
+            g = random_bigraph(rng)
+            ordered, left_map, right_map = g.degree_ordered()
+            assert sorted(left_map) == list(range(g.n_left))
+            assert sorted(right_map) == list(range(g.n_right))
+            assert ordered.num_edges == g.num_edges
+            assert ordered.is_degree_ordered()
+
+    def test_degree_ordered_preserves_adjacency(self):
+        g = BipartiteGraph(3, 3, [(0, 0), (0, 1), (0, 2), (1, 2)])
+        ordered, lmap, rmap = g.degree_ordered()
+        for u, v in g.edges():
+            assert ordered.has_edge(lmap[u], rmap[v])
+
+    def test_tie_break_by_id(self):
+        g = BipartiteGraph(3, 1, [(0, 0), (1, 0), (2, 0)])
+        _, left_map, _ = g.degree_ordered()
+        assert left_map == [0, 1, 2]
+
+
+class TestTransformations:
+    def test_swap_sides(self):
+        g = BipartiteGraph(2, 3, [(0, 2), (1, 0)])
+        s = g.swap_sides()
+        assert s.shape == (3, 2, 2)
+        assert s.has_edge(2, 0) and s.has_edge(0, 1)
+
+    def test_swap_twice_identity(self):
+        g = BipartiteGraph(2, 3, [(0, 2), (1, 0), (1, 1)])
+        assert g.swap_sides().swap_sides() == g
+
+    def test_induced_subgraph(self):
+        g = complete_bigraph(3, 3)
+        sub, left_ids, right_ids = g.induced_subgraph([0, 2], [1])
+        assert sub.shape == (2, 1, 2)
+        assert left_ids == [0, 2]
+        assert right_ids == [1]
+
+    def test_induced_subgraph_empty(self):
+        g = complete_bigraph(2, 2)
+        sub, _, _ = g.induced_subgraph([], [])
+        assert sub.shape == (0, 0, 0)
+
+    def test_induced_subgraph_dedupes_input(self):
+        g = complete_bigraph(2, 2)
+        sub, left_ids, _ = g.induced_subgraph([1, 1, 0], [0, 0])
+        assert left_ids == [0, 1]
+        assert sub.num_edges == 2
+
+
+class TestEquality:
+    def test_equal_graphs(self):
+        g1 = BipartiteGraph(2, 2, [(0, 0), (1, 1)])
+        g2 = BipartiteGraph(2, 2, [(1, 1), (0, 0)])
+        assert g1 == g2
+        assert hash(g1) == hash(g2)
+
+    def test_unequal_edges(self):
+        g1 = BipartiteGraph(2, 2, [(0, 0)])
+        g2 = BipartiteGraph(2, 2, [(0, 1)])
+        assert g1 != g2
+
+    def test_unequal_shape(self):
+        assert BipartiteGraph(1, 2, []) != BipartiteGraph(2, 1, [])
+
+    def test_not_equal_to_other_type(self):
+        assert BipartiteGraph(1, 1, []) != "graph"

@@ -1,0 +1,61 @@
+"""Tests for butterfly counting."""
+
+from __future__ import annotations
+
+from repro.baselines.brute import count_bicliques_brute
+from repro.graph.bigraph import BipartiteGraph
+from repro.graph.butterflies import butterflies_per_edge, butterfly_count
+
+from .conftest import complete_bigraph, random_bigraph
+
+
+class TestButterflyCount:
+    def test_single_butterfly(self):
+        g = complete_bigraph(2, 2)
+        assert butterfly_count(g) == 1
+
+    def test_complete_graph(self):
+        # C(4,2) * C(3,2) = 6 * 3 = 18
+        g = complete_bigraph(4, 3)
+        assert butterfly_count(g) == 18
+
+    def test_path_has_no_butterflies(self):
+        g = BipartiteGraph(3, 3, [(0, 0), (1, 0), (1, 1), (2, 1), (2, 2)])
+        assert butterfly_count(g) == 0
+
+    def test_empty_graph(self):
+        assert butterfly_count(BipartiteGraph(3, 3, [])) == 0
+
+    def test_matches_brute_force(self, rng):
+        for _ in range(40):
+            g = random_bigraph(rng)
+            assert butterfly_count(g) == count_bicliques_brute(g, 2, 2)
+
+    def test_side_symmetry(self, rng):
+        for _ in range(20):
+            g = random_bigraph(rng)
+            assert butterfly_count(g) == butterfly_count(g.swap_sides())
+
+
+class TestButterfliesPerEdge:
+    def test_single_butterfly_edges(self):
+        g = complete_bigraph(2, 2)
+        per_edge = butterflies_per_edge(g)
+        assert per_edge == {(0, 0): 1, (0, 1): 1, (1, 0): 1, (1, 1): 1}
+
+    def test_sum_identity(self, rng):
+        # Each butterfly contains exactly 4 edges.
+        for _ in range(30):
+            g = random_bigraph(rng)
+            per_edge = butterflies_per_edge(g)
+            assert sum(per_edge.values()) == 4 * butterfly_count(g)
+
+    def test_all_edges_present(self, rng):
+        for _ in range(10):
+            g = random_bigraph(rng)
+            per_edge = butterflies_per_edge(g)
+            assert set(per_edge) == set(g.edges())
+
+    def test_pendant_edge_zero(self):
+        g = BipartiteGraph(3, 3, [(0, 0), (0, 1), (1, 0), (1, 1), (2, 2)])
+        assert butterflies_per_edge(g)[(2, 2)] == 0

@@ -1,0 +1,111 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph.bigraph import BipartiteGraph
+from repro.graph.io import write_edge_list
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    g = BipartiteGraph(4, 4, [(u, v) for u in range(4) for v in range(4) if u <= v])
+    path = tmp_path / "g.txt"
+    write_edge_list(g, path)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_count_defaults(self):
+        args = build_parser().parse_args(["count", "--dataset", "Github"])
+        assert args.max_p == 10 and args.pivot == "product"
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "Github" in out and "DBLP" in out
+
+    def test_count_all(self, graph_file, capsys):
+        assert main(["count", "--input", graph_file, "--max-p", "3", "--max-q", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "p\\q" in out
+
+    def test_count_single(self, graph_file, capsys):
+        assert main(["count", "--input", graph_file, "-p", "2", "-q", "2"]) == 0
+        assert "C(2,2) = " in capsys.readouterr().out
+
+    def test_count_requires_both_pq(self, graph_file):
+        with pytest.raises(SystemExit):
+            main(["count", "--input", graph_file, "-p", "2"])
+
+    def test_estimate_zigzag(self, graph_file, capsys):
+        code = main(
+            [
+                "estimate", "--input", graph_file, "--algorithm", "zigzag",
+                "--h-max", "3", "--samples", "2000", "--seed", "1",
+            ]
+        )
+        assert code == 0
+        assert "p\\q" in capsys.readouterr().out
+
+    def test_estimate_hybrid(self, graph_file, capsys):
+        code = main(
+            [
+                "estimate", "--input", graph_file, "--algorithm", "hybrid++",
+                "--h-max", "3", "--samples", "2000", "--seed", "2",
+            ]
+        )
+        assert code == 0
+
+    def test_maximal(self, graph_file, capsys):
+        assert main(["maximal", "--input", graph_file]) == 0
+        assert "maximal bicliques" in capsys.readouterr().out
+
+    def test_hcc(self, graph_file, capsys):
+        assert main(["hcc", "--input", graph_file, "--h-max", "3"]) == 0
+        assert "hcc(2,2)" in capsys.readouterr().out
+
+    def test_densest_peeling(self, graph_file, capsys):
+        assert main(["densest", "--input", graph_file, "-p", "2", "-q", "2"]) == 0
+        assert "density" in capsys.readouterr().out
+
+    def test_densest_exact(self, graph_file, capsys):
+        code = main(
+            ["densest", "--input", graph_file, "-p", "2", "-q", "2", "--method", "exact"]
+        )
+        assert code == 0
+
+    def test_stats(self, graph_file, capsys):
+        assert main(["stats", "--input", graph_file]) == 0
+        out = capsys.readouterr().out
+        assert "degeneracy" in out and "num_components" in out
+
+    def test_partition(self, graph_file, capsys):
+        assert main(["partition", "--input", graph_file, "--quantile", "0.5"]) == 0
+        assert "sparse region" in capsys.readouterr().out
+
+    def test_adaptive(self, graph_file, capsys):
+        code = main(
+            [
+                "adaptive", "--input", graph_file, "-p", "2", "-q", "2",
+                "--seed", "1", "--max-samples", "3000",
+            ]
+        )
+        assert code == 0
+        assert "samples" in capsys.readouterr().out
+
+    def test_graph_required(self):
+        with pytest.raises(SystemExit):
+            main(["count"])
+
+    def test_both_sources_rejected(self, graph_file):
+        with pytest.raises(SystemExit):
+            main(["count", "--dataset", "Github", "--input", graph_file])

@@ -1,0 +1,120 @@
+"""Tests for the higher-order clustering coefficient application."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.clustering import hcc, hcc_profile, wedge_count
+from repro.baselines.brute import local_counts_brute
+from repro.graph.bigraph import BipartiteGraph
+
+from .conftest import complete_bigraph, random_bigraph
+
+
+def wedge_brute(g: BipartiteGraph, p: int, q: int) -> int:
+    """Reference wedge count straight from the paper's per-vertex formula."""
+    total = 0
+    left_local, _ = local_counts_brute(g, p, q - 1)
+    for u in range(g.n_left):
+        extra = g.degree_left(u) - (q - 1)
+        if extra > 0:
+            total += left_local[u] * extra
+    _, right_local = local_counts_brute(g, p - 1, q)
+    for v in range(g.n_right):
+        extra = g.degree_right(v) - (p - 1)
+        if extra > 0:
+            total += right_local[v] * extra
+    return total
+
+
+class TestWedgeCount:
+    def test_matches_reference(self, rng):
+        for _ in range(25):
+            g = random_bigraph(rng, 6, 6)
+            for p, q in [(2, 2), (2, 3), (3, 2)]:
+                assert wedge_count(g, p, q) == wedge_brute(g, p, q)
+
+    def test_complete_graph_wedges(self):
+        g = complete_bigraph(3, 3)
+        assert wedge_count(g, 2, 2) == wedge_brute(g, 2, 2)
+
+    def test_invalid_pair(self):
+        with pytest.raises(ValueError):
+            wedge_count(complete_bigraph(2, 2), 1, 2)
+
+    def test_no_wedges_in_single_edge(self):
+        g = BipartiteGraph(1, 1, [(0, 0)])
+        assert wedge_count(g, 2, 2) == 0
+
+
+class TestHcc:
+    def test_complete_graph_is_one(self):
+        # Every wedge of a complete bipartite graph closes.
+        for n in (3, 4, 5):
+            g = complete_bigraph(n, n)
+            for k in range(2, n):
+                assert hcc(g, k, k) == pytest.approx(1.0)
+
+    def test_no_bicliques_is_zero(self):
+        # A tree-like graph has wedges but no (2,2)-bicliques.
+        g = BipartiteGraph(3, 3, [(0, 0), (1, 0), (1, 1), (2, 1), (2, 2)])
+        assert hcc(g, 2, 2) == 0.0
+
+    def test_between_zero_and_one(self, rng):
+        for _ in range(20):
+            g = random_bigraph(rng, 6, 6)
+            value = hcc(g, 2, 2)
+            assert 0.0 <= value <= 1.0 + 1e-9
+
+    def test_no_wedges_returns_zero(self):
+        g = BipartiteGraph(1, 1, [(0, 0)])
+        assert hcc(g, 2, 2) == 0.0
+
+    def test_invalid_pair(self):
+        with pytest.raises(ValueError):
+            hcc(complete_bigraph(2, 2), 1, 1)
+
+    def test_formula_consistency(self, rng):
+        from repro.baselines.brute import count_bicliques_brute
+
+        for _ in range(10):
+            g = random_bigraph(rng, 6, 6, density=0.6)
+            w = wedge_brute(g, 2, 2)
+            c = count_bicliques_brute(g, 2, 2)
+            expected = (2 * 2 * 2 * c / w) if w else 0.0
+            assert hcc(g, 2, 2) == pytest.approx(expected)
+
+
+class TestHccProfile:
+    def test_profile_matches_pointwise(self, rng):
+        g = random_bigraph(rng, 7, 7, density=0.6)
+        profile = hcc_profile(g, 4)
+        for k in range(2, 5):
+            assert profile[k] == pytest.approx(hcc(g, k, k))
+
+    def test_profile_keys(self):
+        profile = hcc_profile(complete_bigraph(4, 4), 4)
+        assert sorted(profile) == [2, 3, 4]
+
+    def test_invalid_h_max(self):
+        with pytest.raises(ValueError):
+            hcc_profile(complete_bigraph(2, 2), 1)
+
+    def test_same_domain_similarity(self):
+        """Structurally similar generators give closer hcc profiles than a
+        structurally different one — the qualitative claim of Fig. 14."""
+        from repro.graph.generators import affiliation_bipartite, chung_lu_bipartite
+
+        def dist(a, b):
+            return sum((a[k] - b[k]) ** 2 for k in a) ** 0.5
+
+        auth1 = hcc_profile(
+            affiliation_bipartite(100, 400, mean_group_size=3.0, seed=1), 3
+        )
+        auth2 = hcc_profile(
+            affiliation_bipartite(100, 400, mean_group_size=3.0, seed=2), 3
+        )
+        rating = hcc_profile(
+            chung_lu_bipartite(100, 100, 500, exponent_left=2.0, seed=1), 3
+        )
+        assert dist(auth1, auth2) < dist(auth1, rating)

@@ -1,0 +1,94 @@
+"""Tests for the (α, β)-core reduction."""
+
+from __future__ import annotations
+
+from repro.baselines.brute import count_bicliques_brute
+from repro.graph.bigraph import BipartiteGraph
+from repro.graph.core_decomposition import alpha_beta_core, core_for_biclique
+
+from .conftest import complete_bigraph, random_bigraph
+
+
+class TestAlphaBetaCore:
+    def test_trivial_core_is_whole_graph(self):
+        g = complete_bigraph(3, 3)
+        core, left_ids, right_ids = alpha_beta_core(g, 0, 0)
+        assert core.shape == g.shape
+        assert left_ids == [0, 1, 2]
+        assert right_ids == [0, 1, 2]
+
+    def test_complete_graph_survives(self):
+        g = complete_bigraph(4, 3)
+        core, _, _ = alpha_beta_core(g, 3, 4)
+        assert core.shape == (4, 3, 12)
+
+    def test_too_strict_core_empty(self):
+        g = complete_bigraph(3, 3)
+        core, _, _ = alpha_beta_core(g, 4, 1)
+        assert core.shape == (0, 0, 0)
+
+    def test_pendant_removed(self):
+        # A K22 plus a pendant edge: the (2,2)-core drops the pendant.
+        g = BipartiteGraph(3, 3, [(0, 0), (0, 1), (1, 0), (1, 1), (2, 2)])
+        core, left_ids, right_ids = alpha_beta_core(g, 2, 2)
+        assert left_ids == [0, 1]
+        assert right_ids == [0, 1]
+        assert core.num_edges == 4
+
+    def test_cascading_removal(self):
+        # Removing a right vertex can make a left vertex fall below alpha.
+        g = BipartiteGraph(2, 3, [(0, 0), (0, 1), (1, 1), (1, 2)])
+        core, left_ids, _ = alpha_beta_core(g, 2, 2)
+        assert core.num_edges == 0
+
+    def test_degrees_satisfy_bounds(self, rng):
+        for _ in range(30):
+            g = random_bigraph(rng)
+            for alpha, beta in [(1, 1), (2, 1), (2, 2), (3, 2)]:
+                core, _, _ = alpha_beta_core(g, alpha, beta)
+                assert all(d >= alpha for d in core.degrees_left())
+                assert all(d >= beta for d in core.degrees_right())
+
+    def test_maximality(self, rng):
+        """No removed vertex could have survived: re-adding any single
+        removed vertex violates a degree bound somewhere."""
+        for _ in range(10):
+            g = random_bigraph(rng, 6, 6, density=0.4)
+            alpha, beta = 2, 2
+            core, left_ids, right_ids = alpha_beta_core(g, alpha, beta)
+            kept_left = set(left_ids)
+            kept_right = set(right_ids)
+            for u in range(g.n_left):
+                if u in kept_left:
+                    continue
+                # u's degree into the kept right side must be < alpha.
+                deg = sum(1 for v in g.neighbors_left(u) if v in kept_right)
+                assert deg < alpha
+
+    def test_negative_parameters_rejected(self):
+        g = complete_bigraph(2, 2)
+        import pytest
+
+        with pytest.raises(ValueError):
+            alpha_beta_core(g, -1, 0)
+
+
+class TestCoreForBiclique:
+    def test_preserves_biclique_counts(self, rng):
+        for _ in range(30):
+            g = random_bigraph(rng, 6, 6)
+            for p, q in [(2, 2), (2, 3), (3, 2)]:
+                core, _, _ = core_for_biclique(g, p, q)
+                before = count_bicliques_brute(g, p, q)
+                after = (
+                    count_bicliques_brute(core, p, q)
+                    if core.n_left >= p and core.n_right >= q
+                    else 0
+                )
+                assert before == after
+
+    def test_rejects_nonpositive(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            core_for_biclique(complete_bigraph(2, 2), 0, 1)

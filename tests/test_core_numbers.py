@@ -1,0 +1,96 @@
+"""Tests for the biclique-core decomposition."""
+
+from __future__ import annotations
+
+from repro.apps.core_numbers import biclique_core_numbers
+from repro.baselines.brute import count_bicliques_brute, local_counts_brute
+from repro.graph.bigraph import BipartiteGraph
+
+from .conftest import complete_bigraph, random_bigraph
+
+
+class TestKnownGraphs:
+    def test_complete_k33(self):
+        # Every vertex of K33 sits in C(2,1) * C(3,2) = 6 butterflies.
+        result = biclique_core_numbers(complete_bigraph(3, 3), 2, 2)
+        assert result.left_core == (6, 6, 6)
+        assert result.right_core == (6, 6, 6)
+        assert result.max_core == 6
+
+    def test_no_bicliques(self):
+        g = BipartiteGraph(2, 2, [(0, 0), (1, 1)])
+        result = biclique_core_numbers(g, 2, 2)
+        assert result.max_core == 0
+        assert result.innermost_left == ()
+
+    def test_core_plus_pendant(self):
+        # K33 plus a pendant edge: the pendant pair gets core 0.
+        edges = [(u, v) for u in range(3) for v in range(3)] + [(3, 3)]
+        g = BipartiteGraph(4, 4, edges)
+        result = biclique_core_numbers(g, 2, 2)
+        assert result.left_core[3] == 0
+        assert result.right_core[3] == 0
+        assert result.left_core[0] == 6
+        assert set(result.innermost_left) == {0, 1, 2}
+
+    def test_two_tier_graph(self):
+        # A K44 joined to a K22 through shared vertices peels in two tiers.
+        edges = [(u, v) for u in range(4) for v in range(4)]
+        edges += [(4, 4), (4, 5), (5, 4), (5, 5)]
+        g = BipartiteGraph(6, 6, edges)
+        result = biclique_core_numbers(g, 2, 2)
+        assert result.left_core[0] > result.left_core[4]
+        assert result.max_core == result.left_core[0]
+
+
+class TestInvariants:
+    def test_core_bounded_by_local_count(self, rng):
+        # core(v) <= local count of v in the whole graph.
+        for _ in range(10):
+            g = random_bigraph(rng, 6, 6, density=0.6)
+            left_local, right_local = local_counts_brute(g, 2, 2)
+            result = biclique_core_numbers(g, 2, 2)
+            for u in range(g.n_left):
+                assert result.left_core[u] <= left_local[u]
+            for v in range(g.n_right):
+                assert result.right_core[v] <= right_local[v]
+
+    def test_innermost_core_is_self_sustaining(self, rng):
+        # Inside the innermost core, every vertex participates in at least
+        # one biclique of the core.
+        for _ in range(10):
+            g = random_bigraph(rng, 6, 6, density=0.7)
+            result = biclique_core_numbers(g, 2, 2)
+            if not result.innermost_left:
+                continue
+            sub, _, _ = g.induced_subgraph(
+                result.innermost_left, result.innermost_right
+            )
+            left_local, right_local = local_counts_brute(sub, 2, 2)
+            assert all(c > 0 for c in left_local)
+            assert all(c > 0 for c in right_local)
+
+    def test_max_core_witnessed(self, rng):
+        # Some subgraph realises the max core: the vertices with core ==
+        # max_core all participate in >= max_core bicliques of their
+        # induced subgraph.
+        for _ in range(8):
+            g = random_bigraph(rng, 6, 6, density=0.7)
+            result = biclique_core_numbers(g, 2, 2)
+            k = result.max_core
+            if k == 0:
+                continue
+            left = result.left_vertices_with_core_at_least(k)
+            right = result.right_vertices_with_core_at_least(k)
+            sub, _, _ = g.induced_subgraph(left, right)
+            if sub.n_left < 2 or sub.n_right < 2:
+                continue
+            left_local, right_local = local_counts_brute(sub, 2, 2)
+            assert all(c >= k for c in left_local)
+            assert all(c >= k for c in right_local)
+
+    def test_validation(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            biclique_core_numbers(complete_bigraph(2, 2), 0, 2)

@@ -1,0 +1,121 @@
+"""Tests for the BicliqueCounts result container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.counts import BicliqueCounts
+
+
+class TestBasics:
+    def test_starts_at_zero(self):
+        c = BicliqueCounts(3, 3)
+        assert c[1, 1] == 0
+        assert c.total() == 0
+
+    def test_add_and_get(self):
+        c = BicliqueCounts(3, 3)
+        c.add(2, 3, 5)
+        c.add(2, 3, 2)
+        assert c[2, 3] == 7
+
+    def test_out_of_range_get_is_zero(self):
+        c = BicliqueCounts(2, 2)
+        assert c[5, 5] == 0
+        assert c[0, 1] == 0
+
+    def test_out_of_range_add_ignored(self):
+        c = BicliqueCounts(2, 2)
+        c.add(5, 5, 10)
+        assert c.total() == 0
+
+    def test_set_validates(self):
+        c = BicliqueCounts(2, 2)
+        with pytest.raises(IndexError):
+            c.set(3, 1, 1)
+        c.set(2, 2, 9)
+        assert c[2, 2] == 9
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            BicliqueCounts(0, 1)
+
+    def test_items_cover_all_cells(self):
+        c = BicliqueCounts(2, 3)
+        assert len(list(c.items())) == 6
+
+    def test_nonzero(self):
+        c = BicliqueCounts(2, 2)
+        c.add(1, 2, 4)
+        assert list(c.nonzero()) == [(1, 2, 4)]
+
+    def test_to_rows(self):
+        c = BicliqueCounts(2, 2)
+        c.add(1, 1, 1)
+        c.add(2, 2, 5)
+        assert c.to_rows() == [[1, 0], [0, 5]]
+
+    def test_repr(self):
+        c = BicliqueCounts(2, 2)
+        c.add(1, 1, 1)
+        assert "nonzero=1" in repr(c)
+
+
+class TestMergeAndCompare:
+    def test_merged_with(self):
+        a = BicliqueCounts(2, 2)
+        a.add(1, 1, 3)
+        b = BicliqueCounts(3, 3)
+        b.add(1, 1, 2)
+        b.add(3, 3, 7)
+        merged = a.merged_with(b)
+        assert merged[1, 1] == 5
+        assert merged[3, 3] == 7
+        assert merged.max_p == 3
+
+    def test_equality(self):
+        a = BicliqueCounts(2, 2)
+        b = BicliqueCounts(2, 2)
+        assert a == b
+        a.add(1, 1, 1)
+        assert a != b
+
+    def test_equality_other_type(self):
+        assert BicliqueCounts(1, 1) != 42
+
+
+class TestErrors:
+    def test_relative_error(self):
+        exact = BicliqueCounts(2, 2)
+        exact.add(1, 1, 10)
+        est = BicliqueCounts(2, 2)
+        est.add(1, 1, 12)
+        errors = est.relative_error(exact)
+        assert errors[(1, 1)] == pytest.approx(0.2)
+
+    def test_zero_reference_skipped(self):
+        exact = BicliqueCounts(2, 2)
+        est = BicliqueCounts(2, 2)
+        assert est.relative_error(exact) == {}
+
+    def test_zero_reference_nonzero_estimate_is_inf(self):
+        exact = BicliqueCounts(2, 2)
+        est = BicliqueCounts(2, 2)
+        est.add(1, 1, 1)
+        assert est.relative_error(exact)[(1, 1)] == float("inf")
+
+    def test_max_and_mean(self):
+        exact = BicliqueCounts(2, 2)
+        exact.add(1, 1, 10)
+        exact.add(2, 2, 100)
+        est = BicliqueCounts(2, 2)
+        est.add(1, 1, 11)
+        est.add(2, 2, 150)
+        assert est.max_relative_error(exact) == pytest.approx(0.5)
+        assert est.mean_relative_error(exact) == pytest.approx(0.3)
+
+    def test_error_defaults_when_empty(self):
+        exact = BicliqueCounts(2, 2)
+        est = BicliqueCounts(2, 2)
+        assert est.max_relative_error(exact) == 0.0
+        assert est.mean_relative_error(exact) == 0.0

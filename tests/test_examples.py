@@ -1,0 +1,40 @@
+"""Smoke tests: the example scripts run and print what they promise."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=280,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "C(2,2) = 5" in out
+        assert "maximal bicliques" in out
+
+    @pytest.mark.slow
+    def test_rating_network_analysis(self):
+        out = run_example("rating_network_analysis.py")
+        assert "EPivoter exact counts" in out
+        assert "densest (2,2) community" in out
+
+    @pytest.mark.slow
+    def test_sampling_tradeoffs(self):
+        out = run_example("sampling_tradeoffs.py")
+        assert "ZigZag++" in out and "EP/ZZ++" in out

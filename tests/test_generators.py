@@ -1,0 +1,164 @@
+"""Tests for the random graph generators and dataset registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.datasets import (
+    FIG14_DATASETS,
+    TABLE1_DATASETS,
+    available_datasets,
+    dataset_spec,
+    load_dataset,
+)
+from repro.graph.generators import (
+    affiliation_bipartite,
+    chung_lu_bipartite,
+    erdos_renyi_bipartite,
+    power_law_weights,
+)
+
+
+class TestErdosRenyi:
+    def test_prob_zero(self):
+        g = erdos_renyi_bipartite(10, 10, 0.0, seed=1)
+        assert g.num_edges == 0
+
+    def test_prob_one(self):
+        g = erdos_renyi_bipartite(5, 4, 1.0, seed=1)
+        assert g.num_edges == 20
+
+    def test_deterministic_for_seed(self):
+        g1 = erdos_renyi_bipartite(20, 20, 0.3, seed=42)
+        g2 = erdos_renyi_bipartite(20, 20, 0.3, seed=42)
+        assert g1 == g2
+
+    def test_different_seeds_differ(self):
+        g1 = erdos_renyi_bipartite(20, 20, 0.3, seed=1)
+        g2 = erdos_renyi_bipartite(20, 20, 0.3, seed=2)
+        assert g1 != g2
+
+    def test_edge_count_concentrates(self):
+        g = erdos_renyi_bipartite(50, 50, 0.2, seed=7)
+        expected = 50 * 50 * 0.2
+        assert 0.7 * expected < g.num_edges < 1.3 * expected
+
+    def test_invalid_prob(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_bipartite(2, 2, 1.5)
+
+    def test_empty_side(self):
+        assert erdos_renyi_bipartite(0, 5, 0.5, seed=1).num_edges == 0
+
+
+class TestPowerLawWeights:
+    def test_monotone_decreasing(self):
+        w = power_law_weights(100, 2.5)
+        assert all(w[i] >= w[i + 1] for i in range(99))
+
+    def test_first_weight_is_wmin(self):
+        w = power_law_weights(10, 2.0, w_min=3.0)
+        assert w[0] == pytest.approx(3.0)
+
+    def test_invalid_exponent(self):
+        with pytest.raises(ValueError):
+            power_law_weights(10, 1.0)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            power_law_weights(0, 2.0)
+
+
+class TestChungLu:
+    def test_edge_count_near_target(self):
+        g = chung_lu_bipartite(200, 200, 1000, seed=3)
+        assert 900 <= g.num_edges <= 1000
+
+    def test_deterministic(self):
+        g1 = chung_lu_bipartite(100, 100, 500, seed=11)
+        g2 = chung_lu_bipartite(100, 100, 500, seed=11)
+        assert g1 == g2
+
+    def test_skewed_degrees(self):
+        # Power-law weights concentrate edges on low-index vertices.
+        g = chung_lu_bipartite(300, 300, 2000, exponent_left=2.0, seed=5)
+        degrees = g.degrees_left()
+        top_share = sum(sorted(degrees, reverse=True)[:30]) / g.num_edges
+        assert top_share > 0.3
+
+    def test_zero_edges(self):
+        assert chung_lu_bipartite(10, 10, 0, seed=1).num_edges == 0
+
+    def test_target_above_max_possible(self):
+        g = chung_lu_bipartite(3, 3, 100, seed=1)
+        assert g.num_edges <= 9
+
+    def test_negative_target_rejected(self):
+        with pytest.raises(ValueError):
+            chung_lu_bipartite(2, 2, -1)
+
+
+class TestAffiliation:
+    def test_paper_sizes_bounded(self):
+        g = affiliation_bipartite(100, 200, mean_group_size=3.0, seed=9)
+        # Every right vertex ("paper") gets at least one author.
+        assert all(d >= 1 for d in g.degrees_right())
+
+    def test_group_size_mean(self):
+        g = affiliation_bipartite(200, 1000, mean_group_size=3.0, seed=10)
+        mean = sum(g.degrees_right()) / g.n_right
+        assert 2.0 < mean < 4.0
+
+    def test_deterministic(self):
+        g1 = affiliation_bipartite(50, 80, seed=2)
+        g2 = affiliation_bipartite(50, 80, seed=2)
+        assert g1 == g2
+
+    def test_invalid_group_size(self):
+        with pytest.raises(ValueError):
+            affiliation_bipartite(10, 10, mean_group_size=0.5)
+
+    def test_produces_bicliques(self):
+        # Repeated co-author sets should create (2,2)-bicliques.
+        from repro.graph.butterflies import butterfly_count
+
+        g = affiliation_bipartite(30, 300, mean_group_size=3.0, seed=4)
+        assert butterfly_count(g) > 0
+
+
+class TestDatasets:
+    def test_registry_lists_all(self):
+        names = available_datasets()
+        assert len(names) == len(TABLE1_DATASETS) + len(FIG14_DATASETS)
+        assert "Github" in names and "DBLP" in names
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            dataset_spec("nope")
+
+    def test_specs_preserve_paper_stats(self):
+        spec = dataset_spec("Twitter")
+        assert spec.paper_num_edges == 1_890_661
+
+    def test_load_matches_spec_sizes(self):
+        spec = dataset_spec("Github")
+        g = load_dataset("Github")
+        assert g.n_left == spec.n_left
+        assert g.n_right == spec.n_right
+        assert 0 < g.num_edges <= spec.num_edges
+
+    def test_load_deterministic(self):
+        assert load_dataset("Amazon") == load_dataset("Amazon")
+
+    def test_every_table1_dataset_builds(self):
+        for spec in TABLE1_DATASETS:
+            g = spec.build()
+            assert g.num_edges > 0
+
+    def test_fig14_domains(self):
+        domains = {spec.domain for spec in FIG14_DATASETS}
+        assert domains == {"rating", "membership", "actor-movie", "authorship"}
+        for domain in domains:
+            members = [s for s in FIG14_DATASETS if s.domain == domain]
+            assert len(members) == 3

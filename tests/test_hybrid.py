@@ -1,0 +1,178 @@
+"""Tests for the hybrid framework (Algorithm 9 + Section 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.epivoter import count_all
+from repro.core.hybrid import (
+    hybrid_count_all,
+    hybrid_count_single,
+    partition_graph,
+    vertex_weights,
+)
+from repro.graph.bigraph import BipartiteGraph
+
+from .conftest import complete_bigraph, random_bigraph
+
+
+def ordered(g):
+    return g.degree_ordered()[0]
+
+
+class TestVertexWeights:
+    def test_weights_match_definition(self, rng):
+        # w(u) = sum over v in N(u) of |N^{>u}(v)| * |N^{>v}(u)|.
+        for _ in range(30):
+            g = ordered(random_bigraph(rng))
+            weights = vertex_weights(g)
+            for u in range(g.n_left):
+                expected = 0
+                for v in g.neighbors_left(u):
+                    expected += len(g.higher_neighbors_of_right(v, u)) * len(
+                        g.higher_neighbors_of_left(u, v)
+                    )
+                assert weights[u] == expected
+
+    def test_isolated_vertex_zero(self):
+        g = BipartiteGraph(2, 2, [(1, 0), (1, 1)])
+        assert vertex_weights(g)[0] == 0
+
+    def test_weight_length(self, rng):
+        g = ordered(random_bigraph(rng))
+        assert len(vertex_weights(g)) == g.n_left
+
+
+class TestPartition:
+    def test_partition_disjoint_and_complete(self, rng):
+        for _ in range(20):
+            g = ordered(random_bigraph(rng))
+            sparse, dense, weights = partition_graph(g)
+            assert sparse | dense == set(range(g.n_left))
+            assert sparse & dense == set()
+
+    def test_explicit_tau(self):
+        g = ordered(complete_bigraph(4, 4))
+        sparse, dense, weights = partition_graph(g, tau=-1.0)
+        # Every weight > -1, so everything is dense... except zero-weight? no.
+        assert dense == {u for u in range(4) if weights[u] > -1.0}
+
+    def test_tau_infinite_all_sparse(self):
+        g = ordered(complete_bigraph(4, 4))
+        sparse, dense, _ = partition_graph(g, tau=float("inf"))
+        assert dense == set()
+        assert sparse == set(range(4))
+
+    def test_quantile_effect(self, rng):
+        g = ordered(random_bigraph(rng, 7, 7, density=0.6))
+        s_low, d_low, _ = partition_graph(g, quantile=0.1)
+        s_high, d_high, _ = partition_graph(g, quantile=0.95)
+        assert len(d_low) >= len(d_high)
+
+    def test_default_dense_region_small(self):
+        # With the default 0.9 quantile, most vertices land in the sparse
+        # region — the paper's Table 5 observation.
+        from repro.graph.datasets import load_dataset
+
+        g = ordered(load_dataset("Github"))
+        sparse, dense, _ = partition_graph(g)
+        assert len(sparse) > len(dense)
+
+
+class TestHybridCounting:
+    def setup_method(self):
+        import random
+
+        r = random.Random(123)
+        self.graph = ordered(
+            BipartiteGraph(
+                10,
+                10,
+                [(u, v) for u in range(10) for v in range(10) if r.random() < 0.5],
+            )
+        )
+        self.exact = count_all(self.graph, 5, 5)
+
+    @pytest.mark.parametrize("estimator", ["zigzag", "zigzag++"])
+    def test_accuracy(self, estimator):
+        est = hybrid_count_all(
+            self.graph, h_max=5, samples=40_000, seed=21, estimator=estimator
+        )
+        assert est.max_relative_error(self.exact) < 0.15
+
+    def test_all_sparse_is_exact(self):
+        est = hybrid_count_all(
+            self.graph, h_max=5, samples=10, seed=1, tau=float("inf")
+        )
+        for p in range(1, 6):
+            for q in range(1, 6):
+                assert est[p, q] == self.exact[p, q]
+
+    def test_all_dense_matches_pure_sampler(self):
+        from repro.core.zigzag import zigzag_count_all
+
+        est = hybrid_count_all(
+            self.graph, h_max=4, samples=5000, seed=33, tau=-1.0
+        )
+        pure = zigzag_count_all(self.graph, h_max=4, samples=5000, seed=33)
+        for p in range(1, 5):
+            for q in range(1, 5):
+                assert est[p, q] == pytest.approx(pure[p, q])
+
+    def test_invalid_estimator(self):
+        with pytest.raises(ValueError):
+            hybrid_count_all(self.graph, estimator="magic")
+
+    def test_star_cells_exact(self):
+        est = hybrid_count_all(self.graph, h_max=5, samples=1000, seed=7)
+        for q in range(1, 6):
+            assert est[1, q] == self.exact[1, q]
+            assert est[q, 1] == self.exact[q, 1]
+
+    def test_seed_reproducibility(self):
+        a = hybrid_count_all(self.graph, h_max=4, samples=2000, seed=9)
+        b = hybrid_count_all(self.graph, h_max=4, samples=2000, seed=9)
+        assert a == b
+
+    @pytest.mark.parametrize("estimator", ["zigzag", "zigzag++"])
+    def test_single_pair_accuracy(self, estimator):
+        for p, q in [(2, 2), (3, 4), (4, 3)]:
+            exact_value = self.exact[p, q]
+            est = hybrid_count_single(
+                self.graph, p, q, samples=40_000, seed=17, estimator=estimator
+            )
+            assert est == pytest.approx(exact_value, rel=0.15)
+
+    def test_single_pair_star_exact(self):
+        est = hybrid_count_single(self.graph, 1, 3, samples=10, seed=1)
+        assert est == self.exact[1, 3]
+
+    def test_single_pair_all_sparse_exact(self):
+        est = hybrid_count_single(
+            self.graph, 3, 3, samples=10, seed=1, tau=float("inf")
+        )
+        assert est == self.exact[3, 3]
+
+    def test_single_pair_validation(self):
+        with pytest.raises(ValueError):
+            hybrid_count_single(self.graph, 0, 2)
+        with pytest.raises(ValueError):
+            hybrid_count_single(self.graph, 2, 2, estimator="nope")
+
+    def test_hybrid_variance_not_worse(self):
+        """Hybrid replaces sampling noise with exact counting on the sparse
+        region, so across seeds its error should not exceed pure sampling's
+        by much (statistically it should be lower; allow slack)."""
+        from repro.core.zigzag import zigzagpp_count_all
+
+        exact = count_all(self.graph, 4, 4)
+        hybrid_err = []
+        pure_err = []
+        for seed in range(8):
+            h = hybrid_count_all(
+                self.graph, h_max=4, samples=800, seed=seed, estimator="zigzag++"
+            )
+            z = zigzagpp_count_all(self.graph, h_max=4, samples=800, seed=seed)
+            hybrid_err.append(h.mean_relative_error(exact))
+            pure_err.append(z.mean_relative_error(exact))
+        assert sum(hybrid_err) <= sum(pure_err) * 1.5

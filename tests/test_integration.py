@@ -1,0 +1,93 @@
+"""Integration tests: whole pipelines on the synthetic stand-in datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.clustering import hcc_profile
+from repro.apps.densest import peeling_densest
+from repro.baselines.bclist import bc_count
+from repro.core.epivoter import EPivoter, count_all
+from repro.core.hybrid import hybrid_count_all, partition_graph
+from repro.core.zigzag import zigzag_count_all, zigzagpp_count_all
+from repro.graph.butterflies import butterfly_count
+from repro.graph.datasets import load_dataset
+
+
+@pytest.fixture(scope="module")
+def github():
+    return load_dataset("Github")
+
+
+@pytest.fixture(scope="module")
+def github_exact(github):
+    return count_all(github, 6, 6)
+
+
+class TestDatasetPipeline:
+    def test_epivoter_vs_bc_on_dataset(self, github, github_exact):
+        for p, q in [(2, 2), (3, 3), (2, 4)]:
+            assert github_exact[p, q] == bc_count(github, p, q)
+
+    def test_butterflies_cross_check(self, github, github_exact):
+        assert github_exact[2, 2] == butterfly_count(github)
+
+    def test_single_equals_all_pairs_cell(self, github, github_exact):
+        engine = EPivoter(github)
+        for p, q in [(2, 3), (4, 4), (5, 2)]:
+            assert engine.count_single(p, q) == github_exact[p, q]
+
+    def test_sampling_accuracy_on_dataset(self, github, github_exact):
+        zz = zigzag_count_all(github, h_max=4, samples=30_000, seed=41)
+        zpp = zigzagpp_count_all(github, h_max=4, samples=30_000, seed=42)
+        exact4 = count_all(github, 4, 4)
+        assert zz.mean_relative_error(exact4) < 0.1
+        assert zpp.mean_relative_error(exact4) < 0.1
+
+    def test_hybrid_accuracy_on_dataset(self, github):
+        exact4 = count_all(github, 4, 4)
+        hy = hybrid_count_all(github, h_max=4, samples=30_000, seed=43)
+        assert hy.mean_relative_error(exact4) < 0.1
+
+    def test_partition_shape(self, github):
+        ordered = github.degree_ordered()[0]
+        sparse, dense, _ = partition_graph(ordered)
+        # Table 5's shape: sparse region is the bulk of the vertices but
+        # holds the minority of the butterflies.
+        assert len(sparse) > len(dense)
+        from repro.core.epivoter import EPivoter as EP
+
+        sparse_bf = EP(ordered).count_all(2, 2, left_region=sparse)[2, 2]
+        dense_bf = EP(ordered).count_all(2, 2, left_region=dense)[2, 2]
+        assert sparse_bf + dense_bf == butterfly_count(github)
+        assert dense_bf > sparse_bf
+
+    def test_hcc_profile_runs(self, github):
+        profile = hcc_profile(github, 4)
+        assert set(profile) == {2, 3, 4}
+        assert all(0.0 <= v <= 1.0 for v in profile.values())
+
+    def test_densest_on_small_dataset(self):
+        g = load_dataset("Github")
+        # Use a subgraph to keep peeling fast.
+        sub, _, _ = g.induced_subgraph(range(150), range(300))
+        result = peeling_densest(sub, 2, 2, recompute_every=10)
+        assert result.density > 0
+
+
+class TestCrossAlgorithmConsistency:
+    def test_three_exact_counters_agree(self, github):
+        engine = EPivoter(github)
+        for p, q in [(3, 2), (2, 5)]:
+            a = engine.count_single(p, q)
+            b = count_all(github, 5, 5)[p, q]
+            c = bc_count(github, p, q)
+            assert a == b == c
+
+    def test_all_estimators_close_to_each_other(self, github):
+        zz = zigzag_count_all(github, h_max=3, samples=20_000, seed=1)
+        zpp = zigzagpp_count_all(github, h_max=3, samples=20_000, seed=2)
+        for p in range(2, 4):
+            for q in range(2, 4):
+                if zz[p, q] or zpp[p, q]:
+                    assert zz[p, q] == pytest.approx(zpp[p, q], rel=0.2)

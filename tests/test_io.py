@@ -1,0 +1,89 @@
+"""Tests for edge-list I/O."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.bigraph import BipartiteGraph
+from repro.graph.io import parse_edge_list, read_edge_list, write_edge_list
+
+
+class TestParse:
+    def test_basic(self):
+        g, left, right = parse_edge_list("a x\nb y\na y\n")
+        assert g.shape == (2, 2, 3)
+        assert left == ["a", "b"]
+        assert right == ["x", "y"]
+
+    def test_comments_and_blank_lines(self):
+        text = "# header\n% konect style\n\na x\n"
+        g, _, _ = parse_edge_list(text)
+        assert g.num_edges == 1
+
+    def test_extra_columns_ignored(self):
+        g, _, _ = parse_edge_list("a x 1 1530000000\n")
+        assert g.num_edges == 1
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(ValueError, match="line 1"):
+            parse_edge_list("lonely\n")
+
+    def test_duplicate_edges_collapse(self):
+        g, _, _ = parse_edge_list("a x\na x\n")
+        assert g.num_edges == 1
+
+    def test_sides_have_separate_namespaces(self):
+        g, left, right = parse_edge_list("a a\n")
+        assert g.shape == (1, 1, 1)
+        assert left == ["a"] and right == ["a"]
+
+    def test_ids_assigned_in_first_seen_order(self):
+        _, left, right = parse_edge_list("b x\na y\n")
+        assert left == ["b", "a"]
+        assert right == ["x", "y"]
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        g = BipartiteGraph(3, 2, [(0, 0), (1, 1), (2, 0)])
+        path = tmp_path / "graph.txt"
+        write_edge_list(g, path)
+        loaded, _, _ = read_edge_list(path)
+        assert loaded.num_edges == g.num_edges
+        assert sorted(loaded.degrees_left()) == sorted(g.degrees_left())
+        assert sorted(loaded.degrees_right()) == sorted(g.degrees_right())
+
+    def test_write_with_labels(self, tmp_path):
+        g = BipartiteGraph(2, 1, [(0, 0), (1, 0)])
+        path = tmp_path / "labeled.txt"
+        write_edge_list(g, path, left_labels=["alice", "bob"], right_labels=["movie"])
+        text = path.read_text()
+        assert "alice movie" in text
+        assert "bob movie" in text
+
+    def test_header_comment_written(self, tmp_path):
+        g = BipartiteGraph(1, 1, [(0, 0)])
+        path = tmp_path / "hdr.txt"
+        write_edge_list(g, path)
+        assert path.read_text().startswith("# bipartite")
+
+    def test_roundtrip_preserves_structure_exactly(self, tmp_path, rng):
+        from .conftest import random_bigraph
+
+        for i in range(10):
+            g = random_bigraph(rng)
+            path = tmp_path / f"g{i}.txt"
+            write_edge_list(g, path)
+            loaded, left, right = read_edge_list(path)
+            # Labels are the original integer ids as strings.
+            relabeled = BipartiteGraph(
+                g.n_left,
+                g.n_right,
+                [
+                    (int(left[u]), int(right[v]))
+                    for u, v in loaded.edges()
+                ],
+            ) if loaded.num_edges else BipartiteGraph(g.n_left, g.n_right, [])
+            for u, v in relabeled.edges():
+                assert g.has_edge(u, v)
+            assert relabeled.num_edges == g.num_edges

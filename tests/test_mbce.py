@@ -1,0 +1,95 @@
+"""Tests for EPMBCE maximal biclique enumeration (Algorithm 1)."""
+
+from __future__ import annotations
+
+from repro.baselines.brute import enumerate_maximal_bicliques_brute
+from repro.core.mbce import enumerate_maximal_bicliques
+from repro.graph.bigraph import BipartiteGraph
+
+from .conftest import complete_bigraph, random_bigraph
+
+
+def brute_reference(g):
+    return {b for b in enumerate_maximal_bicliques_brute(g) if b[0] and b[1]}
+
+
+class TestKnownGraphs:
+    def test_complete_graph_single_maximal(self):
+        g = complete_bigraph(3, 4)
+        result = enumerate_maximal_bicliques(g)
+        assert result == [((0, 1, 2), (0, 1, 2, 3))]
+
+    def test_single_edge(self):
+        g = BipartiteGraph(1, 1, [(0, 0)])
+        assert enumerate_maximal_bicliques(g) == [((0,), (0,))]
+
+    def test_no_edges(self):
+        assert enumerate_maximal_bicliques(BipartiteGraph(2, 2, [])) == []
+
+    def test_disjoint_edges(self):
+        g = BipartiteGraph(2, 2, [(0, 0), (1, 1)])
+        assert enumerate_maximal_bicliques(g) == [((0,), (0,)), ((1,), (1,))]
+
+    def test_crown_graph(self):
+        # K33 minus a perfect matching: six maximal bicliques, each pairing
+        # one vertex with the two non-matched partners on the other side.
+        edges = [(u, v) for u in range(3) for v in range(3) if u != v]
+        g = BipartiteGraph(3, 3, edges)
+        result = set(enumerate_maximal_bicliques(g))
+        assert result == brute_reference(g)
+        assert len(result) == 6
+        assert all(len(left) + len(right) == 3 for left, right in result)
+
+    def test_fig2_running_example(self, small_example):
+        assert set(enumerate_maximal_bicliques(small_example)) == brute_reference(
+            small_example
+        )
+
+
+class TestRandomised:
+    def test_matches_brute(self, rng):
+        for _ in range(60):
+            g = random_bigraph(rng, 6, 6)
+            assert set(enumerate_maximal_bicliques(g)) == brute_reference(g)
+
+    def test_dense(self, rng):
+        for _ in range(15):
+            g = random_bigraph(rng, 6, 6, density=0.85)
+            assert set(enumerate_maximal_bicliques(g)) == brute_reference(g)
+
+    def test_every_result_is_maximal(self, rng):
+        for _ in range(20):
+            g = random_bigraph(rng, 7, 7)
+            for left, right in enumerate_maximal_bicliques(g):
+                common_r = g.common_neighbors_of_left(left)
+                assert common_r == set(right)
+                common_l = g.common_neighbors_of_right(right)
+                assert common_l == set(left)
+
+    def test_no_duplicates(self, rng):
+        for _ in range(20):
+            g = random_bigraph(rng)
+            result = enumerate_maximal_bicliques(g)
+            assert len(result) == len(set(result))
+
+    def test_side_swap_symmetry(self, rng):
+        for _ in range(15):
+            g = random_bigraph(rng, 5, 5)
+            direct = set(enumerate_maximal_bicliques(g))
+            swapped = {
+                (l, r)
+                for r, l in (
+                    (left, right)
+                    for left, right in enumerate_maximal_bicliques(g.swap_sides())
+                )
+            }
+            assert direct == swapped
+
+    def test_every_edge_covered(self, rng):
+        # Each edge belongs to at least one maximal biclique.
+        for _ in range(15):
+            g = random_bigraph(rng)
+            covered = set()
+            for left, right in enumerate_maximal_bicliques(g):
+                covered.update((u, v) for u in left for v in right)
+            assert covered == set(g.edges())

@@ -1,0 +1,123 @@
+"""Tests for graph statistics and projections."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.bigraph import BipartiteGraph
+from repro.graph.butterflies import butterfly_count
+from repro.graph.projection import (
+    butterflies_from_projection,
+    project_left,
+    project_right,
+)
+from repro.graph.statistics import (
+    bipartite_degeneracy,
+    connected_components,
+    degree_histogram,
+    summarize,
+)
+
+from .conftest import complete_bigraph, random_bigraph
+
+
+class TestDegreeHistogram:
+    def test_complete(self):
+        g = complete_bigraph(3, 4)
+        assert degree_histogram(g, "left") == {4: 3}
+        assert degree_histogram(g, "right") == {3: 4}
+
+    def test_invalid_side(self):
+        with pytest.raises(ValueError):
+            degree_histogram(complete_bigraph(1, 1), "middle")
+
+    def test_histogram_sums_to_side_size(self, rng):
+        for _ in range(10):
+            g = random_bigraph(rng)
+            assert sum(degree_histogram(g, "left").values()) == g.n_left
+
+
+class TestConnectedComponents:
+    def test_single_component(self):
+        g = complete_bigraph(2, 2)
+        assert connected_components(g) == [([0, 1], [0, 1])]
+
+    def test_two_components(self):
+        g = BipartiteGraph(2, 2, [(0, 0), (1, 1)])
+        assert connected_components(g) == [([0], [0]), ([1], [1])]
+
+    def test_isolated_vertices(self):
+        g = BipartiteGraph(2, 2, [(0, 0)])
+        comps = connected_components(g)
+        assert ([0], [0]) in comps
+        assert ([1], []) in comps
+        assert ([], [1]) in comps
+
+    def test_components_partition_vertices(self, rng):
+        for _ in range(15):
+            g = random_bigraph(rng)
+            comps = connected_components(g)
+            lefts = sorted(u for left, _ in comps for u in left)
+            rights = sorted(v for _, right in comps for v in right)
+            assert lefts == list(range(g.n_left))
+            assert rights == list(range(g.n_right))
+
+
+class TestDegeneracy:
+    def test_complete(self):
+        assert bipartite_degeneracy(complete_bigraph(3, 3)) == 3
+        assert bipartite_degeneracy(complete_bigraph(2, 5)) == 2
+
+    def test_star(self):
+        g = BipartiteGraph(1, 5, [(0, v) for v in range(5)])
+        assert bipartite_degeneracy(g) == 1
+
+    def test_empty(self):
+        assert bipartite_degeneracy(BipartiteGraph(2, 2, [])) == 0
+
+    def test_bounded_by_max_degree(self, rng):
+        for _ in range(15):
+            g = random_bigraph(rng)
+            dmax = max(
+                max(g.degrees_left(), default=0), max(g.degrees_right(), default=0)
+            )
+            assert 0 <= bipartite_degeneracy(g) <= dmax
+
+
+class TestSummary:
+    def test_complete_summary(self):
+        s = summarize(complete_bigraph(2, 3))
+        assert s.num_edges == 6
+        assert s.density == pytest.approx(1.0)
+        assert s.num_components == 1
+        assert s.degeneracy == 2
+        assert s.mean_degree_left == pytest.approx(3.0)
+
+    def test_empty_graph(self):
+        s = summarize(BipartiteGraph(0, 0, []))
+        assert s.density == 0.0 and s.num_components == 0
+
+
+class TestProjection:
+    def test_project_left_complete(self):
+        g = complete_bigraph(3, 2)
+        weights = project_left(g)
+        assert weights == {(0, 1): 2, (0, 2): 2, (1, 2): 2}
+
+    def test_project_right(self):
+        g = BipartiteGraph(1, 3, [(0, 0), (0, 1), (0, 2)])
+        assert project_right(g) == {(0, 1): 1, (0, 2): 1, (1, 2): 1}
+
+    def test_projection_weight_symmetry(self, rng):
+        # Total projected weight equals the number of wedges on each side.
+        for _ in range(10):
+            g = random_bigraph(rng)
+            from repro.utils.combinatorics import binomial
+
+            left_total = sum(project_left(g).values())
+            assert left_total == sum(binomial(d, 2) for d in g.degrees_right())
+
+    def test_butterfly_identity(self, rng):
+        for _ in range(25):
+            g = random_bigraph(rng)
+            assert butterflies_from_projection(g) == butterfly_count(g)
