@@ -27,6 +27,41 @@ SAMPLES = 2_000
 #: The Table 1 datasets, in the paper's order.
 DATASETS = ("Github", "StackOF", "Twitter", "IMDB", "Actor2", "Amazon", "DBLP")
 
+# Harness options, set once from the pytest command line by
+# benchmarks/conftest.py (see its pytest_addoption / pytest_configure).
+#: Worker processes for the parallel EPivoter columns (None = serial only).
+WORKERS: "int | None" = None
+#: Dataset subset selected with --datasets (None = all of DATASETS).
+_SELECTED: "tuple[str, ...] | None" = None
+#: False when --no-baselines skips the slow baseline columns.
+RUN_BASELINES = True
+
+
+def configure(
+    workers: "int | None" = None,
+    datasets: "str | None" = None,
+    baselines: bool = True,
+) -> None:
+    """Apply the pytest command-line options to the shared harness state."""
+    global WORKERS, _SELECTED, RUN_BASELINES
+    WORKERS = workers
+    RUN_BASELINES = baselines
+    if datasets is None:
+        _SELECTED = None
+    else:
+        chosen = tuple(name.strip() for name in datasets.split(",") if name.strip())
+        unknown = [name for name in chosen if name not in DATASETS]
+        if unknown:
+            raise ValueError(
+                f"unknown datasets {unknown}; available: {list(DATASETS)}"
+            )
+        _SELECTED = chosen
+
+
+def selected_datasets() -> "tuple[str, ...]":
+    """The datasets this run should cover (honours --datasets)."""
+    return DATASETS if _SELECTED is None else _SELECTED
+
 
 @lru_cache(maxsize=None)
 def graph(name: str) -> BipartiteGraph:

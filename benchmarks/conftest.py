@@ -5,3 +5,37 @@ from pathlib import Path
 
 # Allow `import common` from benchmark modules regardless of rootdir.
 sys.path.insert(0, str(Path(__file__).parent))
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("repro-benchmarks")
+    group.addoption(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the parallel EPivoter columns "
+        "(default: serial only; 0 = one per CPU)",
+    )
+    group.addoption(
+        "--datasets",
+        default=None,
+        help="comma-separated subset of Table 1 datasets to benchmark "
+        "(default: all)",
+    )
+    group.addoption(
+        "--no-baselines",
+        action="store_true",
+        default=False,
+        help="skip the slow baseline columns (BC sweeps etc.), keeping "
+        "only the EPivoter measurements — used by the CI smoke run",
+    )
+
+
+def pytest_configure(config):
+    import common
+
+    common.configure(
+        workers=config.getoption("--workers"),
+        datasets=config.getoption("--datasets"),
+        baselines=not config.getoption("--no-baselines"),
+    )

@@ -53,18 +53,22 @@ def _wedge_from_locals(
     return total
 
 
-def wedge_count(graph: BipartiteGraph, p: int, q: int) -> int:
+def wedge_count(
+    graph: BipartiteGraph, p: int, q: int, workers: "int | None" = None
+) -> int:
     """Exact (p, q)-wedge count ``W_{p,q}`` (requires ``p, q >= 2``)."""
     if p < 2 or q < 2:
         raise ValueError("wedges are defined for p, q >= 2")
     engine = EPivoter(graph)
-    locals_ = engine.count_local_many([(p, q - 1), (p - 1, q)])
+    locals_ = engine.count_local_many([(p, q - 1), (p - 1, q)], workers=workers)
     return _wedge_from_locals(
         engine.graph, p, q, locals_[(p, q - 1)], locals_[(p - 1, q)]
     )
 
 
-def hcc(graph: BipartiteGraph, p: int, q: int) -> float:
+def hcc(
+    graph: BipartiteGraph, p: int, q: int, workers: "int | None" = None
+) -> float:
     """The higher-order clustering coefficient ``hcc_{p,q}``.
 
     Returns 0 when the graph has no (p, q)-wedges.
@@ -72,7 +76,9 @@ def hcc(graph: BipartiteGraph, p: int, q: int) -> float:
     if p < 2 or q < 2:
         raise ValueError("hcc is defined for p, q >= 2")
     engine = EPivoter(graph)
-    locals_ = engine.count_local_many([(p, q), (p, q - 1), (p - 1, q)])
+    locals_ = engine.count_local_many(
+        [(p, q), (p, q - 1), (p - 1, q)], workers=workers
+    )
     left_pq = locals_[(p, q)][0]
     bicliques = sum(left_pq) // p
     wedges = _wedge_from_locals(
@@ -83,7 +89,9 @@ def hcc(graph: BipartiteGraph, p: int, q: int) -> float:
     return 2.0 * p * q * bicliques / wedges
 
 
-def hcc_profile(graph: BipartiteGraph, h_max: int = 9) -> dict[int, float]:
+def hcc_profile(
+    graph: BipartiteGraph, h_max: int = 9, workers: "int | None" = None
+) -> dict[int, float]:
     """``hcc_{k,k}`` for every ``2 <= k <= h_max`` in one EPivoter pass.
 
     This is the quantity plotted per dataset in Fig. 14 (the paper plots
@@ -95,7 +103,7 @@ def hcc_profile(graph: BipartiteGraph, h_max: int = 9) -> dict[int, float]:
     for k in range(2, h_max + 1):
         pairs.update({(k, k), (k, k - 1), (k - 1, k)})
     engine = EPivoter(graph)
-    locals_ = engine.count_local_many(sorted(pairs))
+    locals_ = engine.count_local_many(sorted(pairs), workers=workers)
     profile: dict[int, float] = {}
     for k in range(2, h_max + 1):
         bicliques = sum(locals_[(k, k)][0]) // k

@@ -8,13 +8,17 @@ Its cost is proportional to the number of left ``p``-sets with a large
 common neighborhood, which explodes for large ``p, q`` — exactly the
 behaviour the paper's Figures 4–5 contrast with EPivoter.
 
+Both walks use an explicit stack rather than Python recursion (children
+are pushed in reverse so nodes are visited in the same order the
+recursive formulation used), so large ``p`` never threatens the
+interpreter stack and no recursion-limit mutation is needed.
+
 :func:`bc_enumerate` additionally materialises every biclique, which is
 what PSA needs and what makes Table 2's "INF" rows happen at paper scale.
 """
 
 from __future__ import annotations
 
-import sys
 from itertools import combinations
 from typing import Iterator
 
@@ -23,8 +27,6 @@ from repro.graph.core_decomposition import core_for_biclique
 from repro.utils.combinatorics import binomial
 
 __all__ = ["bc_count", "bc_enumerate", "EnumerationBudgetExceeded"]
-
-_MIN_RECURSION_LIMIT = 100_000
 
 
 class EnumerationBudgetExceeded(RuntimeError):
@@ -50,14 +52,12 @@ def bc_count(
     """
     if p < 1 or q < 1:
         raise ValueError("p and q must be positive")
-    if sys.getrecursionlimit() < _MIN_RECURSION_LIMIT:
-        sys.setrecursionlimit(_MIN_RECURSION_LIMIT)
     work = graph
     if use_core:
         work, _, _ = core_for_biclique(graph, p, q)
         if work.num_edges == 0:
             return 0
-    # Anchor the recursion on the side with fewer required vertices: the
+    # Anchor the search on the side with fewer required vertices: the
     # baseline's standard optimisation of picking the cheaper side.
     if p > q:
         work = work.swap_sides()
@@ -67,36 +67,43 @@ def bc_count(
     total = 0
     visited = 0
 
-    def recurse(candidates: list[int], common: set[int], depth: int) -> None:
-        nonlocal total, visited
-        visited += 1
-        if budget is not None and visited > budget:
-            raise EnumerationBudgetExceeded(
-                f"BC exceeded its budget of {budget} search nodes"
-            )
-        if depth == p:
-            total += binomial(len(common), q)
-            return
-        remaining_needed = p - depth
-        for index, u in enumerate(candidates):
-            if len(candidates) - index < remaining_needed:
-                break
-            new_common = common & adj[u]
-            if len(new_common) < q:
-                continue
-            next_candidates = [
-                w for w in candidates[index + 1:]
-                if not new_common.isdisjoint(adj[w])
-            ]
-            recurse(next_candidates, new_common, depth + 1)
-
+    # Each frame is (candidates, common, depth); children are pushed in
+    # reverse candidate order so the DFS visits search nodes in the same
+    # order as the recursive formulation (the budget cuts at the same
+    # node).
+    stack: list[tuple[list[int], set[int], int]] = []
+    push = stack.append
     for u in range(ordered.n_left):
         if len(adj[u]) < q:
             continue
-        two_hop = set()
+        two_hop: set[int] = set()
         for v in ordered.neighbors_left(u):
             two_hop.update(ordered.higher_neighbors_of_right(v, u))
-        recurse(sorted(two_hop), set(adj[u]), 1)
+        push((sorted(two_hop), set(adj[u]), 1))
+        while stack:
+            candidates, common, depth = stack.pop()
+            visited += 1
+            if budget is not None and visited > budget:
+                raise EnumerationBudgetExceeded(
+                    f"BC exceeded its budget of {budget} search nodes"
+                )
+            if depth == p:
+                total += binomial(len(common), q)
+                continue
+            remaining_needed = p - depth
+            children: list[tuple[list[int], set[int], int]] = []
+            for index, w in enumerate(candidates):
+                if len(candidates) - index < remaining_needed:
+                    break
+                new_common = common & adj[w]
+                if len(new_common) < q:
+                    continue
+                next_candidates = [
+                    x for x in candidates[index + 1:]
+                    if not new_common.isdisjoint(adj[x])
+                ]
+                children.append((next_candidates, new_common, depth + 1))
+            stack.extend(reversed(children))
     return total
 
 
@@ -115,35 +122,37 @@ def bc_enumerate(
     """
     if p < 1 or q < 1:
         raise ValueError("p and q must be positive")
-    if sys.getrecursionlimit() < _MIN_RECURSION_LIMIT:
-        sys.setrecursionlimit(_MIN_RECURSION_LIMIT)
     adj = [set(graph.neighbors_left(u)) for u in range(graph.n_left)]
     yielded = 0
 
-    def recurse(left: list[int], candidates: list[int], common: set[int]):
-        nonlocal yielded
-        if len(left) == p:
-            for right in combinations(sorted(common), q):
-                yielded += 1
-                if budget is not None and yielded > budget:
-                    raise EnumerationBudgetExceeded(
-                        f"enumeration exceeded {budget} instances"
-                    )
-                yield tuple(left), right
-            return
-        needed = p - len(left)
-        for index, u in enumerate(candidates):
-            if len(candidates) - index < needed:
-                break
-            new_common = common & adj[u]
-            if len(new_common) < q:
-                continue
-            yield from recurse(
-                left + [u], candidates[index + 1:], new_common
-            )
-
+    # Each frame is (left, candidates, common); reverse pushes keep the
+    # yield order identical to the recursive formulation.
+    stack: list[tuple[list[int], list[int], set[int]]] = []
+    push = stack.append
     for u in range(graph.n_left):
         if len(adj[u]) < q:
             continue
-        candidates = [w for w in range(u + 1, graph.n_left) if adj[w]]
-        yield from recurse([u], candidates, set(adj[u]))
+        push(([u], [w for w in range(u + 1, graph.n_left) if adj[w]], set(adj[u])))
+        while stack:
+            left, candidates, common = stack.pop()
+            if len(left) == p:
+                for right in combinations(sorted(common), q):
+                    yielded += 1
+                    if budget is not None and yielded > budget:
+                        raise EnumerationBudgetExceeded(
+                            f"enumeration exceeded {budget} instances"
+                        )
+                    yield tuple(left), right
+                continue
+            needed = p - len(left)
+            children: list[tuple[list[int], list[int], set[int]]] = []
+            for index, w in enumerate(candidates):
+                if len(candidates) - index < needed:
+                    break
+                new_common = common & adj[w]
+                if len(new_common) < q:
+                    continue
+                children.append(
+                    (left + [w], candidates[index + 1:], new_common)
+                )
+            stack.extend(reversed(children))

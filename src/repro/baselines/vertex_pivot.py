@@ -13,6 +13,11 @@ set against the left side.  We implement the classic iMBEA skeleton
 * expanding with ``v`` replaces ``L`` by ``L ∩ N(v)`` and closes ``R`` to
   every candidate whose neighborhood already contains the new ``L``.
 
+The set-enumeration tree is walked with an explicit stack of expansion
+states instead of Python recursion, so nesting depth (bounded by the
+right side size, e.g. on crown graphs) never threatens the interpreter
+stack and no recursion-limit mutation is needed.
+
 It serves two purposes: a correctness cross-check for EPMBCE, and the
 baseline of the §3 discussion that vertex pivots cannot drive EPivoter's
 counting (they only encode one side).
@@ -20,15 +25,11 @@ counting (they only encode one side).
 
 from __future__ import annotations
 
-import sys
-
 from repro.graph.bigraph import BipartiteGraph
 
 __all__ = ["enumerate_maximal_bicliques_vertex"]
 
 Biclique = tuple[tuple[int, ...], tuple[int, ...]]
-
-_MIN_RECURSION_LIMIT = 100_000
 
 
 def enumerate_maximal_bicliques_vertex(graph: BipartiteGraph) -> list[Biclique]:
@@ -36,17 +37,19 @@ def enumerate_maximal_bicliques_vertex(graph: BipartiteGraph) -> list[Biclique]:
 
     Output matches :func:`repro.core.mbce.enumerate_maximal_bicliques`.
     """
-    if sys.getrecursionlimit() < _MIN_RECURSION_LIMIT:
-        sys.setrecursionlimit(_MIN_RECURSION_LIMIT)
     adj_right = [set(graph.neighbors_right(v)) for v in range(graph.n_right)]
     found: list[Biclique] = []
 
-    def expand(
-        left: set[int],
-        right: set[int],
-        candidates: list[int],
-        excluded: list[int],
-    ) -> None:
+    # Each frame is (left, right, candidates, excluded): one suspended
+    # expansion loop of the recursive formulation.  A frame drains its own
+    # candidate list; nested expansions are pushed as fresh frames.
+    initial = [v for v in range(graph.n_right) if adj_right[v]]
+    stack: list[tuple[set[int], set[int], list[int], list[int]]] = [
+        (set(), set(), initial, [])
+    ]
+    push = stack.append
+    while stack:
+        left, right, candidates, excluded = stack.pop()
         while candidates:
             v = candidates.pop()
             new_left = left & adj_right[v] if right or left else set(adj_right[v])
@@ -74,11 +77,8 @@ def enumerate_maximal_bicliques_vertex(graph: BipartiteGraph) -> list[Biclique]:
                     (tuple(sorted(new_left)), tuple(sorted(new_right)))
                 )
                 if rest_candidates:
-                    expand(new_left, new_right, list(rest_candidates), list(rest_excluded))
+                    push((new_left, new_right, list(rest_candidates), list(rest_excluded)))
             excluded = excluded + [v]
-
-    initial = [v for v in range(graph.n_right) if adj_right[v]]
-    expand(set(), set(), initial, [])
     # The scheme can reach the same closed pair through different orders on
     # graphs with twin vertices; deduplicate to present a clean result.
     return sorted(set(found))

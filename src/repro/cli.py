@@ -76,6 +76,10 @@ def build_parser() -> argparse.ArgumentParser:
     count.add_argument("--max-p", type=int, default=10)
     count.add_argument("--max-q", type=int, default=10)
     count.add_argument("--pivot", choices=["product", "exact"], default="product")
+    count.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for exact counting (0 = one per CPU)",
+    )
 
     estimate = sub.add_parser("estimate", help="sampling estimates")
     _add_graph_arguments(estimate)
@@ -87,6 +91,10 @@ def build_parser() -> argparse.ArgumentParser:
     estimate.add_argument("--h-max", type=int, default=10)
     estimate.add_argument("--samples", type=int, default=100_000)
     estimate.add_argument("--seed", type=int, default=None)
+    estimate.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for the hybrid exact pass (0 = one per CPU)",
+    )
 
     maximal = sub.add_parser("maximal", help="enumerate maximal bicliques")
     _add_graph_arguments(maximal)
@@ -95,6 +103,10 @@ def build_parser() -> argparse.ArgumentParser:
     hcc_cmd = sub.add_parser("hcc", help="clustering coefficient profile")
     _add_graph_arguments(hcc_cmd)
     hcc_cmd.add_argument("--h-max", type=int, default=6)
+    hcc_cmd.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for local counting (0 = one per CPU)",
+    )
 
     densest = sub.add_parser("densest", help="densest subgraph")
     _add_graph_arguments(densest)
@@ -149,10 +161,10 @@ def main(argv: "list[str] | None" = None) -> int:
         if (args.p is None) != (args.q is None):
             raise SystemExit("-p and -q must be given together")
         if args.p is not None:
-            value = engine.count_single(args.p, args.q)
+            value = engine.count_single(args.p, args.q, workers=args.workers)
             print(f"C({args.p},{args.q}) = {value}", file=out)
         else:
-            counts = engine.count_all(args.max_p, args.max_q)
+            counts = engine.count_all(args.max_p, args.max_q, workers=args.workers)
             _print_counts(counts, args.max_p, args.max_q, out)
     elif args.command == "estimate":
         if args.algorithm == "zigzag":
@@ -162,7 +174,8 @@ def main(argv: "list[str] | None" = None) -> int:
         else:
             estimator = "zigzag" if args.algorithm == "hybrid" else "zigzag++"
             counts = hybrid_count_all(
-                graph, args.h_max, args.samples, args.seed, estimator=estimator
+                graph, args.h_max, args.samples, args.seed,
+                estimator=estimator, workers=args.workers,
             )
         _print_counts(counts, args.h_max, args.h_max, out)
     elif args.command == "maximal":
@@ -173,7 +186,7 @@ def main(argv: "list[str] | None" = None) -> int:
         if len(bicliques) > args.limit:
             print(f"  ... ({len(bicliques) - args.limit} more)", file=out)
     elif args.command == "hcc":
-        profile = hcc_profile(graph, args.h_max)
+        profile = hcc_profile(graph, args.h_max, workers=args.workers)
         for k, value in sorted(profile.items()):
             print(f"hcc({k},{k}) = {value:.6f}", file=out)
     elif args.command == "densest":

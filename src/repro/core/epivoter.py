@@ -3,7 +3,7 @@
 The algorithm roots one search at every edge ``e(u, v)`` of the
 degree-ordered graph — the lexicographically smallest edge of every
 biclique it is responsible for — and explores the edge-pivot enumeration
-tree of Algorithm 2.  Each recursion node carries six sets:
+tree of Algorithm 2.  Each tree node carries six sets:
 
 * ``C_l, C_r`` — candidates, every one adjacent to the whole opposite
   partial biclique;
@@ -17,27 +17,49 @@ is how EPivoter counts without enumerating (Section 3.3).  The six cases
 of Theorem 3.4 map onto: the pivot branch (cases 1–4), the non-neighbor
 edge branches (case 6), and the one-sided candidate loops (case 5).
 
+The tree is walked with an **explicit stack**, not Python recursion, so
+the engine never mutates the interpreter recursion limit and arbitrarily deep
+enumeration trees (large near-complete blocks) run within CPython's
+default limits.  Because each root's subtree is independent and every
+biclique is counted under exactly one root (Theorem 3.5), root edges can
+also be fanned out over worker processes: pass ``workers=N`` to any entry
+point and the partial results are merged exactly (integer cells stay
+Python integers).
+
 Counts are exact Python integers.
 """
 
 from __future__ import annotations
 
-import sys
 from typing import Callable
 
 from repro.core.counts import BicliqueCounts
 from repro.graph.bigraph import BipartiteGraph
 from repro.graph.core_decomposition import core_for_biclique
 from repro.utils.combinatorics import binomial
+from repro.utils.parallel import (
+    CHUNKS_PER_WORKER,
+    chunk_root_edges,
+    merge_counts,
+    merge_local_counts,
+    resolve_workers,
+    run_chunked,
+)
 
 __all__ = ["EPivoter", "count_all", "count_single", "count_local"]
-
-_MIN_RECURSION_LIMIT = 100_000
 
 # A leaf contribution: (free_l, fixed_l, free_r, fixed_r, multiplier).
 # It represents `multiplier * C(free_l, p - fixed_l) * C(free_r, q - fixed_r)`
 # bicliques for every (p, q).
 LeafVisitor = Callable[[list[int], list[int], list[int], list[int], int, int], None]
+
+# Size-prune bounds for a single traversal, as (max_p, max_q, min_p, min_q).
+# A branch is cut when its held set already exceeds every requested p (or
+# q), or when it can no longer reach the smallest requested p (or q).
+# ``None`` disables pruning (all-pairs counting).  Bounds are passed per
+# traversal — the engine itself holds no mutable counting state, so a
+# failed or targeted call can never poison a later one.
+Bounds = "tuple[int, int, int, int] | None"
 
 
 class EPivoter:
@@ -53,6 +75,11 @@ class EPivoter:
         ``d_{G'}(u) * d_{G'}(v)``, a cheap surrogate for the paper's exact
         ``|N(e, G')|``; ``"exact"`` computes the paper's criterion.
         Correctness does not depend on the choice, only tree size.
+
+    All counting entry points accept ``workers``: ``None``/``1`` run
+    serially in-process, ``N > 1`` fan the root edges out over ``N``
+    worker processes (``0`` = one per CPU).  Parallel results equal the
+    serial ones cell-for-cell.
     """
 
     def __init__(self, graph: BipartiteGraph, pivot: str = "product"):
@@ -66,14 +93,6 @@ class EPivoter:
         g = self.graph
         self._adj_left = [set(g.neighbors_left(u)) for u in range(g.n_left)]
         self._adj_right = [set(g.neighbors_right(v)) for v in range(g.n_right)]
-        # Size-prune bounds for targeted traversals; disabled (None) for
-        # all-pairs counting.  A branch is cut when its held set already
-        # exceeds every requested p (or q), or when it can no longer reach
-        # the smallest requested p (or q).
-        self._prune_max_p: "int | None" = None
-        self._prune_max_q: "int | None" = None
-        self._prune_min_p: int = 1
-        self._prune_min_q: int = 1
 
     # ------------------------------------------------------------------
     # Public entry points
@@ -84,6 +103,7 @@ class EPivoter:
         max_p: "int | None" = None,
         max_q: "int | None" = None,
         left_region: "set[int] | None" = None,
+        workers: "int | None" = None,
     ) -> BicliqueCounts:
         """Count (p, q)-bicliques for **all** pairs with ``p, q >= 1``.
 
@@ -94,37 +114,40 @@ class EPivoter:
         ``left_region`` restricts the roots to edges whose left endpoint
         lies in the region, i.e. counts only the bicliques whose minimal
         left vertex (degree ordering) is in the region — the attribution
-        rule of the hybrid algorithm (Section 5).
+        rule of the hybrid algorithm (Section 5).  Root-edge attribution
+        is also what makes ``workers`` sound: each process owns a chunk of
+        roots, and no biclique is counted under two roots.
         """
-        g = self.graph
         if max_p is None:
             max_p = max((len(s) for s in self._adj_right), default=1)
         if max_q is None:
             max_q = max((len(s) for s in self._adj_left), default=1)
         max_p = max(1, max_p)
         max_q = max(1, max_q)
+
+        n_workers = resolve_workers(workers)
+        if n_workers > 1:
+            chunks = self._root_chunks(n_workers, left_region)
+            if len(chunks) > 1:
+                payloads = [
+                    (self.graph, self.pivot, max_p, max_q, chunk)
+                    for chunk in chunks
+                ]
+                return merge_counts(
+                    run_chunked(_count_all_chunk, payloads, n_workers)
+                )
+
         counts = BicliqueCounts(max_p, max_q)
-
-        def visit(free_l: int, fixed_l: int, free_r: int, fixed_r: int, multiplier: int) -> None:
-            for a in range(0, min(free_l, max_p - fixed_l) + 1):
-                left_ways = binomial(free_l, a) * multiplier
-                if not left_ways:
-                    continue
-                row = fixed_l + a
-                if row < 1:
-                    continue
-                for b in range(0, min(free_r, max_q - fixed_r) + 1):
-                    col = fixed_r + b
-                    if col < 1:
-                        continue
-                    counts.add(row, col, left_ways * binomial(free_r, b))
-
-        self._prune_max_p = None
-        self._prune_max_q = None
-        self._run(visit, left_region)
+        self._run(_matrix_visitor(counts, max_p, max_q), left_region=left_region)
         return counts
 
-    def count_single(self, p: int, q: int, use_core: bool = True) -> int:
+    def count_single(
+        self,
+        p: int,
+        q: int,
+        use_core: bool = True,
+        workers: "int | None" = None,
+    ) -> int:
         """Count (p, q)-bicliques for one pair, with the §3.3 pruning.
 
         ``use_core`` first shrinks the graph to its (q, p)-core, which is
@@ -138,6 +161,16 @@ class EPivoter:
             if core.num_edges == 0:
                 return 0
             engine = EPivoter(core, pivot=self.pivot)
+
+        n_workers = resolve_workers(workers)
+        if n_workers > 1:
+            chunks = engine._root_chunks(n_workers, None)
+            if len(chunks) > 1:
+                payloads = [
+                    (engine.graph, engine.pivot, p, q, chunk) for chunk in chunks
+                ]
+                return sum(run_chunked(_count_single_chunk, payloads, n_workers))
+
         total = 0
 
         def visit(free_l: int, fixed_l: int, free_r: int, fixed_r: int, multiplier: int) -> None:
@@ -148,25 +181,25 @@ class EPivoter:
                 * binomial(free_r, q - fixed_r)
             )
 
-        engine._prune_max_p = p
-        engine._prune_max_q = q
-        engine._prune_min_p = p
-        engine._prune_min_q = q
-        engine._run(visit)
+        engine._run(visit, bounds=(p, q, p, q))
         return total
 
-    def count_local(self, p: int, q: int) -> tuple[list[int], list[int]]:
+    def count_local(
+        self, p: int, q: int, workers: "int | None" = None
+    ) -> tuple[list[int], list[int]]:
         """Per-vertex (p, q)-biclique counts (Section 6).
 
         Returns ``(left_counts, right_counts)`` in the *engine's* (degree-
         ordered) labelling: ``left_counts[u]`` is the number of (p, q)-
         bicliques containing left vertex ``u``.
         """
-        result = self.count_local_many([(p, q)])
+        result = self.count_local_many([(p, q)], workers=workers)
         return result[(p, q)]
 
     def count_local_many(
-        self, pairs: "list[tuple[int, int]]"
+        self,
+        pairs: "list[tuple[int, int]]",
+        workers: "int | None" = None,
     ) -> dict[tuple[int, int], tuple[list[int], list[int]]]:
         """Per-vertex counts for several (p, q) pairs in one traversal.
 
@@ -178,167 +211,162 @@ class EPivoter:
             raise ValueError("pairs must be non-empty")
         if any(p < 1 or q < 1 for p, q in pairs):
             raise ValueError("p and q must be positive")
+
+        n_workers = resolve_workers(workers)
+        if n_workers > 1:
+            chunks = self._root_chunks(n_workers, None)
+            if len(chunks) > 1:
+                payloads = [
+                    (self.graph, self.pivot, tuple(pairs), chunk)
+                    for chunk in chunks
+                ]
+                return merge_local_counts(
+                    run_chunked(_count_local_chunk, payloads, n_workers)
+                )
+
         g = self.graph
         result = {
             pair: ([0] * g.n_left, [0] * g.n_right) for pair in pairs
         }
-
-        # Local counting needs vertex identities, so it uses the set-level
-        # traversal rather than the size-level visitor.
-        def on_leaf_sets(free_l, fixed_l, free_r, fixed_r, extra_pool, extra_min):
-            nf_l, nx_l = len(free_l), len(fixed_l)
-            nf_r, nx_r = len(free_r), len(fixed_r)
-            n_extra = len(extra_pool)
-            for (p, q), (left_counts, right_counts) in result.items():
-                a = p - nx_l
-                if a < 0 or a > nf_l:
-                    continue
-                for i in range(extra_min, n_extra + 1):
-                    b = q - nx_r - i
-                    if b < 0 or b > nf_r:
-                        continue
-                    ways_l = binomial(nf_l, a)
-                    ways_r = binomial(nf_r, b)
-                    ways_e = binomial(n_extra, i)
-                    total_here = ways_l * ways_r * ways_e
-                    if not total_here:
-                        continue
-                    # Fixed vertices are in every biclique of this leaf.
-                    for u in fixed_l:
-                        left_counts[u] += total_here
-                    for v in fixed_r:
-                        right_counts[v] += total_here
-                    # A free left vertex appears in C(nf_l - 1, a - 1) of
-                    # the C(nf_l, a) subset choices.
-                    per_free_l = binomial(nf_l - 1, a - 1) * ways_r * ways_e
-                    if per_free_l:
-                        for u in free_l:
-                            left_counts[u] += per_free_l
-                    per_free_r = ways_l * binomial(nf_r - 1, b - 1) * ways_e
-                    if per_free_r:
-                        for v in free_r:
-                            right_counts[v] += per_free_r
-                    per_extra = ways_l * ways_r * binomial(n_extra - 1, i - 1)
-                    if per_extra:
-                        for v in extra_pool:
-                            right_counts[v] += per_extra
-
-        self._prune_max_p = max(p for p, _ in pairs)
-        self._prune_max_q = max(q for _, q in pairs)
-        self._prune_min_p = min(p for p, _ in pairs)
-        self._prune_min_q = min(q for _, q in pairs)
-        self._run_sets(on_leaf_sets)
+        self._run_sets(_local_leaf_visitor(result), bounds=_pairs_bounds(pairs))
         return result
 
     # ------------------------------------------------------------------
     # Size-level traversal (global counting)
     # ------------------------------------------------------------------
 
+    def _root_chunks(
+        self, n_workers: int, left_region: "set[int] | None"
+    ) -> list[list[tuple[int, int]]]:
+        """Balanced root-edge chunks for ``n_workers`` processes."""
+        g = self.graph
+        roots = [
+            (u, v)
+            for u, v in g.edges()
+            if left_region is None or u in left_region
+        ]
+        return chunk_root_edges(g, roots, n_workers * CHUNKS_PER_WORKER)
+
     def _run(
         self,
         visit: "Callable[[int, int, int, int, int], None]",
         left_region: "set[int] | None" = None,
+        bounds: Bounds = None,
+        roots: "list[tuple[int, int]] | None" = None,
     ) -> None:
-        """Run the full traversal; ``visit`` receives leaf contributions.
+        """Run the traversal over ``roots``; ``visit`` receives leaves.
 
         ``visit(free_l, fixed_l, free_r, fixed_r, multiplier)`` adds
         ``multiplier * C(free_l, p - fixed_l) * C(free_r, q - fixed_r)``
         to every (p, q) cell, where ``free_*``/``fixed_*`` are set sizes.
+
+        ``roots`` defaults to every edge of the graph; the parallel layer
+        passes per-chunk subsets.  The walk is an explicit-stack DFS — no
+        Python recursion, so depth is bounded only by memory.  Leaf order
+        differs from the recursive formulation, which is immaterial:
+        every visitor accumulates by commutative (exact-integer) addition.
         """
-        if sys.getrecursionlimit() < _MIN_RECURSION_LIMIT:
-            sys.setrecursionlimit(_MIN_RECURSION_LIMIT)
         g = self.graph
-        for u, v in g.edges():
-            if left_region is not None and u not in left_region:
-                continue
-            cand_l = list(g.higher_neighbors_of_right(v, u))
-            cand_r = list(g.higher_neighbors_of_left(u, v))
-            self._node(cand_l, cand_r, 0, 1, 0, 1, visit)
-
-    def _node(
-        self,
-        cand_l: list[int],
-        cand_r: list[int],
-        p_l: int,
-        h_l: int,
-        p_r: int,
-        h_r: int,
-        visit: "Callable[[int, int, int, int, int], None]",
-    ) -> None:
-        if self._prune_max_p is not None:
-            if h_l > self._prune_max_p or h_r > self._prune_max_q:
-                return
-            if p_l + h_l + len(cand_l) < self._prune_min_p:
-                return
-            if p_r + h_r + len(cand_r) < self._prune_min_q:
-                return
         adj_left = self._adj_left
-        cand_r_set = set(cand_r)
-        # Edges of the candidate-induced subgraph G', plus per-vertex
-        # degrees within G'.
-        edges: list[tuple[int, int]] = []
-        deg_l: dict[int, int] = {}
-        deg_r: dict[int, int] = {}
-        for x in cand_l:
-            hits = adj_left[x] & cand_r_set
-            if hits:
-                deg_l[x] = len(hits)
-                for y in hits:
-                    deg_r[y] = deg_r.get(y, 0) + 1
-                    edges.append((x, y))
-        if not edges:
-            n_l, n_r = len(cand_l), len(cand_r)
-            if n_l and n_r:
-                # Bicliques with no right candidate: left candidates free.
-                visit(p_l + n_l, h_l, p_r, h_r, 1)
-                # Bicliques with i >= 1 right candidates exclude all left
-                # candidates (no edges across), contributing C(n_r, i).
-                for i in range(1, n_r + 1):
-                    visit(p_l, h_l, p_r, h_r + i, binomial(n_r, i))
-            else:
-                visit(p_l + n_l, h_l, p_r + n_r, h_r, 1)
-            return
-
-        pivot_u, pivot_v = self._choose_pivot(edges, deg_l, deg_r, cand_l, cand_r, cand_r_set)
-        nbr_v = self._adj_right[pivot_v]
-        nbr_u = adj_left[pivot_u]
-
-        # Local reordering: non-neighbors of the pivot first on each side.
-        new_l = [x for x in cand_l if x not in nbr_v] + [x for x in cand_l if x in nbr_v]
-        new_r = [y for y in cand_r if y not in nbr_u] + [y for y in cand_r if y in nbr_u]
-        pos_l = {x: i for i, x in enumerate(new_l)}
-        pos_r = {y: i for i, y in enumerate(new_r)}
-
-        # Case 6: branch on every candidate edge not fully inside the
-        # pivot's neighborhood.
-        for x, y in edges:
-            if x in nbr_v and y in nbr_u:
+        adj_right = self._adj_right
+        if bounds is None:
+            max_p = max_q = None
+            min_p = min_q = 1
+        else:
+            max_p, max_q, min_p, min_q = bounds
+        if roots is None:
+            roots = g.edges()
+        stack: list[tuple[list[int], list[int], int, int, int, int]] = []
+        push = stack.append
+        for root_u, root_v in roots:
+            if left_region is not None and root_u not in left_region:
                 continue
-            adj_y = self._adj_right[y]
-            adj_x = adj_left[x]
-            px, py = pos_l[x], pos_r[y]
-            sub_l = [c for c in new_l if pos_l[c] > px and c in adj_y]
-            sub_r = [c for c in new_r if pos_r[c] > py and c in adj_x]
-            self._node(sub_l, sub_r, p_l, h_l + 1, p_r, h_r + 1, visit)
+            push(
+                (
+                    list(g.higher_neighbors_of_right(root_v, root_u)),
+                    list(g.higher_neighbors_of_left(root_u, root_v)),
+                    0, 1, 0, 1,
+                )
+            )
+            while stack:
+                cand_l, cand_r, p_l, h_l, p_r, h_r = stack.pop()
+                if max_p is not None:
+                    if h_l > max_p or h_r > max_q:
+                        continue
+                    if p_l + h_l + len(cand_l) < min_p:
+                        continue
+                    if p_r + h_r + len(cand_r) < min_q:
+                        continue
+                cand_r_set = set(cand_r)
+                # Edges of the candidate-induced subgraph G', plus
+                # per-vertex degrees within G'.
+                edges: list[tuple[int, int]] = []
+                deg_l: dict[int, int] = {}
+                deg_r: dict[int, int] = {}
+                for x in cand_l:
+                    hits = adj_left[x] & cand_r_set
+                    if hits:
+                        deg_l[x] = len(hits)
+                        for y in hits:
+                            deg_r[y] = deg_r.get(y, 0) + 1
+                            edges.append((x, y))
+                if not edges:
+                    n_l, n_r = len(cand_l), len(cand_r)
+                    if n_l and n_r:
+                        # Bicliques with no right candidate: left
+                        # candidates free.
+                        visit(p_l + n_l, h_l, p_r, h_r, 1)
+                        # Bicliques with i >= 1 right candidates exclude
+                        # all left candidates (no edges across),
+                        # contributing C(n_r, i).
+                        for i in range(1, n_r + 1):
+                            visit(p_l, h_l, p_r, h_r + i, binomial(n_r, i))
+                    else:
+                        visit(p_l + n_l, h_l, p_r + n_r, h_r, 1)
+                    continue
 
-        # Cases 1-4: the pivot branch; pivot endpoints become free.
-        sub_l = [c for c in cand_l if c in nbr_v and c != pivot_u]
-        sub_r = [c for c in cand_r if c in nbr_u and c != pivot_v]
-        self._node(sub_l, sub_r, p_l + 1, h_l, p_r + 1, h_r, visit)
+                pivot_u, pivot_v = self._choose_pivot(
+                    edges, deg_l, deg_r, cand_l, cand_r, cand_r_set
+                )
+                nbr_v = adj_right[pivot_v]
+                nbr_u = adj_left[pivot_u]
 
-        # Case 5: bicliques using candidates of one side only, with at
-        # least one non-neighbor of the pivot (held); processed in local
-        # order with progressive removal to keep representation unique.
-        remaining = len(cand_l)
-        non_neighbors_l = [x for x in new_l if x not in nbr_v]
-        for w in non_neighbors_l:
-            remaining -= 1
-            visit(p_l + remaining, h_l + 1, p_r, h_r, 1)
-        remaining = len(cand_r)
-        non_neighbors_r = [y for y in new_r if y not in nbr_u]
-        for w in non_neighbors_r:
-            remaining -= 1
-            visit(p_l, h_l, p_r + remaining, h_r + 1, 1)
+                # Local reordering: non-neighbors of the pivot first on
+                # each side.
+                new_l = [x for x in cand_l if x not in nbr_v] + [x for x in cand_l if x in nbr_v]
+                new_r = [y for y in cand_r if y not in nbr_u] + [y for y in cand_r if y in nbr_u]
+                pos_l = {x: i for i, x in enumerate(new_l)}
+                pos_r = {y: i for i, y in enumerate(new_r)}
+
+                # Case 6: branch on every candidate edge not fully inside
+                # the pivot's neighborhood.
+                for x, y in edges:
+                    if x in nbr_v and y in nbr_u:
+                        continue
+                    adj_y = adj_right[y]
+                    adj_x = adj_left[x]
+                    px, py = pos_l[x], pos_r[y]
+                    sub_l = [c for c in new_l if pos_l[c] > px and c in adj_y]
+                    sub_r = [c for c in new_r if pos_r[c] > py and c in adj_x]
+                    push((sub_l, sub_r, p_l, h_l + 1, p_r, h_r + 1))
+
+                # Cases 1-4: the pivot branch; pivot endpoints become free.
+                sub_l = [c for c in cand_l if c in nbr_v and c != pivot_u]
+                sub_r = [c for c in cand_r if c in nbr_u and c != pivot_v]
+                push((sub_l, sub_r, p_l + 1, h_l, p_r + 1, h_r))
+
+                # Case 5: bicliques using candidates of one side only,
+                # with at least one non-neighbor of the pivot (held);
+                # processed in local order with progressive removal to
+                # keep representation unique.
+                remaining = len(cand_l)
+                for w in (x for x in new_l if x not in nbr_v):
+                    remaining -= 1
+                    visit(p_l + remaining, h_l + 1, p_r, h_r, 1)
+                remaining = len(cand_r)
+                for w in (y for y in new_r if y not in nbr_u):
+                    remaining -= 1
+                    visit(p_l, h_l, p_r + remaining, h_r + 1, 1)
 
     def _choose_pivot(
         self,
@@ -368,7 +396,12 @@ class EPivoter:
     # Set-level traversal (local counting needs vertex identities)
     # ------------------------------------------------------------------
 
-    def _run_sets(self, on_leaf) -> None:
+    def _run_sets(
+        self,
+        on_leaf,
+        bounds: Bounds = None,
+        roots: "list[tuple[int, int]] | None" = None,
+    ) -> None:
         """Like :meth:`_run` but leaves receive vertex lists.
 
         ``on_leaf(free_l, fixed_l, free_r, fixed_r, extra_pool, extra_min)``
@@ -376,81 +409,215 @@ class EPivoter:
         ``X ⊆ free_l``, ``Y ⊆ free_r``, ``S ⊆ extra_pool``,
         ``|S| >= extra_min``.
         """
-        if sys.getrecursionlimit() < _MIN_RECURSION_LIMIT:
-            sys.setrecursionlimit(_MIN_RECURSION_LIMIT)
         g = self.graph
-        for u, v in g.edges():
-            cand_l = list(g.higher_neighbors_of_right(v, u))
-            cand_r = list(g.higher_neighbors_of_left(u, v))
-            self._node_sets(cand_l, cand_r, [], [u], [], [v], on_leaf)
-
-    def _node_sets(
-        self,
-        cand_l: list[int],
-        cand_r: list[int],
-        p_l: list[int],
-        h_l: list[int],
-        p_r: list[int],
-        h_r: list[int],
-        on_leaf,
-    ) -> None:
-        if self._prune_max_p is not None:
-            if len(h_l) > self._prune_max_p or len(h_r) > self._prune_max_q:
-                return
-            if len(p_l) + len(h_l) + len(cand_l) < self._prune_min_p:
-                return
-            if len(p_r) + len(h_r) + len(cand_r) < self._prune_min_q:
-                return
         adj_left = self._adj_left
-        cand_r_set = set(cand_r)
-        edges: list[tuple[int, int]] = []
-        deg_l: dict[int, int] = {}
-        deg_r: dict[int, int] = {}
-        for x in cand_l:
-            hits = adj_left[x] & cand_r_set
-            if hits:
-                deg_l[x] = len(hits)
-                for y in hits:
-                    deg_r[y] = deg_r.get(y, 0) + 1
-                    edges.append((x, y))
-        if not edges:
-            if cand_l and cand_r:
-                on_leaf(p_l + cand_l, h_l, p_r, h_r, [], 0)
-                on_leaf(p_l, h_l, p_r, h_r, cand_r, 1)
-            else:
-                on_leaf(p_l + cand_l, h_l, p_r + cand_r, h_r, [], 0)
-            return
+        adj_right = self._adj_right
+        if bounds is None:
+            max_p = max_q = None
+            min_p = min_q = 1
+        else:
+            max_p, max_q, min_p, min_q = bounds
+        if roots is None:
+            roots = g.edges()
+        stack: list[
+            tuple[list[int], list[int], list[int], list[int], list[int], list[int]]
+        ] = []
+        push = stack.append
+        for root_u, root_v in roots:
+            push(
+                (
+                    list(g.higher_neighbors_of_right(root_v, root_u)),
+                    list(g.higher_neighbors_of_left(root_u, root_v)),
+                    [], [root_u], [], [root_v],
+                )
+            )
+            while stack:
+                cand_l, cand_r, p_l, h_l, p_r, h_r = stack.pop()
+                if max_p is not None:
+                    if len(h_l) > max_p or len(h_r) > max_q:
+                        continue
+                    if len(p_l) + len(h_l) + len(cand_l) < min_p:
+                        continue
+                    if len(p_r) + len(h_r) + len(cand_r) < min_q:
+                        continue
+                cand_r_set = set(cand_r)
+                edges: list[tuple[int, int]] = []
+                deg_l: dict[int, int] = {}
+                deg_r: dict[int, int] = {}
+                for x in cand_l:
+                    hits = adj_left[x] & cand_r_set
+                    if hits:
+                        deg_l[x] = len(hits)
+                        for y in hits:
+                            deg_r[y] = deg_r.get(y, 0) + 1
+                            edges.append((x, y))
+                if not edges:
+                    if cand_l and cand_r:
+                        on_leaf(p_l + cand_l, h_l, p_r, h_r, [], 0)
+                        on_leaf(p_l, h_l, p_r, h_r, cand_r, 1)
+                    else:
+                        on_leaf(p_l + cand_l, h_l, p_r + cand_r, h_r, [], 0)
+                    continue
 
-        pivot_u, pivot_v = self._choose_pivot(edges, deg_l, deg_r, cand_l, cand_r, cand_r_set)
-        nbr_v = self._adj_right[pivot_v]
-        nbr_u = adj_left[pivot_u]
-        new_l = [x for x in cand_l if x not in nbr_v] + [x for x in cand_l if x in nbr_v]
-        new_r = [y for y in cand_r if y not in nbr_u] + [y for y in cand_r if y in nbr_u]
-        pos_l = {x: i for i, x in enumerate(new_l)}
-        pos_r = {y: i for i, y in enumerate(new_r)}
+                pivot_u, pivot_v = self._choose_pivot(
+                    edges, deg_l, deg_r, cand_l, cand_r, cand_r_set
+                )
+                nbr_v = adj_right[pivot_v]
+                nbr_u = adj_left[pivot_u]
+                new_l = [x for x in cand_l if x not in nbr_v] + [x for x in cand_l if x in nbr_v]
+                new_r = [y for y in cand_r if y not in nbr_u] + [y for y in cand_r if y in nbr_u]
+                pos_l = {x: i for i, x in enumerate(new_l)}
+                pos_r = {y: i for i, y in enumerate(new_r)}
 
-        for x, y in edges:
-            if x in nbr_v and y in nbr_u:
+                for x, y in edges:
+                    if x in nbr_v and y in nbr_u:
+                        continue
+                    adj_y = adj_right[y]
+                    adj_x = adj_left[x]
+                    px, py = pos_l[x], pos_r[y]
+                    sub_l = [c for c in new_l if pos_l[c] > px and c in adj_y]
+                    sub_r = [c for c in new_r if pos_r[c] > py and c in adj_x]
+                    push((sub_l, sub_r, p_l, h_l + [x], p_r, h_r + [y]))
+
+                sub_l = [c for c in cand_l if c in nbr_v and c != pivot_u]
+                sub_r = [c for c in cand_r if c in nbr_u and c != pivot_v]
+                push((sub_l, sub_r, p_l + [pivot_u], h_l, p_r + [pivot_v], h_r))
+
+                pool = list(new_l)
+                for w in [x for x in new_l if x not in nbr_v]:
+                    pool.remove(w)
+                    on_leaf(p_l + pool, h_l + [w], p_r, h_r, [], 0)
+                pool_r = list(new_r)
+                for w in [y for y in new_r if y not in nbr_u]:
+                    pool_r.remove(w)
+                    on_leaf(p_l, h_l, p_r + pool_r, h_r + [w], [], 0)
+
+
+# ----------------------------------------------------------------------
+# Shared leaf visitors and per-chunk workers (module-level: the workers
+# must be picklable for ProcessPoolExecutor).
+# ----------------------------------------------------------------------
+
+
+def _matrix_visitor(counts: BicliqueCounts, max_p: int, max_q: int):
+    """A size-level visitor accumulating into a count matrix."""
+
+    def visit(free_l: int, fixed_l: int, free_r: int, fixed_r: int, multiplier: int) -> None:
+        for a in range(0, min(free_l, max_p - fixed_l) + 1):
+            left_ways = binomial(free_l, a) * multiplier
+            if not left_ways:
                 continue
-            adj_y = self._adj_right[y]
-            adj_x = adj_left[x]
-            px, py = pos_l[x], pos_r[y]
-            sub_l = [c for c in new_l if pos_l[c] > px and c in adj_y]
-            sub_r = [c for c in new_r if pos_r[c] > py and c in adj_x]
-            self._node_sets(sub_l, sub_r, p_l, h_l + [x], p_r, h_r + [y], on_leaf)
+            row = fixed_l + a
+            if row < 1:
+                continue
+            for b in range(0, min(free_r, max_q - fixed_r) + 1):
+                col = fixed_r + b
+                if col < 1:
+                    continue
+                counts.add(row, col, left_ways * binomial(free_r, b))
 
-        sub_l = [c for c in cand_l if c in nbr_v and c != pivot_u]
-        sub_r = [c for c in cand_r if c in nbr_u and c != pivot_v]
-        self._node_sets(sub_l, sub_r, p_l + [pivot_u], h_l, p_r + [pivot_v], h_r, on_leaf)
+    return visit
 
-        pool = list(new_l)
-        for w in [x for x in new_l if x not in nbr_v]:
-            pool.remove(w)
-            on_leaf(p_l + pool, h_l + [w], p_r, h_r, [], 0)
-        pool_r = list(new_r)
-        for w in [y for y in new_r if y not in nbr_u]:
-            pool_r.remove(w)
-            on_leaf(p_l, h_l, p_r + pool_r, h_r + [w], [], 0)
+
+def _local_leaf_visitor(
+    result: dict[tuple[int, int], tuple[list[int], list[int]]],
+):
+    """A set-level visitor accumulating per-vertex counts for many pairs."""
+
+    def on_leaf(free_l, fixed_l, free_r, fixed_r, extra_pool, extra_min):
+        nf_l, nx_l = len(free_l), len(fixed_l)
+        nf_r, nx_r = len(free_r), len(fixed_r)
+        n_extra = len(extra_pool)
+        for (p, q), (left_counts, right_counts) in result.items():
+            a = p - nx_l
+            if a < 0 or a > nf_l:
+                continue
+            for i in range(extra_min, n_extra + 1):
+                b = q - nx_r - i
+                if b < 0 or b > nf_r:
+                    continue
+                ways_l = binomial(nf_l, a)
+                ways_r = binomial(nf_r, b)
+                ways_e = binomial(n_extra, i)
+                total_here = ways_l * ways_r * ways_e
+                if not total_here:
+                    continue
+                # Fixed vertices are in every biclique of this leaf.
+                for u in fixed_l:
+                    left_counts[u] += total_here
+                for v in fixed_r:
+                    right_counts[v] += total_here
+                # A free left vertex appears in C(nf_l - 1, a - 1) of
+                # the C(nf_l, a) subset choices.
+                per_free_l = binomial(nf_l - 1, a - 1) * ways_r * ways_e
+                if per_free_l:
+                    for u in free_l:
+                        left_counts[u] += per_free_l
+                per_free_r = ways_l * binomial(nf_r - 1, b - 1) * ways_e
+                if per_free_r:
+                    for v in free_r:
+                        right_counts[v] += per_free_r
+                per_extra = ways_l * ways_r * binomial(n_extra - 1, i - 1)
+                if per_extra:
+                    for v in extra_pool:
+                        right_counts[v] += per_extra
+
+    return on_leaf
+
+
+def _pairs_bounds(pairs: "list[tuple[int, int]]") -> "tuple[int, int, int, int]":
+    """Loosest size-prune bounds covering every requested pair."""
+    return (
+        max(p for p, _ in pairs),
+        max(q for _, q in pairs),
+        min(p for p, _ in pairs),
+        min(q for _, q in pairs),
+    )
+
+
+def _count_all_chunk(payload) -> BicliqueCounts:
+    """Worker: all-pairs counts over one chunk of root edges."""
+    graph, pivot, max_p, max_q, roots = payload
+    engine = EPivoter(graph, pivot=pivot)
+    counts = BicliqueCounts(max_p, max_q)
+    engine._run(_matrix_visitor(counts, max_p, max_q), roots=roots)
+    return counts
+
+
+def _count_single_chunk(payload) -> int:
+    """Worker: a single (p, q) count over one chunk of root edges."""
+    graph, pivot, p, q, roots = payload
+    engine = EPivoter(graph, pivot=pivot)
+    total = 0
+
+    def visit(free_l: int, fixed_l: int, free_r: int, fixed_r: int, multiplier: int) -> None:
+        nonlocal total
+        total += (
+            multiplier
+            * binomial(free_l, p - fixed_l)
+            * binomial(free_r, q - fixed_r)
+        )
+
+    engine._run(visit, bounds=(p, q, p, q), roots=roots)
+    return total
+
+
+def _count_local_chunk(payload):
+    """Worker: per-vertex counts for many pairs over one root chunk."""
+    graph, pivot, pairs, roots = payload
+    engine = EPivoter(graph, pivot=pivot)
+    result = {
+        pair: ([0] * graph.n_left, [0] * graph.n_right) for pair in pairs
+    }
+    engine._run_sets(
+        _local_leaf_visitor(result), bounds=_pairs_bounds(list(pairs)), roots=roots
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Module-level convenience wrappers
+# ----------------------------------------------------------------------
 
 
 def count_all(
@@ -458,25 +625,37 @@ def count_all(
     max_p: "int | None" = None,
     max_q: "int | None" = None,
     pivot: str = "product",
+    workers: "int | None" = None,
 ) -> BicliqueCounts:
     """Count all (p, q)-bicliques of ``graph`` (convenience wrapper)."""
-    return EPivoter(graph, pivot=pivot).count_all(max_p, max_q)
+    return EPivoter(graph, pivot=pivot).count_all(max_p, max_q, workers=workers)
 
 
 def count_single(
-    graph: BipartiteGraph, p: int, q: int, pivot: str = "product", use_core: bool = True
+    graph: BipartiteGraph,
+    p: int,
+    q: int,
+    pivot: str = "product",
+    use_core: bool = True,
+    workers: "int | None" = None,
 ) -> int:
     """Count the (p, q)-bicliques of ``graph`` for one pair."""
-    return EPivoter(graph, pivot=pivot).count_single(p, q, use_core=use_core)
+    return EPivoter(graph, pivot=pivot).count_single(
+        p, q, use_core=use_core, workers=workers
+    )
 
 
 def count_local(
-    graph: BipartiteGraph, p: int, q: int, pivot: str = "product"
+    graph: BipartiteGraph,
+    p: int,
+    q: int,
+    pivot: str = "product",
+    workers: "int | None" = None,
 ) -> tuple[list[int], list[int]]:
     """Per-vertex (p, q)-biclique counts in the *original* labelling."""
     ordered, left_map, right_map = graph.degree_ordered()
     engine = EPivoter(ordered, pivot=pivot)
-    left_ordered, right_ordered = engine.count_local(p, q)
+    left_ordered, right_ordered = engine.count_local(p, q, workers=workers)
     left_counts = [0] * graph.n_left
     right_counts = [0] * graph.n_right
     for old, new in enumerate(left_map):

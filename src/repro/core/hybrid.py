@@ -92,11 +92,15 @@ def hybrid_count_all(
     tau: "float | None" = None,
     quantile: float = 0.9,
     pivot: str = "product",
+    workers: "int | None" = None,
 ) -> BicliqueCounts:
     """Hybrid EP + sampling estimate of all (p, q) counts up to ``h_max``.
 
     ``estimator`` selects the dense-region algorithm: ``"zigzag"`` (the
-    paper's EP/ZZ) or ``"zigzag++"`` (EP/ZZ++).
+    paper's EP/ZZ) or ``"zigzag++"`` (EP/ZZ++).  ``workers`` parallelises
+    the exact sparse-region EPivoter pass over processes (the sampling
+    pass is untouched); the exact part is merged from integer partials,
+    so results for any worker count match the serial run exactly.
     """
     if estimator not in ("zigzag", "zigzag++"):
         raise ValueError("estimator must be 'zigzag' or 'zigzag++'")
@@ -106,7 +110,7 @@ def hybrid_count_all(
     counts = BicliqueCounts(h_max, h_max)
     if sparse:
         exact_part = EPivoter(ordered, pivot=pivot).count_all(
-            h_max, h_max, left_region=sparse
+            h_max, h_max, left_region=sparse, workers=workers
         )
         for p, q, value in exact_part.items():
             counts.add(p, q, value)
@@ -129,6 +133,7 @@ def hybrid_count_single(
     estimator: str = "zigzag",
     tau: "float | None" = None,
     quantile: float = 0.9,
+    workers: "int | None" = None,
 ) -> float:
     """Hybrid estimate of one (p, q) count (the §5 remark).
 
@@ -145,7 +150,9 @@ def hybrid_count_single(
     sparse, dense, _ = partition_graph(ordered, tau=tau, quantile=quantile)
     total = 0.0
     if sparse:
-        total += EPivoter(ordered).count_all(p, q, left_region=sparse)[p, q]
+        total += EPivoter(ordered).count_all(
+            p, q, left_region=sparse, workers=workers
+        )[p, q]
     if dense:
         # Import locally to avoid a cycle at module import time.
         from repro.core.zigzag import _ZigZag, _ZigZagPP, star_counts

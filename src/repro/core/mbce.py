@@ -1,13 +1,17 @@
 """EPMBCE: maximal biclique enumeration with edge pivoting (Algorithm 1).
 
-The novelty of the paper's enumerator is that each recursion branches on
+The novelty of the paper's enumerator is that each branching step works on
 an *edge* rather than a vertex: by Theorem 3.1, once a pivot edge
 ``e(u, v)`` is chosen, every maximal biclique contains either the pivot or
 some candidate edge with an endpoint outside the pivot's neighborhood, so
 only those branches need exploring.
 
+The search tree is walked with an explicit stack (no Python recursion, no
+recursion-limit mutation), so deeply nested candidate chains — e.g. large
+near-complete blocks — enumerate within CPython's default limits.
+
 Maximality is verified with the closure test ``X = N(Y) and Y = N(X)``
-(both sides non-empty), and results are deduplicated — the recursion can
+(both sides non-empty), and results are deduplicated — the search can
 reach a maximal biclique through more than one leaf, which is exactly why
 the counting algorithm (EPivoter) needs the finer unique-representation
 machinery of Algorithm 2.
@@ -15,15 +19,11 @@ machinery of Algorithm 2.
 
 from __future__ import annotations
 
-import sys
-
 from repro.graph.bigraph import BipartiteGraph
 
 __all__ = ["enumerate_maximal_bicliques"]
 
 Biclique = tuple[tuple[int, ...], tuple[int, ...]]
-
-_MIN_RECURSION_LIMIT = 100_000
 
 
 def enumerate_maximal_bicliques(graph: BipartiteGraph) -> list[Biclique]:
@@ -32,8 +32,6 @@ def enumerate_maximal_bicliques(graph: BipartiteGraph) -> list[Biclique]:
     Returns sorted ``(left_tuple, right_tuple)`` pairs in the graph's own
     labelling (no degree reordering is required for enumeration).
     """
-    if sys.getrecursionlimit() < _MIN_RECURSION_LIMIT:
-        sys.setrecursionlimit(_MIN_RECURSION_LIMIT)
     adj_left = [set(graph.neighbors_left(u)) for u in range(graph.n_left)]
     adj_right = [set(graph.neighbors_right(v)) for v in range(graph.n_right)]
     found: set[Biclique] = set()
@@ -49,7 +47,13 @@ def enumerate_maximal_bicliques(graph: BipartiteGraph) -> list[Biclique]:
             return
         found.add((tuple(sorted(left)), tuple(sorted(right))))
 
-    def mbce(cand_l: list[int], cand_r: list[int], part_l: set[int], part_r: set[int]) -> None:
+    # Each frame is (cand_l, cand_r, part_l, part_r).
+    stack: list[tuple[list[int], list[int], set[int], set[int]]] = [
+        (list(range(graph.n_left)), list(range(graph.n_right)), set(), set())
+    ]
+    push = stack.append
+    while stack:
+        cand_l, cand_r, part_l, part_r = stack.pop()
         cand_r_set = set(cand_r)
         edges: list[tuple[int, int]] = []
         deg_l: dict[int, int] = {}
@@ -67,7 +71,7 @@ def enumerate_maximal_bicliques(graph: BipartiteGraph) -> list[Biclique]:
                 check(part_l, part_r | set(cand_r))
             else:
                 check(part_l | set(cand_l), part_r | set(cand_r))
-            return
+            continue
         pivot_u, pivot_v = max(
             edges, key=lambda e: (deg_l[e[0]] - 1) * (deg_r[e[1]] - 1)
         )
@@ -92,10 +96,8 @@ def enumerate_maximal_bicliques(graph: BipartiteGraph) -> list[Biclique]:
             px, py = pos_l[x], pos_r[y]
             sub_l = [c for c in new_l if pos_l[c] > px and c in adj_y]
             sub_r = [c for c in new_r if pos_r[c] > py and c in adj_x]
-            mbce(sub_l, sub_r, part_l | {x}, part_r | {y})
+            push((sub_l, sub_r, part_l | {x}, part_r | {y}))
         sub_l = [c for c in cand_l if c in nbr_v and c != pivot_u]
         sub_r = [c for c in cand_r if c in nbr_u and c != pivot_v]
-        mbce(sub_l, sub_r, part_l | {pivot_u}, part_r | {pivot_v})
-
-    mbce(list(range(graph.n_left)), list(range(graph.n_right)), set(), set())
+        push((sub_l, sub_r, part_l | {pivot_u}, part_r | {pivot_v}))
     return sorted(found)

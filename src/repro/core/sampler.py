@@ -56,10 +56,6 @@ class BicliqueSampler:
         for old, new in enumerate(right_map):
             self._right_old[new] = old
         engine = EPivoter(ordered)
-        engine._prune_max_p = p
-        engine._prune_max_q = q
-        engine._prune_min_p = p
-        engine._prune_min_q = q
         # Each stored leaf: (free_l, fixed_l, free_r, fixed_r, extra, i)
         # restricted to one extra-subset size i, plus its biclique count.
         self._leaves: list[tuple[list[int], list[int], list[int], list[int], list[int], int]] = []
@@ -85,7 +81,7 @@ class BicliqueSampler:
                     )
                     weights.append(count)
 
-        engine._run_sets(on_leaf)
+        engine._run_sets(on_leaf, bounds=(p, q, p, q))
         self.count = sum(weights)
         if weights:
             # float64 cumulative weights are fine for sampling probabilities;

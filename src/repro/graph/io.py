@@ -3,11 +3,20 @@
 Format: one ``u v`` pair per line, ``#`` or ``%`` comment lines ignored.
 Vertex labels may be arbitrary strings; they are mapped to dense integer
 ids per side (the mapping is returned so results can be translated back).
+
+Two format pitfalls are handled explicitly rather than silently:
+
+* duplicate edges in the input are collapsed (the graph is simple) and a
+  :class:`UserWarning` reports how many lines were dropped;
+* on write, labels that could not survive a round trip — empty, containing
+  whitespace (the column separator), or starting with a comment marker —
+  are rejected with :class:`ValueError` before anything is written.
 """
 
 from __future__ import annotations
 
 import io
+import warnings
 from pathlib import Path
 from typing import TextIO
 
@@ -35,6 +44,8 @@ def _read(handle: TextIO) -> tuple[BipartiteGraph, list[str], list[str]]:
     left_ids: dict[str, int] = {}
     right_ids: dict[str, int] = {}
     edges: list[tuple[int, int]] = []
+    seen: set[tuple[int, int]] = set()
+    duplicates = 0
     for line_no, raw in enumerate(handle, start=1):
         line = raw.strip()
         if not line or line.startswith(("#", "%")):
@@ -45,7 +56,18 @@ def _read(handle: TextIO) -> tuple[BipartiteGraph, list[str], list[str]]:
         u_label, v_label = parts[0], parts[1]
         u = left_ids.setdefault(u_label, len(left_ids))
         v = right_ids.setdefault(v_label, len(right_ids))
+        if (u, v) in seen:
+            duplicates += 1
+            continue
+        seen.add((u, v))
         edges.append((u, v))
+    if duplicates:
+        warnings.warn(
+            f"edge list contains {duplicates} duplicate edge line(s); "
+            "duplicates were dropped (the graph is simple)",
+            UserWarning,
+            stacklevel=3,
+        )
     graph = BipartiteGraph(len(left_ids), len(right_ids), edges)
     left_labels = [""] * len(left_ids)
     for label, idx in left_ids.items():
@@ -56,13 +78,37 @@ def _read(handle: TextIO) -> tuple[BipartiteGraph, list[str], list[str]]:
     return graph, left_labels, right_labels
 
 
+def _check_labels(labels: "list[str] | None", side: str) -> None:
+    if labels is None:
+        return
+    for idx, label in enumerate(labels):
+        if not label:
+            raise ValueError(f"{side} label {idx} is empty")
+        if label.startswith(("#", "%")):
+            raise ValueError(
+                f"{side} label {idx} ({label!r}) starts with a comment marker"
+            )
+        if any(ch.isspace() for ch in label):
+            raise ValueError(
+                f"{side} label {idx} ({label!r}) contains whitespace"
+            )
+
+
 def write_edge_list(
     graph: BipartiteGraph,
     path: "str | Path",
     left_labels: "list[str] | None" = None,
     right_labels: "list[str] | None" = None,
 ) -> None:
-    """Write ``graph`` as an edge list; labels default to integer ids."""
+    """Write ``graph`` as an edge list; labels default to integer ids.
+
+    Labels are validated before anything is written: a label that is
+    empty, contains whitespace, or starts with ``#`` or ``%`` would be
+    mangled (or swallowed as a comment) by :func:`read_edge_list`, so
+    such labels raise :class:`ValueError` instead of corrupting the file.
+    """
+    _check_labels(left_labels, "left")
+    _check_labels(right_labels, "right")
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(f"# bipartite |U|={graph.n_left} |V|={graph.n_right} |E|={graph.num_edges}\n")
         for u, v in graph.edges():

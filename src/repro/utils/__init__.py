@@ -1,7 +1,15 @@
-"""Shared substrates: combinatorics, RNG plumbing, timing, max-flow."""
+"""Shared substrates: combinatorics, RNG, timing, max-flow, parallelism."""
 
 from repro.utils.combinatorics import binomial, binomial_row, falling_factorial
 from repro.utils.maxflow import DinicMaxFlow
+from repro.utils.parallel import (
+    chunk_root_edges,
+    merge_counts,
+    merge_local_counts,
+    resolve_workers,
+    root_edge_weight,
+    run_chunked,
+)
 from repro.utils.rng import as_generator, spawn
 from repro.utils.timer import Stopwatch, timed
 
@@ -14,4 +22,10 @@ __all__ = [
     "spawn",
     "Stopwatch",
     "timed",
+    "chunk_root_edges",
+    "merge_counts",
+    "merge_local_counts",
+    "resolve_workers",
+    "root_edge_weight",
+    "run_chunked",
 ]

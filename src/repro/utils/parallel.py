@@ -1,0 +1,175 @@
+"""Process-parallel execution of edge-rooted traversals.
+
+EPivoter roots one independent search at every edge of the degree-ordered
+graph, so the enumeration tree is embarrassingly parallel at the root
+level: partition the root edges, run one traversal per partition in a
+worker process, and sum the partial results.  Because every biclique is
+represented by exactly one leaf under exactly one root (Theorem 3.5),
+the partial counts add without overlap — the same argument that powers
+the hybrid algorithm's ``left_region`` split.
+
+This module is engine-agnostic: it knows how to weigh and chunk root
+edges, drive a :class:`concurrent.futures.ProcessPoolExecutor`, and merge
+partial results (exact-integer :class:`BicliqueCounts` matrices or
+per-vertex local count vectors).  The traversal workers themselves live
+next to the engines (e.g. :mod:`repro.core.epivoter`) so they stay
+picklable module-level functions.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence, TypeVar
+
+if TYPE_CHECKING:  # imported for annotations only: keeps this module free of
+    # repro imports, so engines can depend on it without cycles.
+    from repro.core.counts import BicliqueCounts
+    from repro.graph.bigraph import BipartiteGraph
+
+__all__ = [
+    "resolve_workers",
+    "root_edge_weight",
+    "chunk_root_edges",
+    "run_chunked",
+    "merge_counts",
+    "merge_local_counts",
+]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Chunks handed to the pool per worker.  More chunks than workers lets the
+#: executor rebalance dynamically when one chunk turns out heavier than its
+#: static weight estimate suggested.
+CHUNKS_PER_WORKER = 4
+
+
+def resolve_workers(workers: "int | None") -> int:
+    """Normalise a ``workers`` argument to a concrete process count.
+
+    ``None`` and ``1`` mean serial (the exact code path a single process
+    would run); ``0`` means "one per CPU"; any other positive integer is
+    taken literally.
+    """
+    if workers is None:
+        return 1
+    if workers < 0:
+        raise ValueError("workers must be None or a non-negative integer")
+    if workers == 0:
+        return os.cpu_count() or 1
+    return workers
+
+
+def root_edge_weight(graph: BipartiteGraph, u: int, v: int) -> int:
+    """Estimated traversal cost of the search rooted at edge ``e(u, v)``.
+
+    The root's candidate sets are ``N^{>u}(v)`` and ``N^{>v}(u)``; the
+    first recursion level inspects their full product, so the product of
+    their sizes is a cheap degree-based proxy for subtree cost (the same
+    quantity the hybrid partitioner sums per vertex in Definition 5.1).
+    """
+    return len(graph.higher_neighbors_of_right(v, u)) * len(
+        graph.higher_neighbors_of_left(u, v)
+    )
+
+
+def chunk_root_edges(
+    graph: BipartiteGraph,
+    roots: Sequence[tuple[int, int]],
+    n_chunks: int,
+) -> list[list[tuple[int, int]]]:
+    """Partition root edges into at most ``n_chunks`` balanced chunks.
+
+    Edges are sorted by estimated cost descending and assigned greedily to
+    the least-loaded chunk (LPT scheduling), so the heavy roots — which on
+    skewed graphs dominate the runtime — spread across workers instead of
+    landing in one.  The assignment is deterministic: ties break on chunk
+    index, and the edge order within a chunk is cost-descending.
+
+    Returns only non-empty chunks; their concatenation is a permutation of
+    ``roots``.
+    """
+    roots = list(roots)
+    if n_chunks <= 1 or len(roots) <= 1:
+        return [roots] if roots else []
+    n_chunks = min(n_chunks, len(roots))
+    weighted = sorted(
+        roots,
+        key=lambda e: (-root_edge_weight(graph, e[0], e[1]), e),
+    )
+    chunks: list[list[tuple[int, int]]] = [[] for _ in range(n_chunks)]
+    heap = [(0, index) for index in range(n_chunks)]
+    heapq.heapify(heap)
+    for edge in weighted:
+        load, index = heapq.heappop(heap)
+        chunks[index].append(edge)
+        # +1 keeps zero-weight edges moving round-robin instead of piling
+        # into the first chunk.
+        heapq.heappush(
+            heap, (load + root_edge_weight(graph, edge[0], edge[1]) + 1, index)
+        )
+    return [chunk for chunk in chunks if chunk]
+
+
+def run_chunked(
+    worker: Callable[[T], R],
+    payloads: Sequence[T],
+    workers: int,
+) -> list[R]:
+    """Map ``worker`` over ``payloads``, in processes when it pays off.
+
+    With one worker or one payload the map runs in-process (identical to
+    the serial path, no pickling).  ``worker`` must be a module-level
+    function and the payloads picklable.
+    """
+    payloads = list(payloads)
+    if workers <= 1 or len(payloads) <= 1:
+        return [worker(payload) for payload in payloads]
+    with ProcessPoolExecutor(max_workers=min(workers, len(payloads))) as pool:
+        return list(pool.map(worker, payloads))
+
+
+def merge_counts(parts: Iterable[BicliqueCounts]) -> BicliqueCounts:
+    """Cell-wise sum of partial count matrices (exact for exact inputs).
+
+    Uses :meth:`BicliqueCounts.merged_with`, so integer cells stay Python
+    integers — parallel counting loses no exactness.
+    """
+    iterator = iter(parts)
+    try:
+        merged = next(iterator)
+    except StopIteration:
+        raise ValueError("merge_counts needs at least one partial result")
+    for part in iterator:
+        merged = merged.merged_with(part)
+    return merged
+
+
+def merge_local_counts(
+    parts: Iterable[dict[tuple[int, int], tuple[list[int], list[int]]]],
+) -> dict[tuple[int, int], tuple[list[int], list[int]]]:
+    """Element-wise sum of per-vertex local count partials.
+
+    Every part must map the same (p, q) pairs to ``(left, right)`` count
+    vectors of identical lengths (one entry per vertex of the shared
+    graph).
+    """
+    parts = list(parts)
+    if not parts:
+        raise ValueError("merge_local_counts needs at least one partial result")
+    merged = {
+        pair: ([0] * len(left), [0] * len(right))
+        for pair, (left, right) in parts[0].items()
+    }
+    for part in parts:
+        if part.keys() != merged.keys():
+            raise ValueError("partial local counts disagree on the (p, q) pairs")
+        for pair, (left, right) in part.items():
+            merged_left, merged_right = merged[pair]
+            for index, value in enumerate(left):
+                merged_left[index] += value
+            for index, value in enumerate(right):
+                merged_right[index] += value
+    return merged

@@ -1,0 +1,193 @@
+"""Regression tests for the iterative (explicit-stack) traversals.
+
+The engines used to recurse and mutate the interpreter recursion limit
+to survive deep enumeration trees.  These tests pin the new behaviour:
+
+* no public entry point changes ``sys.getrecursionlimit()``;
+* Python call depth during a traversal is small and does not grow with
+  the enumeration tree depth (measured with a ``sys.settrace`` probe);
+* a traversal whose tree is far deeper than a tiny recursion limit
+  still completes, verified in a subprocess against closed forms.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from math import comb
+from pathlib import Path
+
+import pytest
+
+from repro.baselines.bclist import bc_count, bc_enumerate
+from repro.baselines.vertex_pivot import enumerate_maximal_bicliques_vertex
+from repro.core.epivoter import EPivoter, count_all, count_local, count_single
+from repro.core.mbce import enumerate_maximal_bicliques
+from repro.core.sampler import BicliqueSampler
+from repro.graph.bigraph import BipartiteGraph
+
+from .conftest import complete_bigraph
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+# Every iterative walk runs in O(1) extra Python frames; anything past
+# this bound means recursion crept back in.
+DEPTH_BOUND = 50
+
+
+def max_call_depth(fn, *args, **kwargs) -> int:
+    """Peak Python call depth (relative to the caller) while running fn."""
+    depth = 0
+    peak = 0
+
+    def tracer(frame, event, arg):
+        nonlocal depth, peak
+        if event == "call":
+            depth += 1
+            if depth > peak:
+                peak = depth
+        elif event == "return":
+            depth -= 1
+        # Returning the tracer keeps per-frame tracing alive so 'return'
+        # events fire; returning None would break the depth bookkeeping.
+        return tracer
+
+    sys.settrace(tracer)
+    try:
+        fn(*args, **kwargs)
+    finally:
+        sys.settrace(None)
+    return peak
+
+
+def crown_bigraph(n: int) -> BipartiteGraph:
+    """Complete K_{n,n} minus a perfect matching: 2^n maximal bicliques."""
+    return BipartiteGraph(
+        n, n, [(u, v) for u in range(n) for v in range(n) if u != v]
+    )
+
+
+class TestRecursionLimitUntouched:
+    """The old engines mutated the limit to 100_000 and never restored it."""
+
+    def setup_method(self):
+        self.limit = sys.getrecursionlimit()
+
+    def _check(self):
+        assert sys.getrecursionlimit() == self.limit
+
+    def test_count_all(self):
+        count_all(complete_bigraph(12, 12), 4, 4)
+        self._check()
+
+    def test_count_single(self):
+        count_single(complete_bigraph(12, 12), 3, 3)
+        self._check()
+
+    def test_count_local(self):
+        count_local(complete_bigraph(10, 10), 2, 2)
+        self._check()
+
+    def test_count_all_parallel(self):
+        count_all(complete_bigraph(10, 10), 3, 3, workers=2)
+        self._check()
+
+    def test_mbce(self):
+        enumerate_maximal_bicliques(crown_bigraph(8))
+        self._check()
+
+    def test_vertex_pivot(self):
+        enumerate_maximal_bicliques_vertex(crown_bigraph(8))
+        self._check()
+
+    def test_bc_count(self):
+        bc_count(complete_bigraph(4, 16), 4, 8)
+        self._check()
+
+    def test_bc_enumerate(self):
+        list(bc_enumerate(complete_bigraph(3, 6), 3, 2))
+        self._check()
+
+    def test_sampler(self):
+        BicliqueSampler(complete_bigraph(8, 8), 3, 3)
+        self._check()
+
+
+class TestDepthBounded:
+    """Call depth stays flat as the enumeration tree gets deeper."""
+
+    def test_epivoter_depth_flat_across_sizes(self):
+        depths = [
+            max_call_depth(count_all, complete_bigraph(n, n), 3, 3)
+            for n in (6, 12, 18)
+        ]
+        assert all(d < DEPTH_BOUND for d in depths)
+        # The enumeration tree for K_{n,n} is n levels deep; the Python
+        # call depth must not track it.
+        assert max(depths) - min(depths) <= 5
+
+    def test_count_local_depth(self):
+        depth = max_call_depth(count_local, complete_bigraph(12, 12), 2, 2)
+        assert depth < DEPTH_BOUND
+
+    def test_mbce_depth(self):
+        depths = [
+            max_call_depth(enumerate_maximal_bicliques, complete_bigraph(n, n))
+            for n in (8, 16)
+        ]
+        assert all(d < DEPTH_BOUND for d in depths)
+        assert max(depths) - min(depths) <= 5
+
+    def test_vertex_pivot_depth(self):
+        depths = [
+            max_call_depth(enumerate_maximal_bicliques_vertex, crown_bigraph(n))
+            for n in (6, 10)
+        ]
+        assert all(d < DEPTH_BOUND for d in depths)
+
+    def test_bc_count_depth(self):
+        # p < q keeps the anchor on the p-side (bc swaps to the smaller
+        # side), so this exercises a 10-deep left extension.
+        depth = max_call_depth(bc_count, complete_bigraph(10, 12), 10, 11)
+        assert depth < DEPTH_BOUND
+
+    def test_bc_enumerate_depth(self):
+        depth = max_call_depth(
+            lambda: list(bc_enumerate(complete_bigraph(8, 4), 8, 3))
+        )
+        assert depth < DEPTH_BOUND
+
+
+@pytest.mark.slow
+class TestTinyRecursionLimit:
+    """End-to-end proof: traversals far deeper than the interpreter limit."""
+
+    def test_k30_count_under_limit_60(self):
+        # K_{30,30}'s enumeration tree is ~30 levels deep; the old
+        # recursive engine needed a raised limit for far less.  The
+        # subprocess drops the limit to 60 *after* imports, counts, and
+        # verifies the closed form C(30,p) * C(30,q).
+        code = (
+            "import sys\n"
+            f"sys.path.insert(0, {SRC!r})\n"
+            "from math import comb\n"
+            "from repro.core.epivoter import count_all\n"
+            "from repro.graph.bigraph import BipartiteGraph\n"
+            "sys.setrecursionlimit(60)\n"
+            "n = 30\n"
+            "g = BipartiteGraph(n, n, [(u, v) for u in range(n) for v in range(n)])\n"
+            "counts = count_all(g, 3, 3)\n"
+            "for p in range(1, 4):\n"
+            "    for q in range(1, 4):\n"
+            "        assert counts[p, q] == comb(n, p) * comb(n, q), (p, q)\n"
+            "assert sys.getrecursionlimit() == 60\n"
+            "print('OK')\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.strip() == "OK"

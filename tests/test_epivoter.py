@@ -204,6 +204,31 @@ class TestEngineBehaviour:
         # And a count_single afterwards still works (prune state reset).
         assert engine.count_single(2, 2) == first[2, 2]
 
+    def test_targeted_call_cannot_poison_count_all(self, rng):
+        # Regression: prune bounds used to live on the engine as mutable
+        # state, so a targeted call could leave a later all-pairs call
+        # silently pruned.  Bounds are now per-traversal parameters.
+        for _ in range(10):
+            g = random_bigraph(rng, 6, 6, density=0.6)
+            engine = EPivoter(g)
+            engine.count_single(2, 2, use_core=False)
+            reference = EPivoter(g).count_all(5, 5)
+            assert engine.count_all(5, 5) == reference
+
+    def test_local_call_cannot_poison_count_all(self, rng):
+        for _ in range(10):
+            g = random_bigraph(rng, 6, 6, density=0.6)
+            engine = EPivoter(g)
+            engine.count_local_many([(2, 2), (3, 2)])
+            reference = EPivoter(g).count_all(5, 5)
+            assert engine.count_all(5, 5) == reference
+
+    def test_engine_has_no_prune_attributes(self):
+        # The mutable-prune-state bug class is gone by construction.
+        engine = EPivoter(complete_bigraph(3, 3))
+        leftovers = [a for a in dir(engine) if a.startswith("_prune")]
+        assert leftovers == []
+
     def test_left_region_partition_sums(self, rng):
         for _ in range(15):
             g = random_bigraph(rng, 6, 6, density=0.5)

@@ -28,9 +28,18 @@ class TestParse:
         with pytest.raises(ValueError, match="line 1"):
             parse_edge_list("lonely\n")
 
-    def test_duplicate_edges_collapse(self):
-        g, _, _ = parse_edge_list("a x\na x\n")
-        assert g.num_edges == 1
+    def test_duplicate_edges_collapse_with_warning(self):
+        with pytest.warns(UserWarning, match="2 duplicate edge line"):
+            g, _, _ = parse_edge_list("a x\na x\nb y\na x\n")
+        assert g.num_edges == 2
+
+    def test_no_warning_without_duplicates(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            g, _, _ = parse_edge_list("a x\nb y\n")
+        assert g.num_edges == 2
 
     def test_sides_have_separate_namespaces(self):
         g, left, right = parse_edge_list("a a\n")
@@ -66,6 +75,28 @@ class TestRoundTrip:
         path = tmp_path / "hdr.txt"
         write_edge_list(g, path)
         assert path.read_text().startswith("# bipartite")
+
+    @pytest.mark.parametrize(
+        "bad_label, reason",
+        [
+            ("", "empty"),
+            ("two words", "whitespace"),
+            ("tab\tsep", "whitespace"),
+            ("#hash", "comment marker"),
+            ("%percent", "comment marker"),
+        ],
+    )
+    def test_unwritable_labels_rejected(self, tmp_path, bad_label, reason):
+        g = BipartiteGraph(2, 1, [(0, 0), (1, 0)])
+        path = tmp_path / "bad.txt"
+        with pytest.raises(ValueError, match=reason):
+            write_edge_list(g, path, left_labels=["ok", bad_label])
+        with pytest.raises(ValueError, match=reason):
+            write_edge_list(
+                g, path, left_labels=["a", "b"], right_labels=[bad_label]
+            )
+        # Validation happens before any bytes hit the disk.
+        assert not path.exists()
 
     def test_roundtrip_preserves_structure_exactly(self, tmp_path, rng):
         from .conftest import random_bigraph
