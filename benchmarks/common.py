@@ -10,8 +10,11 @@ Run with:  pytest benchmarks/ --benchmark-only -s
 
 from __future__ import annotations
 
+import json
+import re
 import time
 from functools import lru_cache
+from pathlib import Path
 
 from repro.core.counts import BicliqueCounts
 from repro.core.epivoter import count_all
@@ -35,17 +38,21 @@ WORKERS: "int | None" = None
 _SELECTED: "tuple[str, ...] | None" = None
 #: False when --no-baselines skips the slow baseline columns.
 RUN_BASELINES = True
+#: Directory for BENCH_*.json trajectory files (None = don't write any).
+REPORT_DIR: "Path | None" = None
 
 
 def configure(
     workers: "int | None" = None,
     datasets: "str | None" = None,
     baselines: bool = True,
+    report_dir: "str | Path | None" = None,
 ) -> None:
     """Apply the pytest command-line options to the shared harness state."""
-    global WORKERS, _SELECTED, RUN_BASELINES
+    global WORKERS, _SELECTED, RUN_BASELINES, REPORT_DIR
     WORKERS = workers
     RUN_BASELINES = baselines
+    REPORT_DIR = Path(report_dir) if report_dir is not None else None
     if datasets is None:
         _SELECTED = None
     else:
@@ -94,8 +101,47 @@ def fmt_err(error: "float | None") -> str:
     return f"{100 * error:6.2f}%"
 
 
+def _slugify(title: str) -> str:
+    """``"Table 2: counting time"`` -> ``"table_2_counting_time"``."""
+    return re.sub(r"[^a-z0-9]+", "_", title.lower()).strip("_")
+
+
+def emit_bench_report(title: str, header: list[str], rows: list[list[str]]) -> "Path | None":
+    """Write one table as ``BENCH_<slug>.json`` into :data:`REPORT_DIR`.
+
+    The file keeps the printed cells verbatim (they are the trajectory
+    the benchmark tracks across PRs) plus the harness settings that
+    produced them, so successive CI runs can be diffed mechanically.
+    Returns the written path, or ``None`` when no report dir is set.
+    """
+    if REPORT_DIR is None:
+        return None
+    REPORT_DIR.mkdir(parents=True, exist_ok=True)
+    path = REPORT_DIR / f"BENCH_{_slugify(title)}.json"
+    document = {
+        "schema": "repro-bench-table/1",
+        "title": title,
+        "header": list(header),
+        "rows": [list(row) for row in rows],
+        "settings": {
+            "workers": WORKERS,
+            "datasets": list(selected_datasets()),
+            "baselines": RUN_BASELINES,
+            "h_max": H_MAX,
+            "samples": SAMPLES,
+        },
+        "created_unix": time.time(),
+    }
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
 def print_table(title: str, header: list[str], rows: list[list[str]]) -> None:
-    """Print an aligned table with a title banner (paper-style rows)."""
+    """Print an aligned table with a title banner (paper-style rows).
+
+    When ``--bench-report-dir`` is set, the same table is also written as
+    a ``BENCH_*.json`` trajectory file via :func:`emit_bench_report`.
+    """
     print(f"\n=== {title} ===")
     widths = [
         max(len(header[i]), max((len(r[i]) for r in rows), default=0))
@@ -104,3 +150,4 @@ def print_table(title: str, header: list[str], rows: list[list[str]]) -> None:
     print("  ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
     for row in rows:
         print("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    emit_bench_report(title, header, rows)

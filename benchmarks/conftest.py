@@ -29,6 +29,12 @@ def pytest_addoption(parser):
         help="skip the slow baseline columns (BC sweeps etc.), keeping "
         "only the EPivoter measurements — used by the CI smoke run",
     )
+    group.addoption(
+        "--bench-report-dir",
+        default=None,
+        help="write each printed table as a BENCH_*.json trajectory file "
+        "into this directory (created if missing)",
+    )
 
 
 def pytest_configure(config):
@@ -38,4 +44,5 @@ def pytest_configure(config):
         workers=config.getoption("--workers"),
         datasets=config.getoption("--datasets"),
         baselines=not config.getoption("--no-baselines"),
+        report_dir=config.getoption("--bench-report-dir"),
     )

@@ -20,11 +20,14 @@ what PSA needs and what makes Table 2's "INF" rows happen at paper scale.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from repro.graph.bigraph import BipartiteGraph
 from repro.graph.core_decomposition import core_for_biclique
 from repro.utils.combinatorics import binomial
+
+if TYPE_CHECKING:
+    from repro.obs.registry import MetricsRegistry
 
 __all__ = ["bc_count", "bc_enumerate", "EnumerationBudgetExceeded"]
 
@@ -43,15 +46,19 @@ def bc_count(
     q: int,
     use_core: bool = True,
     budget: "int | None" = None,
+    obs: "MetricsRegistry | None" = None,
 ) -> int:
     """Count (p, q)-bicliques with the BC backtracking baseline.
 
     ``budget`` caps the number of visited search nodes; exceeding it
     raises :class:`EnumerationBudgetExceeded` (the benchmark harness uses
     this to reproduce the paper's INF cells without day-long runs).
+    ``obs`` collects ``bc.*`` search counters, which is what the EPivoter
+    comparison figures plot against.
     """
     if p < 1 or q < 1:
         raise ValueError("p and q must be positive")
+    track = obs is not None and obs.enabled
     work = graph
     if use_core:
         work, _, _ = core_for_biclique(graph, p, q)
@@ -66,6 +73,7 @@ def bc_count(
     adj = [set(ordered.neighbors_left(u)) for u in range(ordered.n_left)]
     total = 0
     visited = 0
+    leaf_hits = candidate_prunes = 0
 
     # Each frame is (candidates, common, depth); children are pushed in
     # reverse candidate order so the DFS visits search nodes in the same
@@ -88,6 +96,7 @@ def bc_count(
                     f"BC exceeded its budget of {budget} search nodes"
                 )
             if depth == p:
+                leaf_hits += 1
                 total += binomial(len(common), q)
                 continue
             remaining_needed = p - depth
@@ -97,6 +106,7 @@ def bc_count(
                     break
                 new_common = common & adj[w]
                 if len(new_common) < q:
+                    candidate_prunes += 1
                     continue
                 next_candidates = [
                     x for x in candidates[index + 1:]
@@ -104,6 +114,10 @@ def bc_count(
                 ]
                 children.append((next_candidates, new_common, depth + 1))
             stack.extend(reversed(children))
+    if track:
+        obs.incr("bc.nodes_visited", visited)
+        obs.incr("bc.leaf_hits", leaf_hits)
+        obs.incr("bc.candidate_prunes", candidate_prunes)
     return total
 
 

@@ -25,20 +25,32 @@ counting (they only encode one side).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.graph.bigraph import BipartiteGraph
+
+if TYPE_CHECKING:
+    from repro.obs.registry import MetricsRegistry
 
 __all__ = ["enumerate_maximal_bicliques_vertex"]
 
 Biclique = tuple[tuple[int, ...], tuple[int, ...]]
 
 
-def enumerate_maximal_bicliques_vertex(graph: BipartiteGraph) -> list[Biclique]:
+def enumerate_maximal_bicliques_vertex(
+    graph: BipartiteGraph,
+    obs: "MetricsRegistry | None" = None,
+) -> list[Biclique]:
     """All maximal bicliques with both sides non-empty (vertex expansion).
 
     Output matches :func:`repro.core.mbce.enumerate_maximal_bicliques`.
+    ``obs`` collects ``vertex_pivot.*`` counters (expansions tried,
+    non-maximal prunes), the baseline side of the §3 comparison.
     """
     adj_right = [set(graph.neighbors_right(v)) for v in range(graph.n_right)]
     found: list[Biclique] = []
+    track = obs is not None and obs.enabled
+    expansions = non_maximal = 0
 
     # Each frame is (left, right, candidates, excluded): one suspended
     # expansion loop of the recursive formulation.  A frame drains its own
@@ -52,6 +64,7 @@ def enumerate_maximal_bicliques_vertex(graph: BipartiteGraph) -> list[Biclique]:
         left, right, candidates, excluded = stack.pop()
         while candidates:
             v = candidates.pop()
+            expansions += 1
             new_left = left & adj_right[v] if right or left else set(adj_right[v])
             if not new_left:
                 continue
@@ -69,6 +82,7 @@ def enumerate_maximal_bicliques_vertex(graph: BipartiteGraph) -> list[Biclique]:
             for w in excluded:
                 if new_left <= adj_right[w]:
                     is_maximal = False  # a previously expanded vertex extends it
+                    non_maximal += 1
                     break
                 if new_left & adj_right[w]:
                     rest_excluded.append(w)
@@ -81,4 +95,10 @@ def enumerate_maximal_bicliques_vertex(graph: BipartiteGraph) -> list[Biclique]:
             excluded = excluded + [v]
     # The scheme can reach the same closed pair through different orders on
     # graphs with twin vertices; deduplicate to present a clean result.
-    return sorted(set(found))
+    unique = sorted(set(found))
+    if track:
+        obs.incr("vertex_pivot.expansions", expansions)
+        obs.incr("vertex_pivot.non_maximal_prunes", non_maximal)
+        obs.incr("vertex_pivot.maximal_found", len(unique))
+        obs.incr("vertex_pivot.duplicates", len(found) - len(unique))
+    return unique

@@ -11,13 +11,25 @@ Subcommands mirror the library's main entry points:
 
 Graphs come either from ``--dataset NAME`` (synthetic stand-ins) or
 ``--input FILE`` (edge-list format, see :mod:`repro.graph.io`).
+
+Every graph-consuming subcommand accepts the observability flags:
+
+* ``--stats`` prints the collected engine counters, phase timers, and
+  per-worker skew after the normal output;
+* ``--report FILE`` writes the full JSON run report (schema
+  ``repro-run-report/1``, see ``docs/observability.md``);
+* ``--json`` (``count`` / ``estimate`` only) replaces the human output
+  with one machine-readable JSON document: counts matrix + run report.
+
+Without any of these flags the engines receive the no-op registry and
+run the exact uninstrumented code path.
 """
 
 from __future__ import annotations
 
 import argparse
+import io
 import sys
-import time
 
 from repro.apps.clustering import hcc_profile
 from repro.apps.densest import exact_densest, peeling_densest
@@ -28,6 +40,15 @@ from repro.core.zigzag import zigzag_count_all, zigzagpp_count_all
 from repro.graph.bigraph import BipartiteGraph
 from repro.graph.datasets import available_datasets, dataset_spec, load_dataset
 from repro.graph.io import read_edge_list
+from repro.obs import (
+    NULL_REGISTRY,
+    Heartbeat,
+    MemoryProbe,
+    MetricsRegistry,
+    RunReport,
+    counts_to_dict,
+)
+from repro.utils.timer import timed
 
 __all__ = ["main", "build_parser"]
 
@@ -48,6 +69,28 @@ def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--input", help="edge-list file (u v per line)")
 
 
+def _add_obs_arguments(
+    parser: argparse.ArgumentParser, json_output: bool = False
+) -> None:
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print engine counters, phase timers, and per-worker stats",
+    )
+    parser.add_argument(
+        "--report", metavar="FILE", default=None,
+        help="write a JSON run report (schema repro-run-report/1) to FILE",
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="emit a rate-limited progress heartbeat to stderr",
+    )
+    if json_output:
+        parser.add_argument(
+            "--json", action="store_true",
+            help="print one JSON document (counts + run report) instead of text",
+        )
+
+
 def _print_counts(counts, limit_p: int, limit_q: int, stream) -> None:
     header = "p\\q " + " ".join(f"{q:>14d}" for q in range(1, limit_q + 1))
     print(header, file=stream)
@@ -60,6 +103,31 @@ def _print_counts(counts, limit_p: int, limit_q: int, stream) -> None:
             else:
                 cells.append(f"{value:>14d}")
         print(f"{p:>3d} " + " ".join(cells), file=stream)
+
+
+def _print_stats(report: RunReport, stream) -> None:
+    """Human-readable rendering of a run report (the ``--stats`` block)."""
+    print("--- run stats ---", file=stream)
+    for name, seconds in sorted(report.timers.items()):
+        print(f"phase {name:<28} {seconds:10.3f}s", file=stream)
+    for name, value in sorted(report.counters.items()):
+        print(f"counter {name:<26} {value:>12}", file=stream)
+    for name, value in sorted(report.gauges.items()):
+        print(f"gauge {name:<28} {value:>12}", file=stream)
+    for name, value in sorted(report.memory.items()):
+        mib = value / (1024 * 1024)
+        print(f"memory {name:<27} {mib:>11.2f}M", file=stream)
+    if report.workers:
+        print("worker  roots  nodes_expanded  prune_hits  wall_time", file=stream)
+        for worker in report.workers:
+            print(
+                f"{worker.get('worker', '?'):>6}"
+                f"  {worker.get('roots', 0):>5}"
+                f"  {worker.get('nodes_expanded', 0):>14}"
+                f"  {worker.get('prune_hits', 0):>10}"
+                f"  {worker.get('wall_time', 0.0):>8.3f}s",
+                file=stream,
+            )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -80,6 +148,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None,
         help="worker processes for exact counting (0 = one per CPU)",
     )
+    _add_obs_arguments(count, json_output=True)
 
     estimate = sub.add_parser("estimate", help="sampling estimates")
     _add_graph_arguments(estimate)
@@ -95,10 +164,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None,
         help="worker processes for the hybrid exact pass (0 = one per CPU)",
     )
+    _add_obs_arguments(estimate, json_output=True)
 
     maximal = sub.add_parser("maximal", help="enumerate maximal bicliques")
     _add_graph_arguments(maximal)
     maximal.add_argument("--limit", type=int, default=50, help="print at most N")
+    _add_obs_arguments(maximal)
 
     hcc_cmd = sub.add_parser("hcc", help="clustering coefficient profile")
     _add_graph_arguments(hcc_cmd)
@@ -107,20 +178,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None,
         help="worker processes for local counting (0 = one per CPU)",
     )
+    _add_obs_arguments(hcc_cmd)
 
     densest = sub.add_parser("densest", help="densest subgraph")
     _add_graph_arguments(densest)
     densest.add_argument("-p", type=int, required=True)
     densest.add_argument("-q", type=int, required=True)
     densest.add_argument("--method", choices=["peeling", "exact"], default="peeling")
+    _add_obs_arguments(densest)
 
     stats = sub.add_parser("stats", help="summary statistics of a graph")
     _add_graph_arguments(stats)
+    _add_obs_arguments(stats)
 
     partition = sub.add_parser("partition", help="sparse/dense split (Alg. 9)")
     _add_graph_arguments(partition)
     partition.add_argument("--tau", type=float, default=None)
     partition.add_argument("--quantile", type=float, default=0.9)
+    _add_obs_arguments(partition)
 
     adaptive = sub.add_parser(
         "adaptive", help="estimate one (p, q) to a target accuracy"
@@ -132,16 +207,27 @@ def build_parser() -> argparse.ArgumentParser:
     adaptive.add_argument("--epsilon", type=float, default=0.05)
     adaptive.add_argument("--max-samples", type=int, default=100_000)
     adaptive.add_argument("--seed", type=int, default=None)
+    _add_obs_arguments(adaptive)
 
     sub.add_parser("datasets", help="list bundled synthetic datasets")
     return parser
 
 
+def _report_arguments(args: argparse.Namespace) -> dict:
+    """The invocation arguments, JSON-safe, without obs plumbing noise."""
+    skip = {"command", "stats", "report", "json", "progress"}
+    return {
+        name: value
+        for name, value in vars(args).items()
+        if name not in skip and value is not None
+    }
+
+
 def main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
-    out = sys.stdout
 
     if args.command == "datasets":
+        out = sys.stdout
         print(f"{'name':<20} {'|U|':>8} {'|V|':>8} {'|E|':>8}  paper scale", file=out)
         for name in available_datasets():
             spec = dataset_spec(name)
@@ -152,95 +238,161 @@ def main(argv: "list[str] | None" = None) -> int:
             )
         return 0
 
-    graph = _load_graph(args)
+    json_mode = bool(getattr(args, "json", False))
+    want_obs = bool(args.stats or args.report or json_mode)
+    # The engines see a real registry only when someone will read it;
+    # otherwise they take the uninstrumented code path via the no-op twin.
+    obs = MetricsRegistry() if want_obs else NULL_REGISTRY
+    heartbeat = Heartbeat(label="search nodes") if args.progress else None
+    # In --json mode the human-readable output is routed to a throwaway
+    # buffer so stdout carries exactly one JSON document.
+    out = io.StringIO() if json_mode else sys.stdout
+    probe = MemoryProbe(obs).start() if want_obs else None
+
+    # Phase timers always run (two perf_counter pairs), so the elapsed
+    # line reports graph loading and computation separately even without
+    # --stats; with it, the same numbers land in the report.
+    phases: dict[str, float] = {}
+    with timed("load", phases):
+        graph = _load_graph(args)
     print(f"graph: {graph}", file=out)
-    start = time.perf_counter()
 
-    if args.command == "count":
-        engine = EPivoter(graph, pivot=args.pivot)
-        if (args.p is None) != (args.q is None):
-            raise SystemExit("-p and -q must be given together")
-        if args.p is not None:
-            value = engine.count_single(args.p, args.q, workers=args.workers)
-            print(f"C({args.p},{args.q}) = {value}", file=out)
-        else:
-            counts = engine.count_all(args.max_p, args.max_q, workers=args.workers)
-            _print_counts(counts, args.max_p, args.max_q, out)
-    elif args.command == "estimate":
-        if args.algorithm == "zigzag":
-            counts = zigzag_count_all(graph, args.h_max, args.samples, args.seed)
-        elif args.algorithm == "zigzag++":
-            counts = zigzagpp_count_all(graph, args.h_max, args.samples, args.seed)
-        else:
-            estimator = "zigzag" if args.algorithm == "hybrid" else "zigzag++"
-            counts = hybrid_count_all(
-                graph, args.h_max, args.samples, args.seed,
-                estimator=estimator, workers=args.workers,
+    counts_payload: "dict | None" = None
+    with timed("compute", phases):
+        if args.command == "count":
+            engine = EPivoter(graph, pivot=args.pivot)
+            if (args.p is None) != (args.q is None):
+                raise SystemExit("-p and -q must be given together")
+            if args.p is not None:
+                value = engine.count_single(
+                    args.p, args.q, workers=args.workers, obs=obs,
+                    heartbeat=heartbeat,
+                )
+                counts_payload = {
+                    "kind": "single", "p": args.p, "q": args.q, "value": value,
+                }
+                print(f"C({args.p},{args.q}) = {value}", file=out)
+            else:
+                counts = engine.count_all(
+                    args.max_p, args.max_q, workers=args.workers, obs=obs,
+                    heartbeat=heartbeat,
+                )
+                counts_payload = counts_to_dict(counts)
+                _print_counts(counts, args.max_p, args.max_q, out)
+        elif args.command == "estimate":
+            if args.algorithm == "zigzag":
+                counts = zigzag_count_all(
+                    graph, args.h_max, args.samples, args.seed, obs=obs
+                )
+            elif args.algorithm == "zigzag++":
+                counts = zigzagpp_count_all(
+                    graph, args.h_max, args.samples, args.seed, obs=obs
+                )
+            else:
+                estimator = "zigzag" if args.algorithm == "hybrid" else "zigzag++"
+                counts = hybrid_count_all(
+                    graph, args.h_max, args.samples, args.seed,
+                    estimator=estimator, workers=args.workers, obs=obs,
+                )
+            counts_payload = counts_to_dict(counts)
+            _print_counts(counts, args.h_max, args.h_max, out)
+        elif args.command == "maximal":
+            bicliques = enumerate_maximal_bicliques(graph, obs=obs)
+            print(f"{len(bicliques)} maximal bicliques", file=out)
+            for left, right in bicliques[: args.limit]:
+                print(f"  {list(left)} x {list(right)}", file=out)
+            if len(bicliques) > args.limit:
+                print(f"  ... ({len(bicliques) - args.limit} more)", file=out)
+        elif args.command == "hcc":
+            profile = hcc_profile(graph, args.h_max, workers=args.workers)
+            for k, value in sorted(profile.items()):
+                print(f"hcc({k},{k}) = {value:.6f}", file=out)
+        elif args.command == "densest":
+            if args.method == "peeling":
+                result = peeling_densest(graph, args.p, args.q)
+            else:
+                result = exact_densest(graph, args.p, args.q)
+            print(
+                f"density = {result.density:.4f} over {result.num_vertices} vertices"
+                f" ({result.biclique_count} bicliques)",
+                file=out,
             )
-        _print_counts(counts, args.h_max, args.h_max, out)
-    elif args.command == "maximal":
-        bicliques = enumerate_maximal_bicliques(graph)
-        print(f"{len(bicliques)} maximal bicliques", file=out)
-        for left, right in bicliques[: args.limit]:
-            print(f"  {list(left)} x {list(right)}", file=out)
-        if len(bicliques) > args.limit:
-            print(f"  ... ({len(bicliques) - args.limit} more)", file=out)
-    elif args.command == "hcc":
-        profile = hcc_profile(graph, args.h_max, workers=args.workers)
-        for k, value in sorted(profile.items()):
-            print(f"hcc({k},{k}) = {value:.6f}", file=out)
-    elif args.command == "densest":
-        if args.method == "peeling":
-            result = peeling_densest(graph, args.p, args.q)
-        else:
-            result = exact_densest(graph, args.p, args.q)
-        print(
-            f"density = {result.density:.4f} over {result.num_vertices} vertices"
-            f" ({result.biclique_count} bicliques)",
-            file=out,
-        )
-    elif args.command == "stats":
-        from repro.graph.statistics import summarize
+        elif args.command == "stats":
+            from repro.graph.statistics import summarize
 
-        summary = summarize(graph)
-        for field_name in (
-            "n_left", "n_right", "num_edges", "mean_degree_left",
-            "mean_degree_right", "max_degree_left", "max_degree_right",
-            "density", "num_components", "degeneracy",
-        ):
-            value = getattr(summary, field_name)
-            rendered = f"{value:.6f}" if isinstance(value, float) else str(value)
-            print(f"{field_name:<18} {rendered}", file=out)
-    elif args.command == "partition":
-        from repro.core.hybrid import partition_graph
+            summary = summarize(graph)
+            for field_name in (
+                "n_left", "n_right", "num_edges", "mean_degree_left",
+                "mean_degree_right", "max_degree_left", "max_degree_right",
+                "density", "num_components", "degeneracy",
+            ):
+                value = getattr(summary, field_name)
+                rendered = f"{value:.6f}" if isinstance(value, float) else str(value)
+                print(f"{field_name:<18} {rendered}", file=out)
+        elif args.command == "partition":
+            from repro.core.hybrid import partition_graph
 
-        ordered = graph.degree_ordered()[0]
-        sparse, dense, weights = partition_graph(
-            ordered, tau=args.tau, quantile=args.quantile
-        )
-        print(
-            f"sparse region: {len(sparse)} vertices; "
-            f"dense region: {len(dense)} vertices; "
-            f"max weight {max(weights, default=0)}",
-            file=out,
-        )
-    elif args.command == "adaptive":
-        from repro.core.adaptive import adaptive_count
+            ordered = graph.degree_ordered()[0]
+            sparse, dense, weights = partition_graph(
+                ordered, tau=args.tau, quantile=args.quantile
+            )
+            obs.gauge("hybrid.sparse_vertices", len(sparse))
+            obs.gauge("hybrid.dense_vertices", len(dense))
+            print(
+                f"sparse region: {len(sparse)} vertices; "
+                f"dense region: {len(dense)} vertices; "
+                f"max weight {max(weights, default=0)}",
+                file=out,
+            )
+        elif args.command == "adaptive":
+            from repro.core.adaptive import adaptive_count
 
-        result = adaptive_count(
-            graph, args.p, args.q,
-            delta=args.delta, epsilon=args.epsilon,
-            max_samples=args.max_samples, seed=args.seed,
-        )
-        lo, hi = result.interval
-        status = "met" if result.satisfied else "sample cap reached"
-        print(
-            f"C({args.p},{args.q}) ~= {result.estimate:.1f} "
-            f"[{lo:.1f}, {hi:.1f}] after {result.samples_used} samples ({status})",
-            file=out,
-        )
+            result = adaptive_count(
+                graph, args.p, args.q,
+                delta=args.delta, epsilon=args.epsilon,
+                max_samples=args.max_samples, seed=args.seed,
+                obs=obs,
+            )
+            lo, hi = result.interval
+            status = "met" if result.satisfied else "sample cap reached"
+            print(
+                f"C({args.p},{args.q}) ~= {result.estimate:.1f} "
+                f"[{lo:.1f}, {hi:.1f}] after {result.samples_used} samples ({status})",
+                file=out,
+            )
 
-    print(f"elapsed: {time.perf_counter() - start:.3f}s", file=out)
+    if heartbeat is not None:
+        heartbeat.finish()
+    if probe is not None:
+        probe.stop()
+
+    total = phases["load"] + phases["compute"]
+    print(
+        f"elapsed: load {phases['load']:.3f}s compute {phases['compute']:.3f}s"
+        f" total {total:.3f}s",
+        file=out,
+    )
+
+    if want_obs:
+        obs.add_time("load", phases["load"])
+        obs.add_time("compute", phases["compute"])
+        report = RunReport.from_registry(
+            obs,
+            command=args.command,
+            arguments=_report_arguments(args),
+            graph={
+                "n_left": graph.n_left,
+                "n_right": graph.n_right,
+                "num_edges": graph.num_edges,
+            },
+        )
+        report.counts = counts_payload
+        if args.report:
+            report.write(args.report)
+        if args.stats:
+            _print_stats(report, out)
+        if json_mode:
+            print(report.to_json(), file=sys.stdout)
     return 0
 
 

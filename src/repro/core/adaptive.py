@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.core.zigzag import _ZigZag, _ZigZagPP
 from repro.graph.bigraph import BipartiteGraph
+from repro.obs.registry import MetricsRegistry
 from repro.utils.combinatorics import binomial
 from repro.utils.rng import as_generator
 
@@ -67,6 +68,7 @@ def adaptive_count(
     initial_samples: int = 500,
     max_samples: int = 200_000,
     seed: "int | None | np.random.Generator" = None,
+    obs: "MetricsRegistry | None" = None,
 ) -> AdaptiveEstimate:
     """Estimate the (p, q) count to relative error ``delta`` w.p. ``1-epsilon``.
 
@@ -74,6 +76,10 @@ def adaptive_count(
     empirical Theorem 4.11 bound is met or ``max_samples`` is exhausted;
     ``satisfied`` on the result says which.  Requires ``min(p, q) >= 2``
     (star cells are exact, no sampling needed).
+
+    ``obs`` records the adaptation itself — rounds run, samples drawn to
+    convergence, the final Theorem 4.11 requirement — on top of the
+    underlying zigzag engine's counters.
     """
     if min(p, q) < 2:
         raise ValueError("adaptive sampling applies to min(p, q) >= 2; star cells are exact")
@@ -104,7 +110,7 @@ def adaptive_count(
     weighted_sum = 0.0
     while total_drawn < max_samples:
         batch = min(batch, max_samples - total_drawn)
-        engine = engine_cls(ordered, max(p, q), batch, rng, levels=[level])
+        engine = engine_cls(ordered, max(p, q), batch, rng, levels=[level], obs=obs)
         counts = engine.run()
         round_estimate = counts[p, q]
         weighted_sum += round_estimate * batch
@@ -115,6 +121,7 @@ def adaptive_count(
         z_max = max(z_max, engine.stats.max_hit.get((p, q), 0.0))
         if zigzag_total == 0:
             # No zigzags at this level anywhere: the count is exactly 0.
+            _flush_adaptive_stats(obs, rounds, total_drawn, 0.0, True)
             return AdaptiveEstimate(
                 p, q, 0.0, total_drawn, True, 0.0, rounds, 0.0
             )
@@ -132,6 +139,7 @@ def adaptive_count(
         half_width = mean_half_width * zigzag_total / denominator
     else:
         half_width = 0.0
+    _flush_adaptive_stats(obs, rounds, total_drawn, required, total_drawn >= required)
     return AdaptiveEstimate(
         p,
         q,
@@ -142,3 +150,19 @@ def adaptive_count(
         rounds,
         required,
     )
+
+
+def _flush_adaptive_stats(
+    obs: "MetricsRegistry | None",
+    rounds: list,
+    samples_used: int,
+    required: float,
+    satisfied: bool,
+) -> None:
+    if obs is None or not obs.enabled:
+        return
+    obs.incr("adaptive.rounds", len(rounds))
+    obs.incr("adaptive.samples_to_convergence", samples_used)
+    if required != float("inf"):
+        obs.gauge("adaptive.required_samples", required)
+    obs.gauge("adaptive.satisfied", int(satisfied))

@@ -31,11 +31,13 @@ Counts are exact Python integers.
 
 from __future__ import annotations
 
-from typing import Callable
+import time
+from typing import TYPE_CHECKING, Callable
 
 from repro.core.counts import BicliqueCounts
 from repro.graph.bigraph import BipartiteGraph
 from repro.graph.core_decomposition import core_for_biclique
+from repro.obs.registry import MetricsRegistry
 from repro.utils.combinatorics import binomial
 from repro.utils.parallel import (
     CHUNKS_PER_WORKER,
@@ -44,7 +46,11 @@ from repro.utils.parallel import (
     merge_local_counts,
     resolve_workers,
     run_chunked,
+    split_worker_results,
 )
+
+if TYPE_CHECKING:
+    from repro.obs.progress import Heartbeat
 
 __all__ = ["EPivoter", "count_all", "count_single", "count_local"]
 
@@ -104,12 +110,17 @@ class EPivoter:
         max_q: "int | None" = None,
         left_region: "set[int] | None" = None,
         workers: "int | None" = None,
+        obs: "MetricsRegistry | None" = None,
+        heartbeat: "Heartbeat | None" = None,
     ) -> BicliqueCounts:
         """Count (p, q)-bicliques for **all** pairs with ``p, q >= 1``.
 
         ``max_p`` / ``max_q`` cap the *stored* matrix (default: the sides'
         maximum possible biclique dimensions); the traversal itself is
-        shared by all pairs, which is EPivoter's whole point.
+        shared by all pairs, which is EPivoter's whole point.  Branches
+        whose held sets already exceed the stored matrix are pruned: every
+        leaf below them has fixed sizes at least the held sizes, so they
+        cannot contribute to any stored cell.
 
         ``left_region`` restricts the roots to edges whose left endpoint
         lies in the region, i.e. counts only the bicliques whose minimal
@@ -117,6 +128,11 @@ class EPivoter:
         rule of the hybrid algorithm (Section 5).  Root-edge attribution
         is also what makes ``workers`` sound: each process owns a chunk of
         roots, and no biclique is counted under two roots.
+
+        ``obs`` collects engine counters (nodes expanded, prune hits per
+        bound, max stack depth) and — on parallel runs — per-worker stat
+        dicts; ``heartbeat`` receives one tick per expanded node (serial
+        runs only).
         """
         if max_p is None:
             max_p = max((len(s) for s in self._adj_right), default=1)
@@ -124,21 +140,31 @@ class EPivoter:
             max_q = max((len(s) for s in self._adj_left), default=1)
         max_p = max(1, max_p)
         max_q = max(1, max_q)
+        bounds = (max_p, max_q, 1, 1)
+        track = obs is not None and obs.enabled
 
         n_workers = resolve_workers(workers)
         if n_workers > 1:
             chunks = self._root_chunks(n_workers, left_region)
             if len(chunks) > 1:
+                if track:
+                    obs.gauge_max("parallel.workers", n_workers)
+                    obs.gauge_max("parallel.chunks", len(chunks))
                 payloads = [
-                    (self.graph, self.pivot, max_p, max_q, chunk)
+                    (self.graph, self.pivot, max_p, max_q, chunk, track)
                     for chunk in chunks
                 ]
-                return merge_counts(
-                    run_chunked(_count_all_chunk, payloads, n_workers)
-                )
+                parts = run_chunked(_count_all_chunk, payloads, n_workers)
+                return merge_counts(split_worker_results(parts, obs))
 
         counts = BicliqueCounts(max_p, max_q)
-        self._run(_matrix_visitor(counts, max_p, max_q), left_region=left_region)
+        self._run(
+            _matrix_visitor(counts, max_p, max_q),
+            left_region=left_region,
+            bounds=bounds,
+            obs=obs,
+            heartbeat=heartbeat,
+        )
         return counts
 
     def count_single(
@@ -147,6 +173,8 @@ class EPivoter:
         q: int,
         use_core: bool = True,
         workers: "int | None" = None,
+        obs: "MetricsRegistry | None" = None,
+        heartbeat: "Heartbeat | None" = None,
     ) -> int:
         """Count (p, q)-bicliques for one pair, with the §3.3 pruning.
 
@@ -155,9 +183,14 @@ class EPivoter:
         """
         if p < 1 or q < 1:
             raise ValueError("p and q must be positive")
+        track = obs is not None and obs.enabled
         engine = self
         if use_core:
             core, _, _ = core_for_biclique(self.graph, p, q)
+            if track:
+                obs.gauge_max("epivoter.core_left", core.n_left)
+                obs.gauge_max("epivoter.core_right", core.n_right)
+                obs.gauge_max("epivoter.core_edges", core.num_edges)
             if core.num_edges == 0:
                 return 0
             engine = EPivoter(core, pivot=self.pivot)
@@ -166,10 +199,15 @@ class EPivoter:
         if n_workers > 1:
             chunks = engine._root_chunks(n_workers, None)
             if len(chunks) > 1:
+                if track:
+                    obs.gauge_max("parallel.workers", n_workers)
+                    obs.gauge_max("parallel.chunks", len(chunks))
                 payloads = [
-                    (engine.graph, engine.pivot, p, q, chunk) for chunk in chunks
+                    (engine.graph, engine.pivot, p, q, chunk, track)
+                    for chunk in chunks
                 ]
-                return sum(run_chunked(_count_single_chunk, payloads, n_workers))
+                parts = run_chunked(_count_single_chunk, payloads, n_workers)
+                return sum(split_worker_results(parts, obs))
 
         total = 0
 
@@ -181,11 +219,15 @@ class EPivoter:
                 * binomial(free_r, q - fixed_r)
             )
 
-        engine._run(visit, bounds=(p, q, p, q))
+        engine._run(visit, bounds=(p, q, p, q), obs=obs, heartbeat=heartbeat)
         return total
 
     def count_local(
-        self, p: int, q: int, workers: "int | None" = None
+        self,
+        p: int,
+        q: int,
+        workers: "int | None" = None,
+        obs: "MetricsRegistry | None" = None,
     ) -> tuple[list[int], list[int]]:
         """Per-vertex (p, q)-biclique counts (Section 6).
 
@@ -193,13 +235,14 @@ class EPivoter:
         ordered) labelling: ``left_counts[u]`` is the number of (p, q)-
         bicliques containing left vertex ``u``.
         """
-        result = self.count_local_many([(p, q)], workers=workers)
+        result = self.count_local_many([(p, q)], workers=workers, obs=obs)
         return result[(p, q)]
 
     def count_local_many(
         self,
         pairs: "list[tuple[int, int]]",
         workers: "int | None" = None,
+        obs: "MetricsRegistry | None" = None,
     ) -> dict[tuple[int, int], tuple[list[int], list[int]]]:
         """Per-vertex counts for several (p, q) pairs in one traversal.
 
@@ -211,24 +254,29 @@ class EPivoter:
             raise ValueError("pairs must be non-empty")
         if any(p < 1 or q < 1 for p, q in pairs):
             raise ValueError("p and q must be positive")
+        track = obs is not None and obs.enabled
 
         n_workers = resolve_workers(workers)
         if n_workers > 1:
             chunks = self._root_chunks(n_workers, None)
             if len(chunks) > 1:
+                if track:
+                    obs.gauge_max("parallel.workers", n_workers)
+                    obs.gauge_max("parallel.chunks", len(chunks))
                 payloads = [
-                    (self.graph, self.pivot, tuple(pairs), chunk)
+                    (self.graph, self.pivot, tuple(pairs), chunk, track)
                     for chunk in chunks
                 ]
-                return merge_local_counts(
-                    run_chunked(_count_local_chunk, payloads, n_workers)
-                )
+                parts = run_chunked(_count_local_chunk, payloads, n_workers)
+                return merge_local_counts(split_worker_results(parts, obs))
 
         g = self.graph
         result = {
             pair: ([0] * g.n_left, [0] * g.n_right) for pair in pairs
         }
-        self._run_sets(_local_leaf_visitor(result), bounds=_pairs_bounds(pairs))
+        self._run_sets(
+            _local_leaf_visitor(result), bounds=_pairs_bounds(pairs), obs=obs
+        )
         return result
 
     # ------------------------------------------------------------------
@@ -253,6 +301,8 @@ class EPivoter:
         left_region: "set[int] | None" = None,
         bounds: Bounds = None,
         roots: "list[tuple[int, int]] | None" = None,
+        obs: "MetricsRegistry | None" = None,
+        heartbeat: "Heartbeat | None" = None,
     ) -> None:
         """Run the traversal over ``roots``; ``visit`` receives leaves.
 
@@ -265,6 +315,11 @@ class EPivoter:
         Python recursion, so depth is bounded only by memory.  Leaf order
         differs from the recursive formulation, which is immaterial:
         every visitor accumulates by commutative (exact-integer) addition.
+
+        With ``obs`` enabled the traversal accumulates its counters in
+        locals and flushes them once at the end, so instrumentation adds
+        one branch per node when on and nothing but the default-argument
+        check when off.  ``heartbeat.tick()`` fires per expanded node.
         """
         g = self.graph
         adj_left = self._adj_left
@@ -276,11 +331,17 @@ class EPivoter:
             max_p, max_q, min_p, min_q = bounds
         if roots is None:
             roots = g.edges()
+        track = obs is not None and obs.enabled
+        n_roots = nodes = leaves = 0
+        pivot_branches = edge_branches = 0
+        prune_size = prune_reach_l = prune_reach_r = 0
+        max_depth = 0
         stack: list[tuple[list[int], list[int], int, int, int, int]] = []
         push = stack.append
         for root_u, root_v in roots:
             if left_region is not None and root_u not in left_region:
                 continue
+            n_roots += 1
             push(
                 (
                     list(g.higher_neighbors_of_right(root_v, root_u)),
@@ -289,13 +350,22 @@ class EPivoter:
                 )
             )
             while stack:
+                if track:
+                    nodes += 1
+                    if len(stack) > max_depth:
+                        max_depth = len(stack)
+                if heartbeat is not None:
+                    heartbeat.tick()
                 cand_l, cand_r, p_l, h_l, p_r, h_r = stack.pop()
                 if max_p is not None:
                     if h_l > max_p or h_r > max_q:
+                        prune_size += 1
                         continue
                     if p_l + h_l + len(cand_l) < min_p:
+                        prune_reach_l += 1
                         continue
                     if p_r + h_r + len(cand_r) < min_q:
+                        prune_reach_r += 1
                         continue
                 cand_r_set = set(cand_r)
                 # Edges of the candidate-induced subgraph G', plus
@@ -311,6 +381,7 @@ class EPivoter:
                             deg_r[y] = deg_r.get(y, 0) + 1
                             edges.append((x, y))
                 if not edges:
+                    leaves += 1
                     n_l, n_r = len(cand_l), len(cand_r)
                     if n_l and n_r:
                         # Bicliques with no right candidate: left
@@ -348,11 +419,13 @@ class EPivoter:
                     px, py = pos_l[x], pos_r[y]
                     sub_l = [c for c in new_l if pos_l[c] > px and c in adj_y]
                     sub_r = [c for c in new_r if pos_r[c] > py and c in adj_x]
+                    edge_branches += 1
                     push((sub_l, sub_r, p_l, h_l + 1, p_r, h_r + 1))
 
                 # Cases 1-4: the pivot branch; pivot endpoints become free.
                 sub_l = [c for c in cand_l if c in nbr_v and c != pivot_u]
                 sub_r = [c for c in cand_r if c in nbr_u and c != pivot_v]
+                pivot_branches += 1
                 push((sub_l, sub_r, p_l + 1, h_l, p_r + 1, h_r))
 
                 # Case 5: bicliques using candidates of one side only,
@@ -367,6 +440,19 @@ class EPivoter:
                 for w in (y for y in new_r if y not in nbr_u):
                     remaining -= 1
                     visit(p_l, h_l, p_r + remaining, h_r + 1, 1)
+        if track:
+            _flush_traversal_stats(
+                obs,
+                n_roots,
+                nodes,
+                leaves,
+                pivot_branches,
+                edge_branches,
+                prune_size,
+                prune_reach_l,
+                prune_reach_r,
+                max_depth,
+            )
 
     def _choose_pivot(
         self,
@@ -401,6 +487,8 @@ class EPivoter:
         on_leaf,
         bounds: Bounds = None,
         roots: "list[tuple[int, int]] | None" = None,
+        obs: "MetricsRegistry | None" = None,
+        heartbeat: "Heartbeat | None" = None,
     ) -> None:
         """Like :meth:`_run` but leaves receive vertex lists.
 
@@ -419,11 +507,17 @@ class EPivoter:
             max_p, max_q, min_p, min_q = bounds
         if roots is None:
             roots = g.edges()
+        track = obs is not None and obs.enabled
+        n_roots = nodes = leaves = 0
+        pivot_branches = edge_branches = 0
+        prune_size = prune_reach_l = prune_reach_r = 0
+        max_depth = 0
         stack: list[
             tuple[list[int], list[int], list[int], list[int], list[int], list[int]]
         ] = []
         push = stack.append
         for root_u, root_v in roots:
+            n_roots += 1
             push(
                 (
                     list(g.higher_neighbors_of_right(root_v, root_u)),
@@ -432,13 +526,22 @@ class EPivoter:
                 )
             )
             while stack:
+                if track:
+                    nodes += 1
+                    if len(stack) > max_depth:
+                        max_depth = len(stack)
+                if heartbeat is not None:
+                    heartbeat.tick()
                 cand_l, cand_r, p_l, h_l, p_r, h_r = stack.pop()
                 if max_p is not None:
                     if len(h_l) > max_p or len(h_r) > max_q:
+                        prune_size += 1
                         continue
                     if len(p_l) + len(h_l) + len(cand_l) < min_p:
+                        prune_reach_l += 1
                         continue
                     if len(p_r) + len(h_r) + len(cand_r) < min_q:
+                        prune_reach_r += 1
                         continue
                 cand_r_set = set(cand_r)
                 edges: list[tuple[int, int]] = []
@@ -452,6 +555,7 @@ class EPivoter:
                             deg_r[y] = deg_r.get(y, 0) + 1
                             edges.append((x, y))
                 if not edges:
+                    leaves += 1
                     if cand_l and cand_r:
                         on_leaf(p_l + cand_l, h_l, p_r, h_r, [], 0)
                         on_leaf(p_l, h_l, p_r, h_r, cand_r, 1)
@@ -477,10 +581,12 @@ class EPivoter:
                     px, py = pos_l[x], pos_r[y]
                     sub_l = [c for c in new_l if pos_l[c] > px and c in adj_y]
                     sub_r = [c for c in new_r if pos_r[c] > py and c in adj_x]
+                    edge_branches += 1
                     push((sub_l, sub_r, p_l, h_l + [x], p_r, h_r + [y]))
 
                 sub_l = [c for c in cand_l if c in nbr_v and c != pivot_u]
                 sub_r = [c for c in cand_r if c in nbr_u and c != pivot_v]
+                pivot_branches += 1
                 push((sub_l, sub_r, p_l + [pivot_u], h_l, p_r + [pivot_v], h_r))
 
                 pool = list(new_l)
@@ -491,12 +597,67 @@ class EPivoter:
                 for w in [y for y in new_r if y not in nbr_u]:
                     pool_r.remove(w)
                     on_leaf(p_l, h_l, p_r + pool_r, h_r + [w], [], 0)
+        if track:
+            _flush_traversal_stats(
+                obs,
+                n_roots,
+                nodes,
+                leaves,
+                pivot_branches,
+                edge_branches,
+                prune_size,
+                prune_reach_l,
+                prune_reach_r,
+                max_depth,
+            )
 
 
 # ----------------------------------------------------------------------
 # Shared leaf visitors and per-chunk workers (module-level: the workers
 # must be picklable for ProcessPoolExecutor).
 # ----------------------------------------------------------------------
+
+
+def _flush_traversal_stats(
+    obs: MetricsRegistry,
+    roots: int,
+    nodes: int,
+    leaves: int,
+    pivot_branches: int,
+    edge_branches: int,
+    prune_size: int,
+    prune_reach_l: int,
+    prune_reach_r: int,
+    max_depth: int,
+) -> None:
+    """Fold one traversal's local tallies into the registry."""
+    obs.incr("epivoter.roots", roots)
+    obs.incr("epivoter.nodes_expanded", nodes)
+    obs.incr("epivoter.leaves", leaves)
+    obs.incr("epivoter.pivot_branches", pivot_branches)
+    obs.incr("epivoter.edge_branches", edge_branches)
+    obs.incr("epivoter.prune_hits", prune_size + prune_reach_l + prune_reach_r)
+    obs.incr("epivoter.prune.size_bound", prune_size)
+    obs.incr("epivoter.prune.reach_left", prune_reach_l)
+    obs.incr("epivoter.prune.reach_right", prune_reach_r)
+    obs.gauge_max("epivoter.max_stack_depth", max_depth)
+
+
+def _worker_stats(obs: MetricsRegistry, roots: int, wall_time: float) -> dict:
+    """One worker's stat dict, shipped back with its partial result.
+
+    ``nodes_expanded``/``prune_hits`` are surfaced at the top level for
+    skew inspection; the full counter/gauge snapshots ride along so the
+    coordinator's merged totals match a serial run.
+    """
+    return {
+        "roots": roots,
+        "wall_time": wall_time,
+        "nodes_expanded": obs.counters.get("epivoter.nodes_expanded", 0),
+        "prune_hits": obs.counters.get("epivoter.prune_hits", 0),
+        "counters": dict(obs.counters),
+        "gauges": dict(obs.gauges),
+    }
 
 
 def _matrix_visitor(counts: BicliqueCounts, max_p: int, max_q: int):
@@ -575,18 +736,30 @@ def _pairs_bounds(pairs: "list[tuple[int, int]]") -> "tuple[int, int, int, int]"
     )
 
 
-def _count_all_chunk(payload) -> BicliqueCounts:
+def _count_all_chunk(payload) -> "tuple[BicliqueCounts, dict | None]":
     """Worker: all-pairs counts over one chunk of root edges."""
-    graph, pivot, max_p, max_q, roots = payload
+    graph, pivot, max_p, max_q, roots, collect = payload
     engine = EPivoter(graph, pivot=pivot)
     counts = BicliqueCounts(max_p, max_q)
-    engine._run(_matrix_visitor(counts, max_p, max_q), roots=roots)
-    return counts
+    obs = MetricsRegistry() if collect else None
+    start = time.perf_counter()
+    engine._run(
+        _matrix_visitor(counts, max_p, max_q),
+        roots=roots,
+        bounds=(max_p, max_q, 1, 1),
+        obs=obs,
+    )
+    stats = (
+        _worker_stats(obs, len(roots), time.perf_counter() - start)
+        if collect
+        else None
+    )
+    return counts, stats
 
 
-def _count_single_chunk(payload) -> int:
+def _count_single_chunk(payload) -> "tuple[int, dict | None]":
     """Worker: a single (p, q) count over one chunk of root edges."""
-    graph, pivot, p, q, roots = payload
+    graph, pivot, p, q, roots, collect = payload
     engine = EPivoter(graph, pivot=pivot)
     total = 0
 
@@ -598,21 +771,38 @@ def _count_single_chunk(payload) -> int:
             * binomial(free_r, q - fixed_r)
         )
 
-    engine._run(visit, bounds=(p, q, p, q), roots=roots)
-    return total
+    obs = MetricsRegistry() if collect else None
+    start = time.perf_counter()
+    engine._run(visit, bounds=(p, q, p, q), roots=roots, obs=obs)
+    stats = (
+        _worker_stats(obs, len(roots), time.perf_counter() - start)
+        if collect
+        else None
+    )
+    return total, stats
 
 
 def _count_local_chunk(payload):
     """Worker: per-vertex counts for many pairs over one root chunk."""
-    graph, pivot, pairs, roots = payload
+    graph, pivot, pairs, roots, collect = payload
     engine = EPivoter(graph, pivot=pivot)
     result = {
         pair: ([0] * graph.n_left, [0] * graph.n_right) for pair in pairs
     }
+    obs = MetricsRegistry() if collect else None
+    start = time.perf_counter()
     engine._run_sets(
-        _local_leaf_visitor(result), bounds=_pairs_bounds(list(pairs)), roots=roots
+        _local_leaf_visitor(result),
+        bounds=_pairs_bounds(list(pairs)),
+        roots=roots,
+        obs=obs,
     )
-    return result
+    stats = (
+        _worker_stats(obs, len(roots), time.perf_counter() - start)
+        if collect
+        else None
+    )
+    return result, stats
 
 
 # ----------------------------------------------------------------------
@@ -626,9 +816,12 @@ def count_all(
     max_q: "int | None" = None,
     pivot: str = "product",
     workers: "int | None" = None,
+    obs: "MetricsRegistry | None" = None,
 ) -> BicliqueCounts:
     """Count all (p, q)-bicliques of ``graph`` (convenience wrapper)."""
-    return EPivoter(graph, pivot=pivot).count_all(max_p, max_q, workers=workers)
+    return EPivoter(graph, pivot=pivot).count_all(
+        max_p, max_q, workers=workers, obs=obs
+    )
 
 
 def count_single(
@@ -638,10 +831,11 @@ def count_single(
     pivot: str = "product",
     use_core: bool = True,
     workers: "int | None" = None,
+    obs: "MetricsRegistry | None" = None,
 ) -> int:
     """Count the (p, q)-bicliques of ``graph`` for one pair."""
     return EPivoter(graph, pivot=pivot).count_single(
-        p, q, use_core=use_core, workers=workers
+        p, q, use_core=use_core, workers=workers, obs=obs
     )
 
 
@@ -651,11 +845,12 @@ def count_local(
     q: int,
     pivot: str = "product",
     workers: "int | None" = None,
+    obs: "MetricsRegistry | None" = None,
 ) -> tuple[list[int], list[int]]:
     """Per-vertex (p, q)-biclique counts in the *original* labelling."""
     ordered, left_map, right_map = graph.degree_ordered()
     engine = EPivoter(ordered, pivot=pivot)
-    left_ordered, right_ordered = engine.count_local(p, q, workers=workers)
+    left_ordered, right_ordered = engine.count_local(p, q, workers=workers, obs=obs)
     left_counts = [0] * graph.n_left
     right_counts = [0] * graph.n_right
     for old, new in enumerate(left_map):

@@ -23,6 +23,7 @@ from repro.core.counts import BicliqueCounts
 from repro.core.epivoter import EPivoter
 from repro.core.zigzag import zigzag_count_all, zigzagpp_count_all
 from repro.graph.bigraph import BipartiteGraph
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.utils.rng import as_generator
 
 __all__ = [
@@ -93,6 +94,7 @@ def hybrid_count_all(
     quantile: float = 0.9,
     pivot: str = "product",
     workers: "int | None" = None,
+    obs: "MetricsRegistry | None" = None,
 ) -> BicliqueCounts:
     """Hybrid EP + sampling estimate of all (p, q) counts up to ``h_max``.
 
@@ -101,24 +103,36 @@ def hybrid_count_all(
     the exact sparse-region EPivoter pass over processes (the sampling
     pass is untouched); the exact part is merged from integer partials,
     so results for any worker count match the serial run exactly.
+
+    ``obs`` records the partition sizes (``hybrid.sparse_vertices`` /
+    ``hybrid.dense_vertices``) and per-region time (phase timers
+    ``hybrid.partition`` / ``hybrid.exact_sparse`` /
+    ``hybrid.estimate_dense``) on top of the engines' own counters.
     """
     if estimator not in ("zigzag", "zigzag++"):
         raise ValueError("estimator must be 'zigzag' or 'zigzag++'")
+    reg = obs if obs is not None else NULL_REGISTRY
     rng = as_generator(seed)
     ordered = graph if graph.is_degree_ordered() else graph.degree_ordered()[0]
-    sparse, dense, _ = partition_graph(ordered, tau=tau, quantile=quantile)
+    with reg.phase("hybrid.partition"):
+        sparse, dense, _ = partition_graph(ordered, tau=tau, quantile=quantile)
+    reg.gauge("hybrid.sparse_vertices", len(sparse))
+    reg.gauge("hybrid.dense_vertices", len(dense))
     counts = BicliqueCounts(h_max, h_max)
     if sparse:
-        exact_part = EPivoter(ordered, pivot=pivot).count_all(
-            h_max, h_max, left_region=sparse, workers=workers
-        )
+        with reg.phase("hybrid.exact_sparse"):
+            exact_part = EPivoter(ordered, pivot=pivot).count_all(
+                h_max, h_max, left_region=sparse, workers=workers, obs=obs
+            )
         for p, q, value in exact_part.items():
             counts.add(p, q, value)
     if dense:
         estimate_fn = zigzag_count_all if estimator == "zigzag" else zigzagpp_count_all
-        sampled_part = estimate_fn(
-            ordered, h_max=h_max, samples=samples, seed=rng, left_region=dense
-        )
+        with reg.phase("hybrid.estimate_dense"):
+            sampled_part = estimate_fn(
+                ordered, h_max=h_max, samples=samples, seed=rng,
+                left_region=dense, obs=obs,
+            )
         for p, q, value in sampled_part.items():
             counts.add(p, q, value)
     return counts
@@ -134,6 +148,7 @@ def hybrid_count_single(
     tau: "float | None" = None,
     quantile: float = 0.9,
     workers: "int | None" = None,
+    obs: "MetricsRegistry | None" = None,
 ) -> float:
     """Hybrid estimate of one (p, q) count (the §5 remark).
 
@@ -145,33 +160,40 @@ def hybrid_count_single(
         raise ValueError("estimator must be 'zigzag' or 'zigzag++'")
     if min(p, q) < 1:
         raise ValueError("p and q must be positive")
+    reg = obs if obs is not None else NULL_REGISTRY
     rng = as_generator(seed)
     ordered = graph if graph.is_degree_ordered() else graph.degree_ordered()[0]
-    sparse, dense, _ = partition_graph(ordered, tau=tau, quantile=quantile)
+    with reg.phase("hybrid.partition"):
+        sparse, dense, _ = partition_graph(ordered, tau=tau, quantile=quantile)
+    reg.gauge("hybrid.sparse_vertices", len(sparse))
+    reg.gauge("hybrid.dense_vertices", len(dense))
     total = 0.0
     if sparse:
-        total += EPivoter(ordered).count_all(
-            p, q, left_region=sparse, workers=workers
-        )[p, q]
+        with reg.phase("hybrid.exact_sparse"):
+            total += EPivoter(ordered).count_all(
+                p, q, left_region=sparse, workers=workers, obs=obs
+            )[p, q]
     if dense:
         # Import locally to avoid a cycle at module import time.
         from repro.core.zigzag import _ZigZag, _ZigZagPP, star_counts
         from repro.core.counts import BicliqueCounts
 
-        if min(p, q) == 1:
-            star_part = BicliqueCounts(max(p, 2), max(q, 2))
-            star_counts(ordered, star_part, dense)
-            total += star_part[p, q]
-        else:
-            engine_cls = _ZigZag if estimator == "zigzag" else _ZigZagPP
-            level = min(p, q) - 1 if estimator == "zigzag" else min(p, q)
-            engine = engine_cls(
-                ordered,
-                max(p, q),
-                samples,
-                rng,
-                levels=[level],
-                unit_filter=dense,
-            )
-            total += engine.run()[p, q]
+        with reg.phase("hybrid.estimate_dense"):
+            if min(p, q) == 1:
+                star_part = BicliqueCounts(max(p, 2), max(q, 2))
+                star_counts(ordered, star_part, dense)
+                total += star_part[p, q]
+            else:
+                engine_cls = _ZigZag if estimator == "zigzag" else _ZigZagPP
+                level = min(p, q) - 1 if estimator == "zigzag" else min(p, q)
+                engine = engine_cls(
+                    ordered,
+                    max(p, q),
+                    samples,
+                    rng,
+                    levels=[level],
+                    unit_filter=dense,
+                    obs=obs,
+                )
+                total += engine.run()[p, q]
     return total

@@ -19,24 +19,39 @@ machinery of Algorithm 2.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.graph.bigraph import BipartiteGraph
+
+if TYPE_CHECKING:
+    from repro.obs.registry import MetricsRegistry
 
 __all__ = ["enumerate_maximal_bicliques"]
 
 Biclique = tuple[tuple[int, ...], tuple[int, ...]]
 
 
-def enumerate_maximal_bicliques(graph: BipartiteGraph) -> list[Biclique]:
+def enumerate_maximal_bicliques(
+    graph: BipartiteGraph,
+    obs: "MetricsRegistry | None" = None,
+) -> list[Biclique]:
     """Enumerate all maximal bicliques of ``graph`` with both sides non-empty.
 
     Returns sorted ``(left_tuple, right_tuple)`` pairs in the graph's own
     labelling (no degree reordering is required for enumeration).
+    ``obs`` collects search counters (nodes expanded, closure checks,
+    duplicates suppressed, max stack depth).
     """
     adj_left = [set(graph.neighbors_left(u)) for u in range(graph.n_left)]
     adj_right = [set(graph.neighbors_right(v)) for v in range(graph.n_right)]
     found: set[Biclique] = set()
+    track = obs is not None and obs.enabled
+    nodes = closure_checks = 0
+    max_depth = 0
 
     def check(left: set[int], right: set[int]) -> None:
+        nonlocal closure_checks
+        closure_checks += 1
         if not left or not right:
             return
         closure_right = set.intersection(*(adj_left[u] for u in left))
@@ -53,6 +68,10 @@ def enumerate_maximal_bicliques(graph: BipartiteGraph) -> list[Biclique]:
     ]
     push = stack.append
     while stack:
+        if track:
+            nodes += 1
+            if len(stack) > max_depth:
+                max_depth = len(stack)
         cand_l, cand_r, part_l, part_r = stack.pop()
         cand_r_set = set(cand_r)
         edges: list[tuple[int, int]] = []
@@ -100,4 +119,9 @@ def enumerate_maximal_bicliques(graph: BipartiteGraph) -> list[Biclique]:
         sub_l = [c for c in cand_l if c in nbr_v and c != pivot_u]
         sub_r = [c for c in cand_r if c in nbr_u and c != pivot_v]
         push((sub_l, sub_r, part_l | {pivot_u}, part_r | {pivot_v}))
+    if track:
+        obs.incr("mbce.nodes_expanded", nodes)
+        obs.incr("mbce.closure_checks", closure_checks)
+        obs.incr("mbce.maximal_found", len(found))
+        obs.gauge_max("mbce.max_stack_depth", max_depth)
     return sorted(found)

@@ -31,6 +31,7 @@ from repro.core.counts import BicliqueCounts
 from repro.core.dpcount import ZigzagDP
 from repro.graph.bigraph import BipartiteGraph
 from repro.graph.subgraph import LocalSubgraph, edge_neighborhood_graph, two_hop_graph
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.utils.combinatorics import binomial
 from repro.utils.rng import as_generator
 
@@ -152,6 +153,7 @@ class _Estimator:
         rng: np.random.Generator,
         levels: "list[int] | None" = None,
         unit_filter: "set[int] | None" = None,
+        obs: "MetricsRegistry | None" = None,
     ):
         if h_max < 2:
             raise ValueError("h_max must be at least 2")
@@ -164,6 +166,7 @@ class _Estimator:
         self.levels = levels if levels is not None else self.default_levels()
         self.unit_filter = unit_filter
         self.stats = SamplingStats()
+        self.obs = obs if obs is not None else NULL_REGISTRY
 
     # Subclass hooks -----------------------------------------------------
 
@@ -190,22 +193,31 @@ class _Estimator:
     # Driver -------------------------------------------------------------
 
     def run(self) -> BicliqueCounts:
+        obs = self.obs
+        track = obs.enabled
         counts = BicliqueCounts(self.h_max, self.h_max)
         star_counts(self.graph, counts, self.unit_filter)
         units = self.units()
         max_level = max(self.levels, default=0)
+        if track:
+            obs.incr("zigzag.units", len(units))
+            obs.gauge_max("zigzag.levels", len(self.levels))
         if max_level == 0 or not units:
             return counts
         # Pass 1: exact zigzag totals per unit and per level.
+        dp_cells = 0
         totals = np.zeros((len(units), len(self.levels)))
-        for row, unit in enumerate(units):
-            local = self.build(unit)
-            if local.num_edges == 0:
-                continue
-            dp = ZigzagDP(local.graph, max_level)
-            head = self.head_range(dp)
-            for col, level in enumerate(self.levels):
-                totals[row, col] = dp.zigzag_count(level, head)
+        with obs.phase("zigzag.dp_pass"):
+            for row, unit in enumerate(units):
+                local = self.build(unit)
+                if local.num_edges == 0:
+                    continue
+                dp = ZigzagDP(local.graph, max_level)
+                # Two directed-edge tables (A and B) per DP level.
+                dp_cells += 2 * dp.num_edges * max_level
+                head = self.head_range(dp)
+                for col, level in enumerate(self.levels):
+                    totals[row, col] = dp.zigzag_count(level, head)
         level_totals = totals.sum(axis=0)
         for col, level in enumerate(self.levels):
             self.stats.zigzag_totals[level] = float(level_totals[col])
@@ -218,23 +230,28 @@ class _Estimator:
             allocation[:, col] = self.rng.multinomial(self.samples, probs)
             self.stats.samples[level] = int(allocation[:, col].sum())
         sums: dict[tuple[int, int], float] = {}
-        for row, unit in enumerate(units):
-            if not allocation[row].any():
-                continue
-            local = self.build(unit)
-            dp = ZigzagDP(local.graph, max_level)
-            head = self.head_range(dp)
-            for col, level in enumerate(self.levels):
-                for _ in range(int(allocation[row, col])):
-                    left, right = dp.sample(level, self.rng, head)
-                    pools = _hit_pools(local.graph, left, right)
-                    if pools is None:
-                        continue
-                    pool_right, pool_left = pools
-                    for p, q, weight in self.cells_for_hit(level, pool_right, pool_left):
-                        sums[(p, q)] = sums.get((p, q), 0.0) + weight
-                        if weight > self.stats.max_hit.get((p, q), 0.0):
-                            self.stats.max_hit[(p, q)] = float(weight)
+        drawn_total = hits = 0
+        with obs.phase("zigzag.sampling_pass"):
+            for row, unit in enumerate(units):
+                if not allocation[row].any():
+                    continue
+                local = self.build(unit)
+                dp = ZigzagDP(local.graph, max_level)
+                dp_cells += 2 * dp.num_edges * max_level
+                head = self.head_range(dp)
+                for col, level in enumerate(self.levels):
+                    for _ in range(int(allocation[row, col])):
+                        drawn_total += 1
+                        left, right = dp.sample(level, self.rng, head)
+                        pools = _hit_pools(local.graph, left, right)
+                        if pools is None:
+                            continue
+                        hits += 1
+                        pool_right, pool_left = pools
+                        for p, q, weight in self.cells_for_hit(level, pool_right, pool_left):
+                            sums[(p, q)] = sums.get((p, q), 0.0) + weight
+                            if weight > self.stats.max_hit.get((p, q), 0.0):
+                                self.stats.max_hit[(p, q)] = float(weight)
         for (p, q), total in sums.items():
             level = min(p, q) - self.cell_offset
             zigzags = self.stats.zigzag_totals.get(level, 0.0)
@@ -243,6 +260,13 @@ class _Estimator:
                 continue
             estimate = zigzags * total / (drawn * self.denominator(p, q))
             counts.add(p, q, estimate)
+        if track:
+            obs.incr("zigzag.dp_table_cells", dp_cells)
+            obs.incr("zigzag.samples_drawn", drawn_total)
+            obs.incr("zigzag.sample_hits", hits)
+            # Misses (zero-estimate samples): the zero-estimate rate of a
+            # run is sample_misses / samples_drawn.
+            obs.incr("zigzag.sample_misses", drawn_total - hits)
         return counts
 
 
@@ -332,6 +356,7 @@ def zigzag_count_all(
     seed: "int | None | np.random.Generator" = None,
     return_stats: bool = False,
     left_region: "set[int] | None" = None,
+    obs: "MetricsRegistry | None" = None,
 ):
     """Estimate all (p, q)-biclique counts with ZigZag (Algorithm 7).
 
@@ -342,11 +367,13 @@ def zigzag_count_all(
 
     Returns a :class:`BicliqueCounts` (float cells for sampled levels,
     exact integers for ``min(p, q) = 1``), plus :class:`SamplingStats`
-    when ``return_stats`` is set.
+    when ``return_stats`` is set.  ``obs`` collects sampling counters
+    (samples drawn, hit/miss split, DP table cells) and phase timers.
     """
     ordered = _prepare(graph)
     engine = _ZigZag(
-        ordered, h_max, samples, as_generator(seed), unit_filter=left_region
+        ordered, h_max, samples, as_generator(seed), unit_filter=left_region,
+        obs=obs,
     )
     counts = engine.run()
     if return_stats:
@@ -361,11 +388,13 @@ def zigzagpp_count_all(
     seed: "int | None | np.random.Generator" = None,
     return_stats: bool = False,
     left_region: "set[int] | None" = None,
+    obs: "MetricsRegistry | None" = None,
 ):
     """Estimate all (p, q)-biclique counts with ZigZag++ (Algorithm 8)."""
     ordered = _prepare(graph)
     engine = _ZigZagPP(
-        ordered, h_max, samples, as_generator(seed), unit_filter=left_region
+        ordered, h_max, samples, as_generator(seed), unit_filter=left_region,
+        obs=obs,
     )
     counts = engine.run()
     if return_stats:

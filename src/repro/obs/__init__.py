@@ -1,0 +1,46 @@
+"""Engine-level observability: metrics, memory probes, run reports.
+
+The paper's evaluation (§7) reasons in internal quantities — search-tree
+nodes expanded, prune hits, samples drawn, per-region partition cost —
+and this package makes those quantities visible without touching any
+algorithmic result:
+
+* :class:`MetricsRegistry` — named counters, accumulating phase timers,
+  and gauges that the engines write into when one is passed;
+* :data:`NULL_REGISTRY` — the no-op twin every entry point defaults to,
+  so instrumentation costs nothing when nobody is looking;
+* :class:`MemoryProbe` — ``tracemalloc`` peak plus best-effort RSS;
+* :class:`Heartbeat` — a rate-limited progress pulse for long
+  enumerations;
+* :class:`RunReport` — one JSON document per run (counters, phase
+  timings, per-worker stats, memory, optional counts matrix), validated
+  by :func:`validate_report`.
+
+The package deliberately imports nothing from the rest of ``repro`` at
+module level, so every engine can depend on it without cycles.
+"""
+
+from repro.obs.memory import MemoryProbe, peak_rss_bytes
+from repro.obs.progress import Heartbeat
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry, NullRegistry
+from repro.obs.report import (
+    REPORT_SCHEMA,
+    RunReport,
+    counts_from_dict,
+    counts_to_dict,
+    validate_report,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "MemoryProbe",
+    "peak_rss_bytes",
+    "Heartbeat",
+    "RunReport",
+    "REPORT_SCHEMA",
+    "validate_report",
+    "counts_to_dict",
+    "counts_from_dict",
+]

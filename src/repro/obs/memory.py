@@ -1,0 +1,99 @@
+"""Memory probes: ``tracemalloc`` peak plus best-effort process RSS.
+
+``tracemalloc`` measures Python-level allocations exactly (the DP tables,
+candidate lists, and count matrices that dominate this codebase), at the
+cost of slowing allocation down; it is therefore only started when a
+probe is active.  The RSS high-water mark comes free from the kernel and
+covers native allocations (numpy buffers) too, but is best-effort: on
+platforms without ``/proc`` or ``resource`` it is simply omitted.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["MemoryProbe", "peak_rss_bytes"]
+
+
+def peak_rss_bytes() -> "int | None":
+    """The process's resident-set high-water mark in bytes, if knowable.
+
+    Tries ``/proc/self/status`` (``VmHWM``, Linux) first, then
+    ``resource.getrusage`` (``ru_maxrss``, kilobytes on Linux and bytes
+    on macOS).  Returns ``None`` when neither source is available.
+    """
+    try:
+        with open("/proc/self/status") as status:
+            for line in status:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+        import sys
+
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        if sys.platform == "darwin":
+            return int(peak)
+        return int(peak) * 1024
+    except Exception:
+        return None
+
+
+class MemoryProbe:
+    """Measures peak memory over a region; optionally feeds a registry.
+
+    Use as a context manager or via explicit :meth:`start` / :meth:`stop`.
+    After stopping, ``tracemalloc_peak`` holds the traced Python peak in
+    bytes and ``rss_peak`` the process high-water mark (or ``None``).
+    Results also land in the registry as gauges
+    ``memory.tracemalloc_peak_bytes`` / ``memory.rss_peak_bytes``.
+
+    If ``tracemalloc`` is already tracing (an outer probe or the test
+    harness), the probe resets the peak instead of restarting, and leaves
+    tracing on when it exits.
+    """
+
+    def __init__(self, registry: "MetricsRegistry | None" = None):
+        self.registry = registry
+        self.tracemalloc_peak: "int | None" = None
+        self.rss_peak: "int | None" = None
+        self._started_tracing = False
+        self._active = False
+
+    def start(self) -> "MemoryProbe":
+        if self._active:
+            return self
+        self._active = True
+        if tracemalloc.is_tracing():
+            tracemalloc.reset_peak()
+        else:
+            tracemalloc.start()
+            self._started_tracing = True
+        return self
+
+    def stop(self) -> "MemoryProbe":
+        if not self._active:
+            return self
+        self._active = False
+        _, peak = tracemalloc.get_traced_memory()
+        if self._started_tracing:
+            tracemalloc.stop()
+            self._started_tracing = False
+        self.tracemalloc_peak = peak
+        self.rss_peak = peak_rss_bytes()
+        registry = self.registry
+        if registry is not None and registry.enabled:
+            registry.gauge_max("memory.tracemalloc_peak_bytes", peak)
+            if self.rss_peak is not None:
+                registry.gauge_max("memory.rss_peak_bytes", self.rss_peak)
+        return self
+
+    def __enter__(self) -> "MemoryProbe":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -1,0 +1,95 @@
+"""A rate-limited progress heartbeat for long enumerations.
+
+Enumeration trees can run for minutes with no output; a heartbeat turns
+the per-node tick stream into at most one line per ``interval`` seconds.
+The clock is only consulted every ``check_every`` ticks, so a heartbeat
+on a hot loop costs an integer increment per node, not a syscall.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable
+
+__all__ = ["Heartbeat"]
+
+
+def _default_emit(message: str) -> None:
+    print(message, file=sys.stderr, flush=True)
+
+
+class Heartbeat:
+    """Emit a progress line at most once per ``interval`` seconds.
+
+    Parameters
+    ----------
+    label:
+        What a tick means (e.g. ``"epivoter nodes"``).
+    interval:
+        Minimum seconds between emitted lines.
+    check_every:
+        Ticks between clock reads; the rate limiter's cheap outer gate.
+    emit:
+        Sink for formatted lines (default: stderr).
+    total:
+        Optional expected tick count, rendered as ``done/total``.
+    clock:
+        Injectable time source (tests pass a fake).
+    """
+
+    def __init__(
+        self,
+        label: str = "progress",
+        interval: float = 1.0,
+        check_every: int = 1024,
+        emit: "Callable[[str], None] | None" = None,
+        total: "int | None" = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        if check_every < 1:
+            raise ValueError("check_every must be at least 1")
+        self.label = label
+        self.interval = interval
+        self.check_every = check_every
+        self.total = total
+        self.emissions = 0
+        self._emit = emit if emit is not None else _default_emit
+        self._clock = clock
+        self._ticks = 0
+        self._pending = 0
+        self._start = clock()
+        self._last_emit = self._start
+
+    @property
+    def ticks(self) -> int:
+        return self._ticks
+
+    def tick(self, n: int = 1) -> None:
+        """Advance by ``n`` units; maybe emit (rate-limited)."""
+        self._ticks += n
+        self._pending += n
+        if self._pending < self.check_every:
+            return
+        self._pending = 0
+        now = self._clock()
+        if now - self._last_emit >= self.interval:
+            self._last_emit = now
+            self.emissions += 1
+            self._emit(self._format(now))
+
+    def finish(self) -> None:
+        """Emit one final line summarising the whole run."""
+        self.emissions += 1
+        self._emit(self._format(self._clock(), final=True))
+
+    def _format(self, now: float, final: bool = False) -> str:
+        elapsed = max(now - self._start, 1e-9)
+        rate = self._ticks / elapsed
+        done = (
+            f"{self._ticks}/{self.total}" if self.total is not None else f"{self._ticks}"
+        )
+        suffix = " (done)" if final else ""
+        return f"{self.label}: {done} in {elapsed:.1f}s ({rate:.0f}/s){suffix}"

@@ -1,0 +1,139 @@
+"""The metrics registry: named counters, phase timers, and gauges.
+
+Engines receive a registry through an optional ``obs`` argument and
+write three kinds of metric into it:
+
+* **counters** — monotone integers (`nodes expanded`, `prune hits`,
+  `samples drawn`); hot loops accumulate into local variables and flush
+  once per traversal, so a counter costs one dict update per run, not
+  one per search node;
+* **timers** — accumulating wall-clock phases (``with obs.phase("load")``);
+  repeated phases *add up* rather than overwrite;
+* **gauges** — point-in-time values where only the latest or largest
+  matters (`max stack depth`, `partition sizes`, `peak memory`).
+
+:class:`NullRegistry` is the no-op twin: every method does nothing and
+``enabled`` is False, which the engines use to skip even the local
+bookkeeping.  Entry points default to it, so an uninstrumented run takes
+the exact code path it took before this module existed.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["MetricsRegistry", "NullRegistry", "NULL_REGISTRY"]
+
+
+class MetricsRegistry:
+    """Collects counters, accumulating timers, gauges, and worker stats."""
+
+    #: Engines consult this before doing per-node bookkeeping.
+    enabled = True
+
+    def __init__(self) -> None:
+        self.counters: dict[str, "int | float"] = {}
+        self.timers: dict[str, float] = {}
+        self.gauges: dict[str, "int | float"] = {}
+        #: Per-worker stat dicts recorded by the parallel layer.
+        self.workers: list[dict] = []
+
+    # Counters ----------------------------------------------------------
+
+    def incr(self, name: str, amount: "int | float" = 1) -> None:
+        """Add ``amount`` to counter ``name`` (created at 0)."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    # Timers ------------------------------------------------------------
+
+    def add_time(self, name: str, seconds: float) -> None:
+        """Accumulate ``seconds`` into phase timer ``name``."""
+        self.timers[name] = self.timers.get(name, 0.0) + seconds
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a block and accumulate it into phase ``name``.
+
+        Re-entering the same phase accumulates — a phase timer is the
+        total time spent in that phase across the whole run.
+        """
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_time(name, time.perf_counter() - start)
+
+    # Gauges ------------------------------------------------------------
+
+    def gauge(self, name: str, value: "int | float") -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        self.gauges[name] = value
+
+    def gauge_max(self, name: str, value: "int | float") -> None:
+        """Raise gauge ``name`` to ``value`` if larger (high-water mark)."""
+        if value > self.gauges.get(name, value - 1):
+            self.gauges[name] = value
+
+    # Worker stats ------------------------------------------------------
+
+    def record_worker(self, stats: dict) -> None:
+        """Record one worker's stat dict and fold it into the globals.
+
+        ``stats["counters"]`` adds into the registry's counters and
+        ``stats["gauges"]`` raises its high-water marks, so after every
+        worker reports, the merged totals equal what a serial run would
+        have counted (the fan-out partitions the search tree).
+        """
+        self.workers.append(stats)
+        for name, value in stats.get("counters", {}).items():
+            self.incr(name, value)
+        for name, value in stats.get("gauges", {}).items():
+            self.gauge_max(name, value)
+
+    # Export ------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A JSON-serialisable copy of everything collected so far."""
+        return {
+            "counters": dict(self.counters),
+            "timers": dict(self.timers),
+            "gauges": dict(self.gauges),
+            "workers": [dict(worker) for worker in self.workers],
+        }
+
+
+class NullRegistry(MetricsRegistry):
+    """A registry that records nothing; the default for every engine.
+
+    ``enabled`` is False so hot paths skip their local bookkeeping, and
+    every mutator is overridden to a no-op so code can call the registry
+    unconditionally at coarse granularity (phases, gauges) without
+    branching.
+    """
+
+    enabled = False
+
+    def incr(self, name: str, amount: "int | float" = 1) -> None:
+        pass
+
+    def add_time(self, name: str, seconds: float) -> None:
+        pass
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        yield
+
+    def gauge(self, name: str, value: "int | float") -> None:
+        pass
+
+    def gauge_max(self, name: str, value: "int | float") -> None:
+        pass
+
+    def record_worker(self, stats: dict) -> None:
+        pass
+
+
+#: Shared no-op instance; safe because it holds no state.
+NULL_REGISTRY = NullRegistry()

@@ -1,0 +1,190 @@
+"""The JSON run report: one self-describing document per run.
+
+A :class:`RunReport` bundles everything a run collected — counters,
+phase timers, gauges, per-worker stats, peak memory, and optionally the
+resulting counts — under a versioned ``schema`` tag, so benchmark
+trajectories and CI artifacts stay machine-readable across PRs.
+
+:func:`validate_report` is the single source of truth for the schema;
+the CI workflow runs it against the report artifact of every push.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.core.counts import BicliqueCounts
+    from repro.obs.registry import MetricsRegistry
+
+__all__ = [
+    "REPORT_SCHEMA",
+    "RunReport",
+    "validate_report",
+    "counts_to_dict",
+    "counts_from_dict",
+]
+
+#: Bump the trailing version on any incompatible report change.
+REPORT_SCHEMA = "repro-run-report/1"
+
+#: Gauges the registry files under this prefix are lifted into the
+#: report's ``memory`` section.
+_MEMORY_PREFIX = "memory."
+
+
+def counts_to_dict(counts: "BicliqueCounts") -> dict:
+    """Serialise a counts matrix: ``cells[p-1][q-1] == counts[p, q]``."""
+    return {
+        "kind": "matrix",
+        "max_p": counts.max_p,
+        "max_q": counts.max_q,
+        "cells": counts.to_rows(),
+    }
+
+
+def counts_from_dict(data: dict) -> "BicliqueCounts":
+    """Rebuild a :class:`BicliqueCounts` from :func:`counts_to_dict` output."""
+    from repro.core.counts import BicliqueCounts
+
+    counts = BicliqueCounts(data["max_p"], data["max_q"])
+    for p, row in enumerate(data["cells"], start=1):
+        for q, value in enumerate(row, start=1):
+            counts.set(p, q, value)
+    return counts
+
+
+@dataclass
+class RunReport:
+    """Everything one run observed, ready for ``json.dumps``."""
+
+    command: str
+    arguments: dict = field(default_factory=dict)
+    graph: dict = field(default_factory=dict)
+    counters: dict = field(default_factory=dict)
+    timers: dict = field(default_factory=dict)
+    gauges: dict = field(default_factory=dict)
+    workers: list = field(default_factory=list)
+    memory: dict = field(default_factory=dict)
+    #: Either a matrix dict (:func:`counts_to_dict`) or a single-cell
+    #: ``{"kind": "single", "p": ..., "q": ..., "value": ...}``.
+    counts: "dict | None" = None
+    schema: str = REPORT_SCHEMA
+    created_unix: float = field(default_factory=time.time)
+
+    @classmethod
+    def from_registry(
+        cls,
+        registry: "MetricsRegistry",
+        command: str,
+        arguments: "dict | None" = None,
+        graph: "dict | None" = None,
+    ) -> "RunReport":
+        """Build a report from a registry snapshot.
+
+        ``memory.*`` gauges (written by :class:`~repro.obs.memory.MemoryProbe`)
+        are lifted into the dedicated ``memory`` section.
+        """
+        snapshot = registry.snapshot()
+        gauges = snapshot["gauges"]
+        memory = {
+            name[len(_MEMORY_PREFIX):]: gauges.pop(name)
+            for name in sorted(gauges)
+            if name.startswith(_MEMORY_PREFIX)
+        }
+        return cls(
+            command=command,
+            arguments=dict(arguments or {}),
+            graph=dict(graph or {}),
+            counters=snapshot["counters"],
+            timers=snapshot["timers"],
+            gauges=gauges,
+            workers=snapshot["workers"],
+            memory=memory,
+        )
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def to_json(self, indent: "int | None" = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def write(self, path: str) -> None:
+        # Create missing parents: by write time the whole run has been
+        # paid for, so a typo'd directory must not discard the report.
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        with open(path, "w") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+
+
+def _check_mapping(errors: list, data: dict, key: str, value_types: tuple) -> None:
+    section = data.get(key)
+    if not isinstance(section, dict):
+        errors.append(f"'{key}' must be an object")
+        return
+    for name, value in section.items():
+        if not isinstance(name, str):
+            errors.append(f"'{key}' has a non-string key: {name!r}")
+        elif not isinstance(value, value_types) or isinstance(value, bool):
+            errors.append(f"'{key}.{name}' must be numeric, got {value!r}")
+
+
+def validate_report(data: object) -> dict:
+    """Validate a parsed report document; return it or raise ValueError.
+
+    Checks the schema tag, section shapes, numeric metric values, the
+    mandatory ``load``/``compute`` phase timers, and per-worker entries
+    (each needs a numeric ``wall_time``).  Collects every problem before
+    raising so CI logs show the full list.
+    """
+    errors: list[str] = []
+    if not isinstance(data, dict):
+        raise ValueError("report must be a JSON object")
+    if data.get("schema") != REPORT_SCHEMA:
+        errors.append(
+            f"schema must be {REPORT_SCHEMA!r}, got {data.get('schema')!r}"
+        )
+    if not isinstance(data.get("command"), str) or not data.get("command"):
+        errors.append("'command' must be a non-empty string")
+    if not isinstance(data.get("arguments"), dict):
+        errors.append("'arguments' must be an object")
+    if not isinstance(data.get("graph"), dict):
+        errors.append("'graph' must be an object")
+    _check_mapping(errors, data, "counters", (int, float))
+    _check_mapping(errors, data, "timers", (int, float))
+    _check_mapping(errors, data, "gauges", (int, float))
+    _check_mapping(errors, data, "memory", (int, float))
+    timers = data.get("timers")
+    if isinstance(timers, dict):
+        for phase in ("load", "compute"):
+            if phase not in timers:
+                errors.append(f"'timers' is missing the {phase!r} phase")
+    workers = data.get("workers")
+    if not isinstance(workers, list):
+        errors.append("'workers' must be a list")
+    else:
+        for index, worker in enumerate(workers):
+            if not isinstance(worker, dict):
+                errors.append(f"'workers[{index}]' must be an object")
+            elif not isinstance(worker.get("wall_time"), (int, float)):
+                errors.append(f"'workers[{index}].wall_time' must be numeric")
+    counts = data.get("counts")
+    if counts is not None:
+        if not isinstance(counts, dict) or counts.get("kind") not in (
+            "matrix",
+            "single",
+        ):
+            errors.append("'counts.kind' must be 'matrix' or 'single'")
+        elif counts["kind"] == "matrix" and not isinstance(
+            counts.get("cells"), list
+        ):
+            errors.append("'counts.cells' must be a list of rows")
+    if errors:
+        raise ValueError("invalid run report: " + "; ".join(errors))
+    return data

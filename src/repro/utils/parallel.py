@@ -27,12 +27,14 @@ if TYPE_CHECKING:  # imported for annotations only: keeps this module free of
     # repro imports, so engines can depend on it without cycles.
     from repro.core.counts import BicliqueCounts
     from repro.graph.bigraph import BipartiteGraph
+    from repro.obs.registry import MetricsRegistry
 
 __all__ = [
     "resolve_workers",
     "root_edge_weight",
     "chunk_root_edges",
     "run_chunked",
+    "split_worker_results",
     "merge_counts",
     "merge_local_counts",
 ]
@@ -129,6 +131,31 @@ def run_chunked(
         return [worker(payload) for payload in payloads]
     with ProcessPoolExecutor(max_workers=min(workers, len(payloads))) as pool:
         return list(pool.map(worker, payloads))
+
+
+def split_worker_results(
+    parts: "Sequence[tuple[R, dict | None]]",
+    obs: "MetricsRegistry | None" = None,
+) -> list[R]:
+    """Unzip ``(result, stats)`` worker returns; record stats into ``obs``.
+
+    Chunk workers return their payload's result plus an optional stat
+    dict (wall time, roots handled, counters).  The stats ride back with
+    the results and merge here into a single registry: each worker dict
+    is kept verbatim for skew inspection (``registry.workers``) and its
+    counters fold into the global totals, so the merged counters of an
+    ``N``-worker run equal a serial run's (the chunks partition the
+    search tree).  With ``obs`` absent or disabled the stats are dropped.
+    """
+    results: list[R] = []
+    track = obs is not None and obs.enabled
+    for index, (result, stats) in enumerate(parts):
+        results.append(result)
+        if track and stats is not None:
+            stats = dict(stats)
+            stats.setdefault("worker", index)
+            obs.record_worker(stats)
+    return results
 
 
 def merge_counts(parts: Iterable[BicliqueCounts]) -> BicliqueCounts:

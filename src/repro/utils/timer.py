@@ -26,11 +26,17 @@ class Stopwatch:
 
 @contextmanager
 def timed(label: str, sink: "dict[str, float] | None" = None):
-    """Time a block; optionally record ``sink[label] = seconds``."""
+    """Time a block; optionally accumulate into ``sink[label]``.
+
+    A repeated label *adds* to the recorded time rather than overwriting
+    it, so timing the same phase across loop iterations reports the
+    total — the same semantics as
+    :meth:`repro.obs.registry.MetricsRegistry.phase`.
+    """
     start = time.perf_counter()
     try:
         yield
     finally:
         seconds = time.perf_counter() - start
         if sink is not None:
-            sink[label] = seconds
+            sink[label] = sink.get(label, 0.0) + seconds

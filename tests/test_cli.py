@@ -2,11 +2,15 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.core.epivoter import count_all
 from repro.graph.bigraph import BipartiteGraph
-from repro.graph.io import write_edge_list
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.obs import NULL_REGISTRY, counts_from_dict, validate_report
 
 
 @pytest.fixture
@@ -109,3 +113,102 @@ class TestCommands:
     def test_both_sources_rejected(self, graph_file):
         with pytest.raises(SystemExit):
             main(["count", "--dataset", "Github", "--input", graph_file])
+
+    def test_elapsed_line_reports_phases(self, graph_file, capsys):
+        main(["count", "--input", graph_file, "--max-p", "2", "--max-q", "2"])
+        elapsed = [
+            line for line in capsys.readouterr().out.splitlines()
+            if line.startswith("elapsed:")
+        ]
+        assert len(elapsed) == 1
+        assert "load" in elapsed[0] and "compute" in elapsed[0]
+        assert "total" in elapsed[0]
+
+
+class TestObservability:
+    def test_plain_run_leaves_null_registry_untouched(self, graph_file, capsys):
+        main(["count", "--input", graph_file, "--max-p", "3", "--max-q", "3"])
+        plain = capsys.readouterr().out
+        assert "--- run stats ---" not in plain
+        assert NULL_REGISTRY.counters == {}
+        assert NULL_REGISTRY.timers == {}
+        assert NULL_REGISTRY.gauges == {}
+        assert NULL_REGISTRY.workers == []
+
+    def test_stats_flag_appends_block_without_changing_counts(
+        self, graph_file, capsys
+    ):
+        main(["count", "--input", graph_file, "--max-p", "3", "--max-q", "3"])
+        plain = capsys.readouterr().out
+        main(["count", "--input", graph_file, "--max-p", "3", "--max-q", "3",
+              "--stats"])
+        with_stats = capsys.readouterr().out
+        # Same counts table, stats appended after it.
+        count_rows = [l for l in plain.splitlines() if l[:3].strip().isdigit()]
+        for row in count_rows:
+            assert row in with_stats
+        assert "--- run stats ---" in with_stats
+        assert "epivoter.nodes_expanded" in with_stats
+
+    def test_report_file_with_workers(self, tmp_path, capsys):
+        # The PR's acceptance invocation, at test scale: per-worker
+        # stats, split load/compute phases, and peak memory in one JSON.
+        path = tmp_path / "report.json"
+        main(["count", "--dataset", "Github", "--max-p", "3", "--max-q", "3",
+              "--workers", "2", "--report", str(path)])
+        capsys.readouterr()
+        data = validate_report(json.loads(path.read_text()))
+        assert data["command"] == "count"
+        assert data["arguments"]["workers"] == 2
+        assert data["graph"]["num_edges"] > 0
+        assert data["timers"]["load"] > 0 and data["timers"]["compute"] > 0
+        assert data["memory"]["tracemalloc_peak_bytes"] > 0
+        assert data["workers"]
+        for worker in data["workers"]:
+            assert worker["nodes_expanded"] >= 0
+            assert worker["prune_hits"] >= 0
+            assert worker["wall_time"] >= 0
+        assert (
+            sum(w["nodes_expanded"] for w in data["workers"])
+            == data["counters"]["epivoter.nodes_expanded"]
+        )
+
+    def test_count_json_round_trips(self, graph_file, capsys):
+        main(["count", "--input", graph_file, "--max-p", "3", "--max-q", "3",
+              "--json"])
+        out = capsys.readouterr().out
+        data = validate_report(json.loads(out))  # stdout is pure JSON
+        counts = counts_from_dict(data["counts"])
+        graph, _, _ = read_edge_list(graph_file)
+        assert counts == count_all(graph, 3, 3)
+
+    def test_count_single_json(self, graph_file, capsys):
+        main(["count", "--input", graph_file, "-p", "2", "-q", "2", "--json"])
+        data = validate_report(json.loads(capsys.readouterr().out))
+        assert data["counts"]["kind"] == "single"
+        graph, _, _ = read_edge_list(graph_file)
+        assert data["counts"]["value"] == count_all(graph, 2, 2)[2, 2]
+
+    def test_estimate_json(self, graph_file, capsys):
+        main(["estimate", "--input", graph_file, "--h-max", "3",
+              "--samples", "500", "--seed", "3", "--json"])
+        data = validate_report(json.loads(capsys.readouterr().out))
+        assert data["counts"]["kind"] == "matrix"
+        assert data["counters"]["zigzag.samples_drawn"] > 0
+
+    def test_stats_on_maximal(self, graph_file, capsys):
+        main(["maximal", "--input", graph_file, "--stats"])
+        out = capsys.readouterr().out
+        assert "mbce.nodes_expanded" in out
+
+    def test_stats_on_adaptive(self, graph_file, capsys):
+        main(["adaptive", "--input", graph_file, "-p", "2", "-q", "2",
+              "--seed", "1", "--max-samples", "2000", "--stats"])
+        out = capsys.readouterr().out
+        assert "adaptive.samples_to_convergence" in out
+
+    def test_progress_heartbeat(self, graph_file, capsys):
+        main(["count", "--input", graph_file, "--max-p", "2", "--max-q", "2",
+              "--progress"])
+        err = capsys.readouterr().err
+        assert "search nodes:" in err and "(done)" in err

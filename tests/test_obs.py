@@ -1,0 +1,397 @@
+"""Tests for the observability layer (repro.obs).
+
+Covers the registry semantics (counters, accumulating phase timers,
+gauges, worker-stat folding), the no-op twin's zero-side-effect
+guarantee, the memory probe, the rate-limited heartbeat (driven by a
+fake clock so the test is timing-insensitive), and the JSON run report
+round-trip plus its validator.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.counts import BicliqueCounts
+from repro.core.epivoter import EPivoter, count_all
+from repro.core.mbce import enumerate_maximal_bicliques
+from repro.core.zigzag import zigzagpp_count_all
+from repro.graph.datasets import load_dataset
+from repro.obs import (
+    NULL_REGISTRY,
+    Heartbeat,
+    MemoryProbe,
+    MetricsRegistry,
+    NullRegistry,
+    REPORT_SCHEMA,
+    RunReport,
+    counts_from_dict,
+    counts_to_dict,
+    validate_report,
+)
+
+from .conftest import complete_bigraph, random_bigraph
+
+
+class TestMetricsRegistry:
+    def test_incr_creates_and_accumulates(self):
+        reg = MetricsRegistry()
+        reg.incr("nodes")
+        reg.incr("nodes", 41)
+        assert reg.counters == {"nodes": 42}
+
+    def test_add_time_accumulates(self):
+        reg = MetricsRegistry()
+        reg.add_time("load", 1.5)
+        reg.add_time("load", 0.5)
+        assert reg.timers["load"] == pytest.approx(2.0)
+
+    def test_phase_accumulates_on_reentry(self):
+        reg = MetricsRegistry()
+        with reg.phase("compute"):
+            pass
+        first = reg.timers["compute"]
+        with reg.phase("compute"):
+            pass
+        assert reg.timers["compute"] > first >= 0
+
+    def test_phase_records_on_exception(self):
+        reg = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with reg.phase("boom"):
+                raise RuntimeError("x")
+        assert "boom" in reg.timers
+
+    def test_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("depth", 5)
+        reg.gauge("depth", 3)
+        assert reg.gauges["depth"] == 3
+
+    def test_gauge_max_keeps_high_water_mark(self):
+        reg = MetricsRegistry()
+        reg.gauge_max("depth", 5)
+        reg.gauge_max("depth", 3)
+        reg.gauge_max("depth", 9)
+        assert reg.gauges["depth"] == 9
+
+    def test_record_worker_folds_into_globals(self):
+        reg = MetricsRegistry()
+        reg.incr("nodes", 10)
+        reg.record_worker(
+            {"worker": 0, "wall_time": 0.1,
+             "counters": {"nodes": 7}, "gauges": {"depth": 4}}
+        )
+        reg.record_worker(
+            {"worker": 1, "wall_time": 0.2,
+             "counters": {"nodes": 5}, "gauges": {"depth": 2}}
+        )
+        assert reg.counters["nodes"] == 22
+        assert reg.gauges["depth"] == 4
+        assert [w["worker"] for w in reg.workers] == [0, 1]
+
+    def test_snapshot_is_a_copy(self):
+        reg = MetricsRegistry()
+        reg.incr("nodes")
+        snap = reg.snapshot()
+        snap["counters"]["nodes"] = 999
+        snap["workers"].append({"worker": 9})
+        assert reg.counters["nodes"] == 1
+        assert reg.workers == []
+
+
+class TestNullRegistry:
+    def test_disabled_and_inert(self):
+        reg = NullRegistry()
+        assert reg.enabled is False
+        reg.incr("nodes", 5)
+        reg.add_time("load", 1.0)
+        with reg.phase("compute"):
+            pass
+        reg.gauge("depth", 3)
+        reg.gauge_max("depth", 3)
+        reg.record_worker({"worker": 0, "wall_time": 0.0})
+        assert reg.counters == {} and reg.timers == {}
+        assert reg.gauges == {} and reg.workers == []
+
+    def test_shared_instance_stays_empty_after_engine_runs(self, rng):
+        # The zero-cost-when-off guarantee, stated timing-insensitively:
+        # running an engine against the shared no-op registry leaves no
+        # trace in it and changes no result.
+        g = random_bigraph(rng, 6, 6, density=0.5)
+        plain = count_all(g, 4, 4)
+        through_null = count_all(g, 4, 4, obs=NULL_REGISTRY)
+        assert through_null == plain
+        assert NULL_REGISTRY.counters == {}
+        assert NULL_REGISTRY.timers == {}
+        assert NULL_REGISTRY.gauges == {}
+        assert NULL_REGISTRY.workers == []
+
+
+class TestMemoryProbe:
+    def test_records_python_peak(self):
+        reg = MetricsRegistry()
+        with MemoryProbe(reg):
+            block = [0] * 200_000
+            del block
+        assert reg.gauges["memory.tracemalloc_peak_bytes"] > 100_000
+
+    def test_explicit_start_stop(self):
+        probe = MemoryProbe().start()
+        data = list(range(10_000))
+        probe.stop()
+        assert probe.tracemalloc_peak is not None and probe.tracemalloc_peak > 0
+        assert len(data) == 10_000
+
+    def test_rss_peak_best_effort(self):
+        probe = MemoryProbe()
+        with probe:
+            pass
+        # On Linux (CI) VmHWM must resolve; elsewhere None is acceptable.
+        assert probe.rss_peak is None or probe.rss_peak > 0
+
+    def test_nested_probe_leaves_outer_tracing_on(self):
+        import tracemalloc
+
+        outer = MemoryProbe().start()
+        inner = MemoryProbe().start()
+        inner.stop()
+        assert tracemalloc.is_tracing()
+        outer.stop()
+
+
+class TestHeartbeat:
+    def _make(self, **kwargs):
+        lines: list[str] = []
+        clock = {"now": 0.0}
+        hb = Heartbeat(
+            label="nodes",
+            emit=lines.append,
+            clock=lambda: clock["now"],
+            **kwargs,
+        )
+        return hb, lines, clock
+
+    def test_no_clock_read_below_check_every(self):
+        reads = {"n": 0}
+
+        def clock():
+            reads["n"] += 1
+            return 0.0
+
+        hb = Heartbeat(check_every=100, emit=lambda _: None, clock=clock)
+        baseline = reads["n"]  # constructor reads
+        for _ in range(99):
+            hb.tick()
+        assert reads["n"] == baseline
+
+    def test_emits_when_interval_elapsed(self):
+        hb, lines, clock = self._make(interval=1.0, check_every=10)
+        hb.tick(10)  # gate opens but 0.0s elapsed: no line
+        assert lines == []
+        clock["now"] = 2.0
+        hb.tick(10)
+        assert len(lines) == 1
+        assert lines[0].startswith("nodes: 20 in 2.0s")
+
+    def test_rate_limited_within_interval(self):
+        hb, lines, clock = self._make(interval=10.0, check_every=1)
+        clock["now"] = 11.0
+        hb.tick()
+        clock["now"] = 12.0
+        hb.tick()
+        assert len(lines) == 1
+
+    def test_finish_always_emits_summary(self):
+        hb, lines, clock = self._make(total=50, check_every=1000)
+        hb.tick(50)
+        clock["now"] = 0.5
+        hb.finish()
+        assert len(lines) == 1
+        assert "50/50" in lines[0] and lines[0].endswith("(done)")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Heartbeat(interval=0)
+        with pytest.raises(ValueError):
+            Heartbeat(check_every=0)
+
+
+class TestRunReport:
+    def _populated_registry(self):
+        reg = MetricsRegistry()
+        reg.incr("epivoter.nodes_expanded", 12)
+        reg.add_time("load", 0.1)
+        reg.add_time("compute", 0.4)
+        reg.gauge("epivoter.max_stack_depth", 7)
+        reg.gauge("memory.tracemalloc_peak_bytes", 1024)
+        reg.record_worker(
+            {"worker": 0, "wall_time": 0.2, "nodes_expanded": 12}
+        )
+        return reg
+
+    def test_from_registry_lifts_memory_gauges(self):
+        report = RunReport.from_registry(
+            self._populated_registry(), command="count"
+        )
+        assert report.memory == {"tracemalloc_peak_bytes": 1024}
+        assert "memory.tracemalloc_peak_bytes" not in report.gauges
+        assert report.gauges["epivoter.max_stack_depth"] == 7
+
+    def test_json_round_trip_validates(self):
+        report = RunReport.from_registry(
+            self._populated_registry(),
+            command="count",
+            arguments={"max_p": 4},
+            graph={"n_left": 3, "n_right": 3, "num_edges": 5},
+        )
+        data = json.loads(report.to_json())
+        assert validate_report(data) is data
+        assert data["schema"] == REPORT_SCHEMA
+        assert data["counters"]["epivoter.nodes_expanded"] == 12
+
+    def test_write_reads_back(self, tmp_path):
+        report = RunReport.from_registry(
+            self._populated_registry(), command="count"
+        )
+        path = tmp_path / "report.json"
+        report.write(str(path))
+        assert validate_report(json.loads(path.read_text()))
+
+    def test_write_creates_missing_parent_dirs(self, tmp_path):
+        # By write time the run has been paid for; a typo'd directory
+        # must not discard the report.
+        report = RunReport.from_registry(
+            self._populated_registry(), command="count"
+        )
+        path = tmp_path / "not" / "yet" / "there" / "report.json"
+        report.write(str(path))
+        assert validate_report(json.loads(path.read_text()))
+
+    def test_counts_round_trip(self):
+        counts = BicliqueCounts(3, 2)
+        counts.set(2, 2, 99)
+        counts.set(3, 1, 7)
+        rebuilt = counts_from_dict(counts_to_dict(counts))
+        assert rebuilt == counts
+
+    def test_counts_attach_to_report(self):
+        report = RunReport.from_registry(
+            self._populated_registry(), command="count"
+        )
+        counts = BicliqueCounts(2, 2)
+        counts.set(2, 2, 5)
+        report.counts = counts_to_dict(counts)
+        data = json.loads(report.to_json())
+        validate_report(data)
+        assert counts_from_dict(data["counts"])[2, 2] == 5
+
+
+class TestValidateReport:
+    def _valid(self):
+        reg = MetricsRegistry()
+        reg.add_time("load", 0.1)
+        reg.add_time("compute", 0.2)
+        return RunReport.from_registry(reg, command="count").to_dict()
+
+    def test_accepts_valid(self):
+        validate_report(self._valid())
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            validate_report([1, 2])
+
+    def test_rejects_wrong_schema(self):
+        data = self._valid()
+        data["schema"] = "something-else/9"
+        with pytest.raises(ValueError, match="schema"):
+            validate_report(data)
+
+    def test_rejects_missing_phase_timer(self):
+        data = self._valid()
+        del data["timers"]["compute"]
+        with pytest.raises(ValueError, match="compute"):
+            validate_report(data)
+
+    def test_rejects_non_numeric_counter(self):
+        data = self._valid()
+        data["counters"]["nodes"] = "many"
+        with pytest.raises(ValueError, match="counters.nodes"):
+            validate_report(data)
+
+    def test_rejects_worker_without_wall_time(self):
+        data = self._valid()
+        data["workers"] = [{"worker": 0}]
+        with pytest.raises(ValueError, match="wall_time"):
+            validate_report(data)
+
+    def test_rejects_bad_counts_kind(self):
+        data = self._valid()
+        data["counts"] = {"kind": "banana"}
+        with pytest.raises(ValueError, match="counts.kind"):
+            validate_report(data)
+
+    def test_collects_all_errors(self):
+        data = self._valid()
+        data["schema"] = "nope"
+        data["command"] = ""
+        del data["timers"]["load"]
+        with pytest.raises(ValueError) as excinfo:
+            validate_report(data)
+        message = str(excinfo.value)
+        assert "schema" in message and "command" in message and "load" in message
+
+
+class TestEngineCounters:
+    """The engines report consistent numbers without changing results."""
+
+    def test_epivoter_counters_and_unchanged_counts(self, rng):
+        g = random_bigraph(rng, 7, 7, density=0.5)
+        obs = MetricsRegistry()
+        instrumented = count_all(g, 5, 5, obs=obs)
+        assert instrumented == count_all(g, 5, 5)
+        assert obs.counters["epivoter.roots"] == g.num_edges
+        assert obs.counters["epivoter.nodes_expanded"] >= g.num_edges
+        assert obs.counters["epivoter.leaves"] >= 1
+        assert obs.gauges["epivoter.max_stack_depth"] >= 1
+        # The three prune reasons sum to the headline counter.
+        assert obs.counters["epivoter.prune_hits"] == (
+            obs.counters["epivoter.prune.size_bound"]
+            + obs.counters["epivoter.prune.reach_left"]
+            + obs.counters["epivoter.prune.reach_right"]
+        )
+
+    def test_single_pair_prunes_fire(self):
+        # On a complete bipartite block with tight (p, q) bounds the
+        # reach/size prunes must actually trigger.
+        g = complete_bigraph(5, 5)
+        obs = MetricsRegistry()
+        engine = EPivoter(g)
+        value = engine.count_single(3, 3, obs=obs)
+        assert value == 100  # C(5,3)^2
+        assert obs.counters["epivoter.prune_hits"] > 0
+
+    def test_zigzag_sampling_counters(self):
+        g = load_dataset("rating-movielens")
+        obs = MetricsRegistry()
+        with_obs = zigzagpp_count_all(g, h_max=3, samples=300, seed=9, obs=obs)
+        without = zigzagpp_count_all(g, h_max=3, samples=300, seed=9)
+        assert list(with_obs.items()) == list(without.items())
+        assert obs.counters["zigzag.samples_drawn"] > 0
+        assert obs.counters["zigzag.samples_drawn"] == (
+            obs.counters["zigzag.sample_hits"]
+            + obs.counters["zigzag.sample_misses"]
+        )
+        assert obs.counters["zigzag.dp_table_cells"] > 0
+        assert "zigzag.dp_pass" in obs.timers
+        assert "zigzag.sampling_pass" in obs.timers
+
+    def test_mbce_counters(self, rng):
+        g = random_bigraph(rng, 6, 6, density=0.5)
+        obs = MetricsRegistry()
+        with_obs = enumerate_maximal_bicliques(g, obs=obs)
+        assert with_obs == enumerate_maximal_bicliques(g)
+        assert obs.counters["mbce.maximal_found"] == len(with_obs)
+        assert obs.counters["mbce.nodes_expanded"] >= 1
+        assert obs.counters["mbce.closure_checks"] >= 1

@@ -18,6 +18,7 @@ from repro.core.epivoter import EPivoter, count_all, count_single
 from repro.core.hybrid import hybrid_count_all
 from repro.graph.bigraph import BipartiteGraph
 from repro.graph.datasets import load_dataset
+from repro.obs import MetricsRegistry
 from repro.utils.parallel import (
     chunk_root_edges,
     merge_counts,
@@ -25,6 +26,7 @@ from repro.utils.parallel import (
     resolve_workers,
     root_edge_weight,
     run_chunked,
+    split_worker_results,
 )
 
 from .conftest import complete_bigraph, random_bigraph
@@ -95,6 +97,22 @@ class TestMergeHelpers:
 
     def test_run_chunked_serial_fallback(self):
         assert run_chunked(lambda x: x * 2, [1, 2, 3], 1) == [2, 4, 6]
+
+    def test_split_worker_results_without_registry(self):
+        parts = [("a", {"wall_time": 0.1}), ("b", None)]
+        assert split_worker_results(parts) == ["a", "b"]
+
+    def test_split_worker_results_folds_stats(self):
+        obs = MetricsRegistry()
+        parts = [
+            ("a", {"wall_time": 0.1, "counters": {"nodes": 3}}),
+            ("b", {"wall_time": 0.2, "counters": {"nodes": 4}}),
+            ("c", None),  # a worker that collected nothing
+        ]
+        assert split_worker_results(parts, obs) == ["a", "b", "c"]
+        assert obs.counters["nodes"] == 7
+        # Worker index defaults to the part's position.
+        assert [w["worker"] for w in obs.workers] == [0, 1]
 
 
 class TestCountAllEquality:
@@ -167,6 +185,49 @@ class TestCountLocalEquality:
         assert engine.count_local_many(pairs, workers=2) == engine.count_local_many(
             pairs
         )
+
+
+class TestWorkerStatsMerge:
+    """Merged per-worker stats must reproduce the serial traversal's."""
+
+    def test_counts_and_merged_counters_equal_serial(self):
+        g = load_dataset("Github")
+        serial_obs = MetricsRegistry()
+        parallel_obs = MetricsRegistry()
+        serial = count_all(g, 4, 4, obs=serial_obs)
+        parallel = count_all(g, 4, 4, workers=2, obs=parallel_obs)
+        assert parallel == serial
+        # The chunks partition the root edges, so every epivoter counter
+        # folds back to exactly the serial total.
+        for name, value in serial_obs.counters.items():
+            assert parallel_obs.counters[name] == value, name
+        assert (
+            parallel_obs.gauges["epivoter.max_stack_depth"]
+            == serial_obs.gauges["epivoter.max_stack_depth"]
+        )
+
+    def test_worker_entries_sum_to_merged_totals(self):
+        g = load_dataset("Github")
+        obs = MetricsRegistry()
+        count_all(g, 4, 4, workers=2, obs=obs)
+        assert obs.workers, "parallel run must record per-worker stats"
+        for worker in obs.workers:
+            assert worker["wall_time"] >= 0
+            assert "nodes_expanded" in worker and "prune_hits" in worker
+        assert (
+            sum(w["nodes_expanded"] for w in obs.workers)
+            == obs.counters["epivoter.nodes_expanded"]
+        )
+        assert (
+            sum(w["roots"] for w in obs.workers)
+            == obs.counters["epivoter.roots"]
+        )
+
+    def test_serial_run_records_no_worker_entries(self, rng):
+        g = random_bigraph(rng, 6, 6, density=0.5)
+        obs = MetricsRegistry()
+        count_all(g, 4, 4, obs=obs)
+        assert obs.workers == []
 
 
 class TestDownstreamEquality:

@@ -97,6 +97,18 @@ class TestTimer:
             time.sleep(0.005)
         assert sink["block"] > 0
 
+    def test_timed_accumulates_repeated_labels(self):
+        # Re-entering the same label must add, not overwrite — a phase
+        # total is the sum of every visit to that phase.
+        sink: dict[str, float] = {}
+        with timed("block", sink):
+            time.sleep(0.005)
+        first = sink["block"]
+        with timed("block", sink):
+            time.sleep(0.005)
+        assert sink["block"] >= first + 0.005
+        assert list(sink) == ["block"]
+
 
 class TestDinic:
     def test_single_path(self):
