@@ -13,10 +13,18 @@ run combines all three.
 """
 
 import common
-from common import fmt_time, graph, print_table, run_timed, selected_datasets
+from common import (
+    fmt_time,
+    graph,
+    print_table,
+    record_ship_stats,
+    run_timed,
+    selected_datasets,
+)
 
 from repro.baselines.bclist import EnumerationBudgetExceeded, bc_count
 from repro.core.epivoter import count_all
+from repro.obs import MetricsRegistry
 
 # All-pairs means *every* pair: use a wider cap than the other benches so
 # the per-pair-invocation cost of BC is visible (the paper runs p, q <= 10).
@@ -48,9 +56,11 @@ def test_fig4_exact_allpairs_runtime(benchmark):
             serial_counts, ep_seconds = run_timed(count_all, g, H_MAX, H_MAX)
             par_seconds = None
             if workers is not None:
+                obs = MetricsRegistry()
                 par_counts, par_seconds = run_timed(
-                    count_all, g, H_MAX, H_MAX, workers=workers
+                    count_all, g, H_MAX, H_MAX, workers=workers, obs=obs
                 )
+                record_ship_stats(name, obs)
                 assert list(par_counts.items()) == list(serial_counts.items()), (
                     f"parallel count_all diverged from serial on {name}"
                 )

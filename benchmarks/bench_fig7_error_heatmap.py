@@ -5,7 +5,7 @@ with min(p, q); hybrids improve on their pure counterparts; ZZ is
 generally tighter than ZZ++ at equal T.
 """
 
-from common import H_MAX, SAMPLES, exact_counts, graph, print_table, run_timed
+from common import H_MAX, SAMPLES, exact_counts, graph, print_table
 
 from repro.core.hybrid import hybrid_count_all
 from repro.core.zigzag import zigzag_count_all, zigzagpp_count_all

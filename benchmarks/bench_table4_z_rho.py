@@ -7,7 +7,7 @@ with p and q (estimation gets harder), and ZZ's ratio is smaller than
 ZZ++'s for large pairs.
 """
 
-from common import SAMPLES, graph, exact_counts, print_table
+from common import SAMPLES, graph, print_table
 
 from repro.core.zigzag import zigzag_count_all, zigzagpp_count_all
 from repro.utils.combinatorics import binomial

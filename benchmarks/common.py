@@ -70,10 +70,46 @@ def selected_datasets() -> "tuple[str, ...]":
     return DATASETS if _SELECTED is None else _SELECTED
 
 
+#: Seconds spent building each dataset's CSR graph (load + degree
+#: ordering), keyed by dataset name.  Written into every report's
+#: settings so build-time regressions show up in the trajectory files.
+GRAPH_BUILD_SECONDS: dict[str, float] = {}
+
+#: Graph-shipping stats from parallel runs (``record_ship_stats``),
+#: keyed by dataset name.
+SHIP_STATS: dict[str, dict] = {}
+
+
 @lru_cache(maxsize=None)
 def graph(name: str) -> BipartiteGraph:
     """Load (and cache) a stand-in dataset, degree-ordered."""
-    return load_dataset(name).degree_ordered()[0]
+    start = time.perf_counter()
+    built = load_dataset(name).degree_ordered()[0]
+    GRAPH_BUILD_SECONDS[name] = round(time.perf_counter() - start, 6)
+    return built
+
+
+def record_ship_stats(name: str, obs) -> None:
+    """Capture a parallel run's graph-shipping counters for the reports.
+
+    ``obs`` is the :class:`repro.obs.MetricsRegistry` handed to the run;
+    the interesting counters are how many times the graph crossed the
+    process boundary (should be once per pool), how many bytes that was,
+    and each worker's warm-up share.
+    """
+    counters = obs.counters
+    if "parallel.graph_ships" not in counters:
+        return
+    SHIP_STATS[name] = {
+        "graph_ships": counters["parallel.graph_ships"],
+        "graph_ship_bytes": counters.get("parallel.graph_ship_bytes", 0),
+        "transport": (
+            "shm" if counters.get("parallel.graph_ships_shm") else "pickle"
+        ),
+        "worker_warmup_seconds": [
+            round(stats.get("warmup_seconds", 0.0), 6) for stats in obs.workers
+        ],
+    }
 
 
 @lru_cache(maxsize=None)
@@ -129,6 +165,8 @@ def emit_bench_report(title: str, header: list[str], rows: list[list[str]]) -> "
             "baselines": RUN_BASELINES,
             "h_max": H_MAX,
             "samples": SAMPLES,
+            "graph_build_seconds": dict(sorted(GRAPH_BUILD_SECONDS.items())),
+            "ship_stats": dict(sorted(SHIP_STATS.items())),
         },
         "created_unix": time.time(),
     }

@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING, Iterator
 
 from repro.graph.bigraph import BipartiteGraph
 from repro.graph.core_decomposition import core_for_biclique
+from repro.graph.intersect import intersect_sorted, intersects
 from repro.utils.combinatorics import binomial
 
 if TYPE_CHECKING:
@@ -70,7 +71,10 @@ def bc_count(
         work = work.swap_sides()
         p, q = q, p
     ordered, _, _ = work.degree_ordered()
-    adj = [set(ordered.neighbors_left(u)) for u in range(ordered.n_left)]
+    # Sorted CSR rows double as the adjacency structure: the common right
+    # neighborhood stays a sorted list, so shrinking it is one galloping
+    # intersection and the 2-hop filter is an early-exit overlap test.
+    adj = [ordered.row_left(u) for u in range(ordered.n_left)]
     total = 0
     visited = 0
     leaf_hits = candidate_prunes = 0
@@ -79,7 +83,7 @@ def bc_count(
     # reverse candidate order so the DFS visits search nodes in the same
     # order as the recursive formulation (the budget cuts at the same
     # node).
-    stack: list[tuple[list[int], set[int], int]] = []
+    stack: list[tuple[list[int], list[int], int]] = []
     push = stack.append
     for u in range(ordered.n_left):
         if len(adj[u]) < q:
@@ -87,7 +91,7 @@ def bc_count(
         two_hop: set[int] = set()
         for v in ordered.neighbors_left(u):
             two_hop.update(ordered.higher_neighbors_of_right(v, u))
-        push((sorted(two_hop), set(adj[u]), 1))
+        push((sorted(two_hop), list(adj[u]), 1))
         while stack:
             candidates, common, depth = stack.pop()
             visited += 1
@@ -100,17 +104,17 @@ def bc_count(
                 total += binomial(len(common), q)
                 continue
             remaining_needed = p - depth
-            children: list[tuple[list[int], set[int], int]] = []
+            children: list[tuple[list[int], list[int], int]] = []
             for index, w in enumerate(candidates):
                 if len(candidates) - index < remaining_needed:
                     break
-                new_common = common & adj[w]
+                new_common = intersect_sorted(common, adj[w])
                 if len(new_common) < q:
                     candidate_prunes += 1
                     continue
                 next_candidates = [
                     x for x in candidates[index + 1:]
-                    if not new_common.isdisjoint(adj[x])
+                    if intersects(new_common, adj[x])
                 ]
                 children.append((next_candidates, new_common, depth + 1))
             stack.extend(reversed(children))
@@ -136,21 +140,23 @@ def bc_enumerate(
     """
     if p < 1 or q < 1:
         raise ValueError("p and q must be positive")
-    adj = [set(graph.neighbors_left(u)) for u in range(graph.n_left)]
+    adj = [graph.row_left(u) for u in range(graph.n_left)]
     yielded = 0
 
-    # Each frame is (left, candidates, common); reverse pushes keep the
+    # Each frame is (left, candidates, common); the common neighborhood
+    # is a sorted list (CSR rows are sorted, intersections stay sorted),
+    # so leaf combinations need no re-sort.  Reverse pushes keep the
     # yield order identical to the recursive formulation.
-    stack: list[tuple[list[int], list[int], set[int]]] = []
+    stack: list[tuple[list[int], list[int], list[int]]] = []
     push = stack.append
     for u in range(graph.n_left):
         if len(adj[u]) < q:
             continue
-        push(([u], [w for w in range(u + 1, graph.n_left) if adj[w]], set(adj[u])))
+        push(([u], [w for w in range(u + 1, graph.n_left) if len(adj[w])], list(adj[u])))
         while stack:
             left, candidates, common = stack.pop()
             if len(left) == p:
-                for right in combinations(sorted(common), q):
+                for right in combinations(common, q):
                     yielded += 1
                     if budget is not None and yielded > budget:
                         raise EnumerationBudgetExceeded(
@@ -159,11 +165,11 @@ def bc_enumerate(
                     yield tuple(left), right
                 continue
             needed = p - len(left)
-            children: list[tuple[list[int], list[int], set[int]]] = []
+            children: list[tuple[list[int], list[int], list[int]]] = []
             for index, w in enumerate(candidates):
                 if len(candidates) - index < needed:
                     break
-                new_common = common & adj[w]
+                new_common = intersect_sorted(common, adj[w])
                 if len(new_common) < q:
                     continue
                 children.append(

@@ -28,6 +28,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.graph.bigraph import BipartiteGraph
+from repro.graph.intersect import intersect_sorted, intersects, is_subset_sorted
 
 if TYPE_CHECKING:
     from repro.obs.registry import MetricsRegistry
@@ -47,7 +48,9 @@ def enumerate_maximal_bicliques_vertex(
     ``obs`` collects ``vertex_pivot.*`` counters (expansions tried,
     non-maximal prunes), the baseline side of the §3 comparison.
     """
-    adj_right = [set(graph.neighbors_right(v)) for v in range(graph.n_right)]
+    # Sorted CSR rows as adjacency; left closures stay sorted lists, so
+    # the cover test is a subset walk and the overlap test early-exits.
+    adj_right = [graph.row_right(v) for v in range(graph.n_right)]
     found: list[Biclique] = []
     track = obs is not None and obs.enabled
     expansions = non_maximal = 0
@@ -55,9 +58,9 @@ def enumerate_maximal_bicliques_vertex(
     # Each frame is (left, right, candidates, excluded): one suspended
     # expansion loop of the recursive formulation.  A frame drains its own
     # candidate list; nested expansions are pushed as fresh frames.
-    initial = [v for v in range(graph.n_right) if adj_right[v]]
-    stack: list[tuple[set[int], set[int], list[int], list[int]]] = [
-        (set(), set(), initial, [])
+    initial = [v for v in range(graph.n_right) if len(adj_right[v])]
+    stack: list[tuple[list[int], set[int], list[int], list[int]]] = [
+        ([], set(), initial, [])
     ]
     push = stack.append
     while stack:
@@ -65,7 +68,11 @@ def enumerate_maximal_bicliques_vertex(
         while candidates:
             v = candidates.pop()
             expansions += 1
-            new_left = left & adj_right[v] if right or left else set(adj_right[v])
+            new_left = (
+                intersect_sorted(left, adj_right[v])
+                if right or left
+                else list(adj_right[v])
+            )
             if not new_left:
                 continue
             # Close the right side: every candidate/excluded vertex whose
@@ -73,22 +80,22 @@ def enumerate_maximal_bicliques_vertex(
             new_right = set(right) | {v}
             rest_candidates = []
             for w in candidates:
-                if new_left <= adj_right[w]:
+                if is_subset_sorted(new_left, adj_right[w]):
                     new_right.add(w)
-                elif new_left & adj_right[w]:
+                elif intersects(new_left, adj_right[w]):
                     rest_candidates.append(w)
             is_maximal = True
             rest_excluded = []
             for w in excluded:
-                if new_left <= adj_right[w]:
+                if is_subset_sorted(new_left, adj_right[w]):
                     is_maximal = False  # a previously expanded vertex extends it
                     non_maximal += 1
                     break
-                if new_left & adj_right[w]:
+                if intersects(new_left, adj_right[w]):
                     rest_excluded.append(w)
             if is_maximal:
                 found.append(
-                    (tuple(sorted(new_left)), tuple(sorted(new_right)))
+                    (tuple(new_left), tuple(sorted(new_right)))
                 )
                 if rest_candidates:
                     push((new_left, new_right, list(rest_candidates), list(rest_excluded)))

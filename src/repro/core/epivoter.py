@@ -37,16 +37,21 @@ from typing import TYPE_CHECKING, Callable
 from repro.core.counts import BicliqueCounts
 from repro.graph.bigraph import BipartiteGraph
 from repro.graph.core_decomposition import core_for_biclique
+from repro.graph.intersect import intersect_size, intersect_sorted
 from repro.obs.registry import MetricsRegistry
 from repro.utils.combinatorics import binomial
 from repro.utils.parallel import (
     CHUNKS_PER_WORKER,
+    add_worker_warmup,
     chunk_root_edges,
     merge_counts,
     merge_local_counts,
     resolve_workers,
     run_chunked,
     split_worker_results,
+    worker_cache,
+    worker_graph,
+    worker_warmup_seconds,
 )
 
 if TYPE_CHECKING:
@@ -151,10 +156,11 @@ class EPivoter:
                     obs.gauge_max("parallel.workers", n_workers)
                     obs.gauge_max("parallel.chunks", len(chunks))
                 payloads = [
-                    (self.graph, self.pivot, max_p, max_q, chunk, track)
-                    for chunk in chunks
+                    (self.pivot, max_p, max_q, chunk, track) for chunk in chunks
                 ]
-                parts = run_chunked(_count_all_chunk, payloads, n_workers)
+                parts = run_chunked(
+                    _count_all_chunk, payloads, n_workers, graph=self.graph, obs=obs
+                )
                 return merge_counts(split_worker_results(parts, obs))
 
         counts = BicliqueCounts(max_p, max_q)
@@ -203,10 +209,15 @@ class EPivoter:
                     obs.gauge_max("parallel.workers", n_workers)
                     obs.gauge_max("parallel.chunks", len(chunks))
                 payloads = [
-                    (engine.graph, engine.pivot, p, q, chunk, track)
-                    for chunk in chunks
+                    (engine.pivot, p, q, chunk, track) for chunk in chunks
                 ]
-                parts = run_chunked(_count_single_chunk, payloads, n_workers)
+                parts = run_chunked(
+                    _count_single_chunk,
+                    payloads,
+                    n_workers,
+                    graph=engine.graph,
+                    obs=obs,
+                )
                 return sum(split_worker_results(parts, obs))
 
         total = 0
@@ -264,10 +275,15 @@ class EPivoter:
                     obs.gauge_max("parallel.workers", n_workers)
                     obs.gauge_max("parallel.chunks", len(chunks))
                 payloads = [
-                    (self.graph, self.pivot, tuple(pairs), chunk, track)
-                    for chunk in chunks
+                    (self.pivot, tuple(pairs), chunk, track) for chunk in chunks
                 ]
-                parts = run_chunked(_count_local_chunk, payloads, n_workers)
+                parts = run_chunked(
+                    _count_local_chunk,
+                    payloads,
+                    n_workers,
+                    graph=self.graph,
+                    obs=obs,
+                )
                 return merge_local_counts(split_worker_results(parts, obs))
 
         g = self.graph
@@ -397,7 +413,7 @@ class EPivoter:
                     continue
 
                 pivot_u, pivot_v = self._choose_pivot(
-                    edges, deg_l, deg_r, cand_l, cand_r, cand_r_set
+                    edges, deg_l, deg_r, cand_l, cand_r
                 )
                 nbr_v = adj_right[pivot_v]
                 nbr_u = adj_left[pivot_u]
@@ -417,8 +433,12 @@ class EPivoter:
                     adj_y = adj_right[y]
                     adj_x = adj_left[x]
                     px, py = pos_l[x], pos_r[y]
-                    sub_l = [c for c in new_l if pos_l[c] > px and c in adj_y]
-                    sub_r = [c for c in new_r if pos_r[c] > py and c in adj_x]
+                    # Filter the *sorted* parent lists (same subset as
+                    # filtering new_l/new_r — pos carries the local
+                    # order), so candidate lists stay sorted at every
+                    # node and the exact pivot can use the CSR kernel.
+                    sub_l = [c for c in cand_l if pos_l[c] > px and c in adj_y]
+                    sub_r = [c for c in cand_r if pos_r[c] > py and c in adj_x]
                     edge_branches += 1
                     push((sub_l, sub_r, p_l, h_l + 1, p_r, h_r + 1))
 
@@ -461,19 +481,20 @@ class EPivoter:
         deg_r: dict[int, int],
         cand_l: list[int],
         cand_r: list[int],
-        cand_r_set: set[int],
     ) -> tuple[int, int]:
         if self.pivot == "product":
             return max(edges, key=lambda e: (deg_l[e[0]] - 1) * (deg_r[e[1]] - 1))
         # Exact |N(e, G')|: pairs of (u', v') in G' with u' in N(v)\{u},
-        # v' in N(u)\{v} and (u', v') an edge of G'.
-        adj_left = self._adj_left
+        # v' in N(u)\{v} and (u', v') an edge of G'.  Candidate lists are
+        # sorted (children are filtered from sorted parents), so every
+        # side is one galloping intersection between a CSR row and the
+        # candidate list.
+        g = self.graph
         best, best_score = edges[0], -1
-        cand_l_set = set(cand_l)
         for u, v in edges:
-            left_side = (self._adj_right[v] & cand_l_set) - {u}
-            right_side = (adj_left[u] & cand_r_set) - {v}
-            score = sum(len(adj_left[x] & right_side) for x in left_side)
+            left_side = [x for x in intersect_sorted(g.row_right(v), cand_l) if x != u]
+            right_side = [y for y in intersect_sorted(g.row_left(u), cand_r) if y != v]
+            score = sum(intersect_size(g.row_left(x), right_side) for x in left_side)
             if score > best_score:
                 best, best_score = (u, v), score
         return best
@@ -564,7 +585,7 @@ class EPivoter:
                     continue
 
                 pivot_u, pivot_v = self._choose_pivot(
-                    edges, deg_l, deg_r, cand_l, cand_r, cand_r_set
+                    edges, deg_l, deg_r, cand_l, cand_r
                 )
                 nbr_v = adj_right[pivot_v]
                 nbr_u = adj_left[pivot_u]
@@ -579,8 +600,10 @@ class EPivoter:
                     adj_y = adj_right[y]
                     adj_x = adj_left[x]
                     px, py = pos_l[x], pos_r[y]
-                    sub_l = [c for c in new_l if pos_l[c] > px and c in adj_y]
-                    sub_r = [c for c in new_r if pos_r[c] > py and c in adj_x]
+                    # Sorted parent lists, same subset as new_l/new_r
+                    # (see _run): keeps candidates sorted for the kernel.
+                    sub_l = [c for c in cand_l if pos_l[c] > px and c in adj_y]
+                    sub_r = [c for c in cand_r if pos_r[c] > py and c in adj_x]
                     edge_branches += 1
                     push((sub_l, sub_r, p_l, h_l + [x], p_r, h_r + [y]))
 
@@ -648,16 +671,39 @@ def _worker_stats(obs: MetricsRegistry, roots: int, wall_time: float) -> dict:
 
     ``nodes_expanded``/``prune_hits`` are surfaced at the top level for
     skew inspection; the full counter/gauge snapshots ride along so the
-    coordinator's merged totals match a serial run.
+    coordinator's merged totals match a serial run.  ``warmup_seconds``
+    is the one-off cost of attaching the pool's shared graph and building
+    the engine — amortised across every chunk the worker handles.
     """
     return {
         "roots": roots,
         "wall_time": wall_time,
+        "warmup_seconds": worker_warmup_seconds(),
         "nodes_expanded": obs.counters.get("epivoter.nodes_expanded", 0),
         "prune_hits": obs.counters.get("epivoter.prune_hits", 0),
         "counters": dict(obs.counters),
         "gauges": dict(obs.gauges),
     }
+
+
+def _chunk_engine(pivot: str) -> EPivoter:
+    """This worker's engine over the pool's shared graph, built once.
+
+    The pool ships the graph a single time (see
+    :mod:`repro.utils.parallel`); the engine built from it is memoised in
+    the worker cache so later chunks reuse its adjacency sets instead of
+    rebuilding them per chunk.  The shipped graph is already
+    degree-ordered, so construction never relabels.
+    """
+    cache = worker_cache()
+    key = ("epivoter", pivot)
+    engine = cache.get(key)
+    if engine is None:
+        start = time.perf_counter()
+        engine = EPivoter(worker_graph(), pivot=pivot)
+        add_worker_warmup(time.perf_counter() - start)
+        cache[key] = engine
+    return engine
 
 
 def _matrix_visitor(counts: BicliqueCounts, max_p: int, max_q: int):
@@ -738,8 +784,8 @@ def _pairs_bounds(pairs: "list[tuple[int, int]]") -> "tuple[int, int, int, int]"
 
 def _count_all_chunk(payload) -> "tuple[BicliqueCounts, dict | None]":
     """Worker: all-pairs counts over one chunk of root edges."""
-    graph, pivot, max_p, max_q, roots, collect = payload
-    engine = EPivoter(graph, pivot=pivot)
+    pivot, max_p, max_q, roots, collect = payload
+    engine = _chunk_engine(pivot)
     counts = BicliqueCounts(max_p, max_q)
     obs = MetricsRegistry() if collect else None
     start = time.perf_counter()
@@ -759,8 +805,8 @@ def _count_all_chunk(payload) -> "tuple[BicliqueCounts, dict | None]":
 
 def _count_single_chunk(payload) -> "tuple[int, dict | None]":
     """Worker: a single (p, q) count over one chunk of root edges."""
-    graph, pivot, p, q, roots, collect = payload
-    engine = EPivoter(graph, pivot=pivot)
+    pivot, p, q, roots, collect = payload
+    engine = _chunk_engine(pivot)
     total = 0
 
     def visit(free_l: int, fixed_l: int, free_r: int, fixed_r: int, multiplier: int) -> None:
@@ -784,10 +830,11 @@ def _count_single_chunk(payload) -> "tuple[int, dict | None]":
 
 def _count_local_chunk(payload):
     """Worker: per-vertex counts for many pairs over one root chunk."""
-    graph, pivot, pairs, roots, collect = payload
-    engine = EPivoter(graph, pivot=pivot)
+    pivot, pairs, roots, collect = payload
+    engine = _chunk_engine(pivot)
+    g = engine.graph
     result = {
-        pair: ([0] * graph.n_left, [0] * graph.n_right) for pair in pairs
+        pair: ([0] * g.n_left, [0] * g.n_right) for pair in pairs
     }
     obs = MetricsRegistry() if collect else None
     start = time.perf_counter()

@@ -43,7 +43,8 @@ def vertex_weights(graph: BipartiteGraph) -> list[int]:
     EPivoter would spend on ``u``.  Requires a degree-ordered graph; runs
     in ``O(|E|)``.
     """
-    remaining_right = graph.degrees_right()
+    # Copy: degrees_right() is the graph's cache and this loop decrements.
+    remaining_right = list(graph.degrees_right())
     weights = [0] * graph.n_left
     for u in range(graph.n_left):
         remaining_u = graph.degree_left(u)

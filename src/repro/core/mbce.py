@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.graph.bigraph import BipartiteGraph
+from repro.graph.intersect import common_neighborhood
 
 if TYPE_CHECKING:
     from repro.obs.registry import MetricsRegistry
@@ -54,13 +55,15 @@ def enumerate_maximal_bicliques(
         closure_checks += 1
         if not left or not right:
             return
-        closure_right = set.intersection(*(adj_left[u] for u in left))
-        if closure_right != right:
+        # Closures fold sorted CSR rows through the galloping kernel; the
+        # fold short-circuits as soon as the running intersection empties.
+        closure_right = common_neighborhood([graph.row_left(u) for u in left])
+        if len(closure_right) != len(right) or closure_right != sorted(right):
             return
-        closure_left = set.intersection(*(adj_right[v] for v in right))
-        if closure_left != left:
+        closure_left = common_neighborhood([graph.row_right(v) for v in right])
+        if len(closure_left) != len(left) or closure_left != sorted(left):
             return
-        found.add((tuple(sorted(left)), tuple(sorted(right))))
+        found.add((tuple(closure_left), tuple(closure_right)))
 
     # Each frame is (cand_l, cand_r, part_l, part_r).
     stack: list[tuple[list[int], list[int], set[int], set[int]]] = [

@@ -30,6 +30,7 @@ import numpy as np
 from repro.core.counts import BicliqueCounts
 from repro.core.dpcount import ZigzagDP
 from repro.graph.bigraph import BipartiteGraph
+from repro.graph.intersect import common_neighborhood, is_subset_sorted
 from repro.graph.subgraph import LocalSubgraph, edge_neighborhood_graph, two_hop_graph
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.utils.combinatorics import binomial
@@ -121,16 +122,14 @@ def _hit_pools(local: BipartiteGraph, left: list[int], right: list[int]):
     """If ``(left, right)`` induces a biclique in ``local``, return the
     sizes of the extension pools ``(|N(L) \\ R|, |N(R) \\ L|)``; else None.
     """
-    common_right = set(local.neighbors_left(left[0]))
-    for u in left[1:]:
-        common_right.intersection_update(local.neighbors_left(u))
-        if len(common_right) < len(right):
-            return None
-    if not common_right.issuperset(right):
+    # Fold the left side's CSR rows; the kernel short-circuits the fold
+    # as soon as the running intersection drops below |right|.
+    common_right = common_neighborhood(
+        [local.row_left(u) for u in left], limit=len(right)
+    )
+    if not common_right or not is_subset_sorted(sorted(right), common_right):
         return None
-    common_left = set(local.neighbors_right(right[0]))
-    for v in right[1:]:
-        common_left.intersection_update(local.neighbors_right(v))
+    common_left = common_neighborhood([local.row_right(v) for v in right])
     return len(common_right) - len(right), len(common_left) - len(left)
 
 

@@ -4,27 +4,194 @@ Follows the notation of Section 2 of the paper:
 
 * ``U`` and ``V`` are disjoint vertex sides, identified here by integer ids
   ``0..n1-1`` and ``0..n2-1`` respectively (sides are separate id spaces).
-* ``N(u)`` / ``N(v)`` are neighbor sets, stored as **sorted tuples** so that
-  ordering-neighbor queries (``N^{>u}(v)``) are binary searches.
+* ``N(u)`` / ``N(v)`` are neighbor queries answered from **CSR adjacency
+  buffers** — per side an ``indptr`` offsets array and a sorted ``indices``
+  array — so ordering-neighbor queries (``N^{>u}(v)``) are binary searches
+  over a flat int64 buffer.
 * The *degree ordering* ``<_d`` sorts each side by non-decreasing degree,
   ties broken by vertex id.  :meth:`BipartiteGraph.degree_ordered` relabels
   vertices so the degree ordering coincides with the integer order, which
   is what the counting algorithms assume.
+
+Layout
+------
+The four CSR buffers are stdlib ``array('q')`` values (``numpy`` is used
+opportunistically to accelerate construction when importable, but never
+stored):
+
+* ``indptr_left[u] : indptr_left[u + 1]`` delimits ``N(u)`` inside the
+  sorted ``indices_left`` buffer, and symmetrically on the right;
+* degrees are ``indptr`` differences, computed once and cached;
+* the **edge-id space** is the left CSR offset: edge ``k`` is the pair
+  ``(u, indices_left[k])`` with ``indptr_left[u] <= k < indptr_left[u+1]``,
+  which makes :meth:`edge_index`/:meth:`edge_at` a binary search each and
+  aligns edge ids with :meth:`edges` iteration order.
+
+Because the whole graph is four flat buffers plus two integers, pickling
+is **by buffer** (:func:`_rebuild_from_buffers`): a worker process
+reconstructs the graph from raw bytes without re-sorting or re-validating,
+and the shared-memory fast path in :mod:`repro.utils.parallel` maps the
+same bytes zero-copy (the buffers may then be ``memoryview`` rows — every
+accessor works on any int64 sequence).
 """
 
 from __future__ import annotations
 
-from bisect import bisect_right
-from typing import Iterable, Iterator
+from array import array
+from bisect import bisect_left, bisect_right
+from typing import Iterable, Iterator, Sequence
+
+try:  # opportunistic: construction vectorises when numpy is importable
+    import numpy as _np
+except ImportError:  # pragma: no cover - the test env ships numpy
+    _np = None
 
 __all__ = ["BipartiteGraph", "LEFT", "RIGHT"]
 
 LEFT = 0
 RIGHT = 1
 
+#: CSR buffers hold int64 ids ('q' = signed 8-byte), matching what the
+#: shared-memory worker handoff casts its memoryviews to.
+TYPECODE = "q"
+
+#: Edge count above which construction routes through numpy (when
+#: importable); below it the pure-Python path wins on constant factors.
+_NUMPY_BUILD_THRESHOLD = 2048
+
+
+def _empty() -> array:
+    return array(TYPECODE)
+
+
+def _as_buffer(values) -> "array | Sequence[int]":
+    """Normalise a buffer-like input to an int64 sequence (no copy if
+    already an ``array``/``memoryview``)."""
+    if isinstance(values, (array, memoryview)):
+        return values
+    return array(TYPECODE, values)
+
+
+def _build_csr_python(
+    n_left: int, n_right: int, edges: "list[tuple[int, int]]"
+) -> tuple[array, array, array, array]:
+    """Sort + dedupe ``edges`` and build both CSR sides, pure Python."""
+    edges.sort()
+    indptr_l = array(TYPECODE, bytes(8 * (n_left + 1)))
+    indices_l = _empty()
+    append = indices_l.append
+    prev = None
+    right_degree = [0] * n_right
+    for edge in edges:
+        if edge == prev:
+            continue
+        prev = edge
+        u, v = edge
+        indptr_l[u + 1] += 1
+        right_degree[v] += 1
+        append(v)
+    for u in range(n_left):
+        indptr_l[u + 1] += indptr_l[u]
+    num_edges = len(indices_l)
+    # Counting-sort scatter: left rows are visited in ascending u, so each
+    # right row comes out sorted without a per-row sort.
+    indptr_r = array(TYPECODE, bytes(8 * (n_right + 1)))
+    for v in range(n_right):
+        indptr_r[v + 1] = indptr_r[v] + right_degree[v]
+    fill = list(indptr_r[:-1])
+    indices_r = array(TYPECODE, bytes(8 * num_edges))
+    for u in range(n_left):
+        for k in range(indptr_l[u], indptr_l[u + 1]):
+            v = indices_l[k]
+            indices_r[fill[v]] = u
+            fill[v] += 1
+    return indptr_l, indices_l, indptr_r, indices_r
+
+
+def _build_csr_numpy(
+    n_left: int, n_right: int, edges: "list[tuple[int, int]]"
+) -> tuple[array, array, array, array]:
+    """Vectorised construction: lexsort + unique + bincount cumsums."""
+    pairs = _np.array(edges, dtype=_np.int64).reshape(-1, 2)
+    pairs = _np.unique(pairs, axis=0)  # sorts by (u, v) and dedupes
+    us, vs = pairs[:, 0], pairs[:, 1]
+    indptr_l = _np.zeros(n_left + 1, dtype=_np.int64)
+    _np.cumsum(_np.bincount(us, minlength=n_left), out=indptr_l[1:])
+    order = _np.lexsort((us, vs))  # right CSR: sort by (v, u)
+    indptr_r = _np.zeros(n_right + 1, dtype=_np.int64)
+    _np.cumsum(_np.bincount(vs, minlength=n_right), out=indptr_r[1:])
+    result = []
+    for arr in (indptr_l, vs, indptr_r, us[order]):
+        out = _empty()
+        out.frombytes(_np.ascontiguousarray(arr, dtype=_np.int64).tobytes())
+        result.append(out)
+    return tuple(result)
+
+
+def csr_induce(
+    parent: "BipartiteGraph",
+    left_ids: Sequence[int],
+    right_ids: Sequence[int],
+) -> "BipartiteGraph":
+    """Induced subgraph over **sorted** id sequences, CSR-to-CSR.
+
+    Each local left row is the sorted intersection of a parent CSR row
+    with ``right_ids`` (galloping kernel), remapped to local ids — the
+    mapping is order-preserving, so rows stay sorted and the right CSR
+    falls out of a counting-sort scatter.  No edge list, no re-sort, no
+    re-validation.  Callers guarantee ``left_ids``/``right_ids`` are
+    sorted and duplicate-free; :meth:`BipartiteGraph.induced_subgraph`
+    normalises arbitrary iterables before delegating here.
+    """
+    from repro.graph.intersect import intersect_sorted
+
+    n_left, n_right = len(left_ids), len(right_ids)
+    right_pos = {old: new for new, old in enumerate(right_ids)}
+    right_sorted = _as_buffer(right_ids)
+    indptr_l = array(TYPECODE, bytes(8 * (n_left + 1)))
+    indices_l = _empty()
+    right_degree = [0] * n_right
+    for new_u, old_u in enumerate(left_ids):
+        hits = intersect_sorted(parent.row_left(old_u), right_sorted)
+        indptr_l[new_u + 1] = indptr_l[new_u] + len(hits)
+        for old_v in hits:
+            new_v = right_pos[old_v]
+            indices_l.append(new_v)
+            right_degree[new_v] += 1
+    indptr_r = array(TYPECODE, bytes(8 * (n_right + 1)))
+    for v in range(n_right):
+        indptr_r[v + 1] = indptr_r[v] + right_degree[v]
+    cursor = list(indptr_r[:-1])
+    indices_r = array(TYPECODE, bytes(8 * len(indices_l)))
+    for new_u in range(n_left):
+        for k in range(indptr_l[new_u], indptr_l[new_u + 1]):
+            new_v = indices_l[k]
+            indices_r[cursor[new_v]] = new_u
+            cursor[new_v] += 1
+    return BipartiteGraph.from_csr(
+        n_left, n_right, indptr_l, indices_l, indptr_r, indices_r
+    )
+
+
+def _rebuild_from_buffers(
+    n_left: int,
+    n_right: int,
+    indptr_l: bytes,
+    indices_l: bytes,
+    indptr_r: bytes,
+    indices_r: bytes,
+) -> "BipartiteGraph":
+    """Unpickle entry point: rebuild the graph from raw CSR bytes."""
+    buffers = []
+    for blob in (indptr_l, indices_l, indptr_r, indices_r):
+        buf = _empty()
+        buf.frombytes(blob)
+        buffers.append(buf)
+    return BipartiteGraph.from_csr(n_left, n_right, *buffers)
+
 
 class BipartiteGraph:
-    """An immutable bipartite graph ``G(U, V, E)``.
+    """An immutable bipartite graph ``G(U, V, E)`` over CSR buffers.
 
     Parameters
     ----------
@@ -42,31 +209,107 @@ class BipartiteGraph:
     4
     >>> g.neighbors_left(0)
     (0, 1)
+    >>> g.edge_at(g.edge_index(1, 0))
+    (1, 0)
     """
 
-    __slots__ = ("n_left", "n_right", "_adj_left", "_adj_right", "_num_edges")
+    __slots__ = (
+        "n_left",
+        "n_right",
+        "_indptr_l",
+        "_indices_l",
+        "_indptr_r",
+        "_indices_r",
+        "_deg_l",
+        "_deg_r",
+    )
 
     def __init__(self, n_left: int, n_right: int, edges: Iterable[tuple[int, int]]):
         if n_left < 0 or n_right < 0:
             raise ValueError("side sizes must be non-negative")
         self.n_left = n_left
         self.n_right = n_right
-        adj_left: list[set[int]] = [set() for _ in range(n_left)]
-        adj_right: list[set[int]] = [set() for _ in range(n_right)]
-        for u, v in edges:
+        edge_list = list(edges)
+        for u, v in edge_list:
             if not (0 <= u < n_left):
                 raise ValueError(f"left vertex {u} out of range [0, {n_left})")
             if not (0 <= v < n_right):
                 raise ValueError(f"right vertex {v} out of range [0, {n_right})")
-            adj_left[u].add(v)
-            adj_right[v].add(u)
-        self._adj_left: tuple[tuple[int, ...], ...] = tuple(
-            tuple(sorted(s)) for s in adj_left
+        if _np is not None and len(edge_list) >= _NUMPY_BUILD_THRESHOLD:
+            built = _build_csr_numpy(n_left, n_right, edge_list)
+        else:
+            built = _build_csr_python(n_left, n_right, edge_list)
+        self._indptr_l, self._indices_l, self._indptr_r, self._indices_r = built
+        self._deg_l = None
+        self._deg_r = None
+
+    @classmethod
+    def from_csr(
+        cls,
+        n_left: int,
+        n_right: int,
+        indptr_left,
+        indices_left,
+        indptr_right,
+        indices_right,
+    ) -> "BipartiteGraph":
+        """Wrap pre-built CSR buffers **without copying or validating**.
+
+        The trusted fast path used by relabeling, pickling, and the
+        shared-memory worker attach.  Buffers must be int64 sequences
+        (``array('q')``, ``memoryview`` cast to ``'q'``, …) with sorted,
+        duplicate-free rows and mutually consistent sides.
+        """
+        graph = cls.__new__(cls)
+        graph.n_left = n_left
+        graph.n_right = n_right
+        graph._indptr_l = _as_buffer(indptr_left)
+        graph._indices_l = _as_buffer(indices_left)
+        graph._indptr_r = _as_buffer(indptr_right)
+        graph._indices_r = _as_buffer(indices_right)
+        graph._deg_l = None
+        graph._deg_r = None
+        return graph
+
+    # ------------------------------------------------------------------
+    # CSR buffer access (the layout-aware layers build on these)
+    # ------------------------------------------------------------------
+
+    def csr_buffers(self):
+        """The four raw buffers ``(indptr_l, indices_l, indptr_r, indices_r)``."""
+        return (self._indptr_l, self._indices_l, self._indptr_r, self._indices_r)
+
+    @property
+    def nbytes(self) -> int:
+        """Total CSR payload in bytes (what a zero-copy ship transfers)."""
+        return 8 * (
+            len(self._indptr_l)
+            + len(self._indices_l)
+            + len(self._indptr_r)
+            + len(self._indices_r)
         )
-        self._adj_right: tuple[tuple[int, ...], ...] = tuple(
-            tuple(sorted(s)) for s in adj_right
+
+    def row_left(self, u: int):
+        """``N(u)`` as a slice of the left ``indices`` buffer (sorted)."""
+        return self._indices_l[self._indptr_l[u] : self._indptr_l[u + 1]]
+
+    def row_right(self, v: int):
+        """``N(v)`` as a slice of the right ``indices`` buffer (sorted)."""
+        return self._indices_r[self._indptr_r[v] : self._indptr_r[v + 1]]
+
+    def __reduce__(self):
+        """Pickle by buffer: ship raw CSR bytes, skip re-validation."""
+        return (
+            _rebuild_from_buffers,
+            (
+                self.n_left,
+                self.n_right,
+                bytes(self._indptr_l),
+                bytes(self._indices_l),
+                bytes(self._indptr_r),
+                bytes(self._indices_r),
+            ),
         )
-        self._num_edges = sum(len(s) for s in self._adj_left)
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -75,56 +318,107 @@ class BipartiteGraph:
     @property
     def num_edges(self) -> int:
         """Number of (undirected bipartite) edges ``|E|``."""
-        return self._num_edges
+        return len(self._indices_l)
 
     @property
     def shape(self) -> tuple[int, int, int]:
         """``(|U|, |V|, |E|)``."""
-        return (self.n_left, self.n_right, self._num_edges)
+        return (self.n_left, self.n_right, self.num_edges)
 
     def neighbors_left(self, u: int) -> tuple[int, ...]:
         """``N(u)`` for a left vertex, as a sorted tuple of right ids."""
-        return self._adj_left[u]
+        return tuple(self._indices_l[self._indptr_l[u] : self._indptr_l[u + 1]])
 
     def neighbors_right(self, v: int) -> tuple[int, ...]:
         """``N(v)`` for a right vertex, as a sorted tuple of left ids."""
-        return self._adj_right[v]
+        return tuple(self._indices_r[self._indptr_r[v] : self._indptr_r[v + 1]])
 
     def neighbors(self, side: int, vertex: int) -> tuple[int, ...]:
         """Side-generic neighbor accessor (``side`` is LEFT or RIGHT)."""
         if side == LEFT:
-            return self._adj_left[vertex]
+            return self.neighbors_left(vertex)
         if side == RIGHT:
-            return self._adj_right[vertex]
+            return self.neighbors_right(vertex)
         raise ValueError("side must be LEFT (0) or RIGHT (1)")
 
     def degree_left(self, u: int) -> int:
-        """``d(u)`` for a left vertex."""
-        return len(self._adj_left[u])
+        """``d(u)`` for a left vertex (an ``indptr`` difference)."""
+        return self._indptr_l[u + 1] - self._indptr_l[u]
 
     def degree_right(self, v: int) -> int:
-        """``d(v)`` for a right vertex."""
-        return len(self._adj_right[v])
+        """``d(v)`` for a right vertex (an ``indptr`` difference)."""
+        return self._indptr_r[v + 1] - self._indptr_r[v]
 
     def degrees_left(self) -> list[int]:
-        """Degree sequence of the left side."""
-        return [len(s) for s in self._adj_left]
+        """Degree sequence of the left side (cached ``indptr`` diffs).
+
+        The returned list is the graph's cache — treat it as read-only.
+        """
+        if self._deg_l is None:
+            indptr = self._indptr_l
+            self._deg_l = [
+                indptr[i + 1] - indptr[i] for i in range(self.n_left)
+            ]
+        return self._deg_l
 
     def degrees_right(self) -> list[int]:
-        """Degree sequence of the right side."""
-        return [len(s) for s in self._adj_right]
+        """Degree sequence of the right side (cached ``indptr`` diffs).
+
+        The returned list is the graph's cache — treat it as read-only.
+        """
+        if self._deg_r is None:
+            indptr = self._indptr_r
+            self._deg_r = [
+                indptr[i + 1] - indptr[i] for i in range(self.n_right)
+            ]
+        return self._deg_r
 
     def has_edge(self, u: int, v: int) -> bool:
         """True iff ``e(u, v)`` is an edge (binary search, O(log d))."""
-        adj = self._adj_left[u]
-        i = bisect_right(adj, v) - 1
-        return i >= 0 and adj[i] == v
+        indices = self._indices_l
+        lo, hi = self._indptr_l[u], self._indptr_l[u + 1]
+        k = bisect_left(indices, v, lo, hi)
+        return k < hi and indices[k] == v
 
     def edges(self) -> Iterator[tuple[int, int]]:
-        """Iterate all edges as ``(u, v)`` pairs, sorted by ``(u, v)``."""
-        for u, adj in enumerate(self._adj_left):
-            for v in adj:
-                yield (u, v)
+        """Iterate all edges as ``(u, v)`` pairs, sorted by ``(u, v)``.
+
+        The iteration order coincides with the edge-id space: the k-th
+        yielded pair is ``self.edge_at(k)``.
+        """
+        indptr = self._indptr_l
+        indices = self._indices_l
+        for u in range(self.n_left):
+            for k in range(indptr[u], indptr[u + 1]):
+                yield (u, indices[k])
+
+    # ------------------------------------------------------------------
+    # Edge-id space (left CSR offsets)
+    # ------------------------------------------------------------------
+
+    def edge_index(self, u: int, v: int) -> int:
+        """The edge id of ``e(u, v)``: its offset in the left CSR.
+
+        Raises :class:`KeyError` when ``(u, v)`` is not an edge.  Ids are
+        dense in ``0..num_edges-1`` and ordered by ``(u, v)``.
+        """
+        indices = self._indices_l
+        lo, hi = self._indptr_l[u], self._indptr_l[u + 1]
+        k = bisect_left(indices, v, lo, hi)
+        if k == hi or indices[k] != v:
+            raise KeyError(f"({u}, {v}) is not an edge")
+        return k
+
+    def edge_at(self, edge_id: int) -> tuple[int, int]:
+        """The ``(u, v)`` pair of an edge id (inverse of :meth:`edge_index`)."""
+        if not (0 <= edge_id < self.num_edges):
+            raise IndexError(f"edge id {edge_id} out of range [0, {self.num_edges})")
+        u = bisect_right(self._indptr_l, edge_id) - 1
+        # Rows may be empty: bisect can land on a run of equal indptr
+        # values; the owning row is the last one starting at or before k.
+        while self._indptr_l[u + 1] <= edge_id:  # pragma: no cover - safety
+            u += 1
+        return (u, self._indices_l[edge_id])
 
     # ------------------------------------------------------------------
     # Ordering-neighbor queries (Section 2)
@@ -134,43 +428,47 @@ class BipartiteGraph:
         """``N^{>u}(v)``: left neighbors of ``v`` with id greater than ``u``.
 
         Assumes the graph is degree-ordered, so integer comparison is the
-        degree ordering ``<_d``.
+        degree ordering ``<_d``.  One binary search over the CSR row.
         """
-        adj = self._adj_right[v]
-        return adj[bisect_right(adj, u):]
+        indices = self._indices_r
+        lo, hi = self._indptr_r[v], self._indptr_r[v + 1]
+        return tuple(indices[bisect_right(indices, u, lo, hi) : hi])
 
     def higher_neighbors_of_left(self, u: int, v: int) -> tuple[int, ...]:
         """``N^{>v}(u)``: right neighbors of ``u`` with id greater than ``v``."""
-        adj = self._adj_left[u]
-        return adj[bisect_right(adj, v):]
+        indices = self._indices_l
+        lo, hi = self._indptr_l[u], self._indptr_l[u + 1]
+        return tuple(indices[bisect_right(indices, v, lo, hi) : hi])
+
+    def num_higher_neighbors_of_right(self, v: int, u: int) -> int:
+        """``|N^{>u}(v)|`` as a pure binary search (no slice materialised)."""
+        indices = self._indices_r
+        lo, hi = self._indptr_r[v], self._indptr_r[v + 1]
+        return hi - bisect_right(indices, u, lo, hi)
+
+    def num_higher_neighbors_of_left(self, u: int, v: int) -> int:
+        """``|N^{>v}(u)|`` as a pure binary search (no slice materialised)."""
+        indices = self._indices_l
+        lo, hi = self._indptr_l[u], self._indptr_l[u + 1]
+        return hi - bisect_right(indices, v, lo, hi)
 
     def common_neighbors_of_left(self, vertices: Iterable[int]) -> set[int]:
         """``N(S)`` for a set ``S`` of left vertices (right-side ids)."""
-        iterator = iter(vertices)
-        try:
-            first = next(iterator)
-        except StopIteration:
+        from repro.graph.intersect import common_neighborhood
+
+        rows = [self.row_left(u) for u in vertices]
+        if not rows:
             raise ValueError("common neighborhood of an empty set is undefined")
-        result = set(self._adj_left[first])
-        for u in iterator:
-            result.intersection_update(self._adj_left[u])
-            if not result:
-                break
-        return result
+        return set(common_neighborhood(rows))
 
     def common_neighbors_of_right(self, vertices: Iterable[int]) -> set[int]:
         """``N(S)`` for a set ``S`` of right vertices (left-side ids)."""
-        iterator = iter(vertices)
-        try:
-            first = next(iterator)
-        except StopIteration:
+        from repro.graph.intersect import common_neighborhood
+
+        rows = [self.row_right(v) for v in vertices]
+        if not rows:
             raise ValueError("common neighborhood of an empty set is undefined")
-        result = set(self._adj_right[first])
-        for v in iterator:
-            result.intersection_update(self._adj_right[v])
-            if not result:
-                break
-        return result
+        return set(common_neighborhood(rows))
 
     # ------------------------------------------------------------------
     # Transformations
@@ -183,40 +481,35 @@ class BipartiteGraph:
         new`` (and similarly for the right side).  In the result, vertex
         ids increase with (degree, old id), so ``a < b`` implies
         ``d(a) <= d(b)`` — the property all counting algorithms rely on.
+
+        Delegates to :mod:`repro.graph.ordering`, which permutes the CSR
+        buffers directly instead of rebuilding from an edge list.
         """
-        left_order = sorted(range(self.n_left), key=lambda u: (len(self._adj_left[u]), u))
-        right_order = sorted(
-            range(self.n_right), key=lambda v: (len(self._adj_right[v]), v)
-        )
-        left_map = [0] * self.n_left
-        for new_id, old_id in enumerate(left_order):
-            left_map[old_id] = new_id
-        right_map = [0] * self.n_right
-        for new_id, old_id in enumerate(right_order):
-            right_map[old_id] = new_id
-        relabeled = BipartiteGraph(
-            self.n_left,
-            self.n_right,
-            ((left_map[u], right_map[v]) for u, v in self.edges()),
-        )
-        return relabeled, left_map, right_map
+        from repro.graph.ordering import degree_ordered
+
+        return degree_ordered(self)
 
     def is_degree_ordered(self) -> bool:
         """True iff ids on both sides are non-decreasing in degree."""
-        left_ok = all(
-            len(self._adj_left[i]) <= len(self._adj_left[i + 1])
-            for i in range(self.n_left - 1)
-        )
-        right_ok = all(
-            len(self._adj_right[i]) <= len(self._adj_right[i + 1])
-            for i in range(self.n_right - 1)
-        )
+        deg_l = self.degrees_left()
+        deg_r = self.degrees_right()
+        left_ok = all(deg_l[i] <= deg_l[i + 1] for i in range(self.n_left - 1))
+        right_ok = all(deg_r[i] <= deg_r[i + 1] for i in range(self.n_right - 1))
         return left_ok and right_ok
 
     def swap_sides(self) -> "BipartiteGraph":
-        """Return the graph with left and right sides exchanged."""
-        return BipartiteGraph(
-            self.n_right, self.n_left, ((v, u) for u, v in self.edges())
+        """Return the graph with left and right sides exchanged.
+
+        With CSR storage this is a zero-copy exchange of the two buffer
+        pairs — O(1) instead of an O(E log E) rebuild.
+        """
+        return BipartiteGraph.from_csr(
+            self.n_right,
+            self.n_left,
+            self._indptr_r,
+            self._indices_r,
+            self._indptr_l,
+            self._indices_l,
         )
 
     def induced_subgraph(
@@ -229,23 +522,12 @@ class BipartiteGraph:
         preserved, so a degree-*ordered* parent does **not** guarantee a
         degree-ordered child (degrees change); callers that need the
         ordering re-apply :meth:`degree_ordered`.
+
+        Delegates to :func:`csr_induce` after normalising the id sets.
         """
         left_ids = sorted(set(left_vertices))
         right_ids = sorted(set(right_vertices))
-        left_pos = {old: new for new, old in enumerate(left_ids)}
-        right_pos = {old: new for new, old in enumerate(right_ids)}
-        right_set = set(right_ids)
-        edges = [
-            (left_pos[u], right_pos[v])
-            for u in left_ids
-            for v in self._adj_left[u]
-            if v in right_set
-        ]
-        return (
-            BipartiteGraph(len(left_ids), len(right_ids), edges),
-            left_ids,
-            right_ids,
-        )
+        return (csr_induce(self, left_ids, right_ids), left_ids, right_ids)
 
     # ------------------------------------------------------------------
     # Dunder methods
@@ -254,7 +536,7 @@ class BipartiteGraph:
     def __repr__(self) -> str:
         return (
             f"BipartiteGraph(|U|={self.n_left}, |V|={self.n_right}, "
-            f"|E|={self._num_edges})"
+            f"|E|={self.num_edges})"
         )
 
     def __eq__(self, other: object) -> bool:
@@ -263,8 +545,11 @@ class BipartiteGraph:
         return (
             self.n_left == other.n_left
             and self.n_right == other.n_right
-            and self._adj_left == other._adj_left
+            and bytes(self._indptr_l) == bytes(other._indptr_l)
+            and bytes(self._indices_l) == bytes(other._indices_l)
         )
 
     def __hash__(self) -> int:
-        return hash((self.n_left, self.n_right, self._adj_left))
+        return hash(
+            (self.n_left, self.n_right, bytes(self._indptr_l), bytes(self._indices_l))
+        )

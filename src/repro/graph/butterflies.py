@@ -13,6 +13,7 @@ from __future__ import annotations
 from collections import Counter
 
 from repro.graph.bigraph import BipartiteGraph
+from repro.graph.intersect import intersect_size
 from repro.utils.combinatorics import binomial
 
 __all__ = ["butterfly_count", "butterflies_per_edge"]
@@ -51,14 +52,16 @@ def butterflies_per_edge(graph: BipartiteGraph) -> dict[tuple[int, int], int]:
     Used as the PSA edge weight.
     """
     result: dict[tuple[int, int], int] = {}
-    neighbor_sets = [set(graph.neighbors_left(u)) for u in range(graph.n_left)]
+    # CSR rows are already sorted; hoist them once and let the galloping
+    # kernel count overlaps without materialising per-vertex sets.
+    rows = [graph.row_left(u) for u in range(graph.n_left)]
     for u, v in graph.edges():
         count = 0
+        row_u = rows[u]
         for u_other in graph.neighbors_right(v):
             if u_other == u:
                 continue
-            shared = len(neighbor_sets[u] & neighbor_sets[u_other])
             # (u, u') share v itself; butterflies need a second shared v'.
-            count += shared - 1
+            count += intersect_size(row_u, rows[u_other]) - 1
         result[(u, v)] = count
     return result

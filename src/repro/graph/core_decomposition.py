@@ -27,8 +27,10 @@ def alpha_beta_core(
     """
     if alpha < 0 or beta < 0:
         raise ValueError("alpha and beta must be non-negative")
-    deg_left = graph.degrees_left()
-    deg_right = graph.degrees_right()
+    # degrees_left()/degrees_right() return the graph's cached sequence;
+    # the peeling loop mutates its working copy.
+    deg_left = list(graph.degrees_left())
+    deg_right = list(graph.degrees_right())
     removed_left = [False] * graph.n_left
     removed_right = [False] * graph.n_right
     queue: deque[tuple[int, int]] = deque()

@@ -1,0 +1,208 @@
+"""Sorted-sequence intersection kernels shared by every engine.
+
+All adjacency data in this library lives in CSR buffers
+(:class:`repro.graph.bigraph.BipartiteGraph`), so a neighborhood is a
+*sorted* integer sequence and every neighborhood operation the engines
+need — ``N(u) ∩ C``, ``|N(u) ∩ N(u')|``, ``S ⊆ N(v)`` — reduces to a
+walk over two sorted sequences.  This module is the one place those
+walks are implemented; EPivoter, EPMBCE, ZigZag (via the subgraph
+builders), the butterfly counter, BC, and the vertex-pivot baseline all
+import from here.
+
+Two regimes, picked adaptively by :func:`intersect_sorted`:
+
+* **merge walk** — classic two-pointer scan, ``O(m + n)``; best when the
+  inputs have comparable lengths;
+* **galloping** (binary-search) walk — iterate the *short* side and
+  binary-search each element in the long side, ``O(m log n)``; on
+  skewed-degree graphs (a hub adjacency vs. a leaf adjacency) this is
+  the layout-aware fast path that a flat CSR makes possible, and the
+  regime the ``BENCH_intersect.json`` micro-benchmark tracks.
+
+The crossover ``m * GALLOP_FACTOR < n`` mirrors the standard heuristic
+(e.g. numpy's ``intersect1d`` discussion and the roaring-bitmap papers):
+galloping wins once one side is ~8× longer than the other.
+
+Inputs may be any sorted integer sequences supporting ``len`` and
+indexing — tuples, lists, stdlib ``array`` slices, or the zero-copy
+``memoryview`` rows that shared-memory workers see.  Outputs are plain
+lists (sorted), so results compose with further kernel calls.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Iterable, Sequence
+
+__all__ = [
+    "GALLOP_FACTOR",
+    "intersect_sorted",
+    "intersect_size",
+    "intersects",
+    "is_subset_sorted",
+    "common_neighborhood",
+    "count_in_range",
+]
+
+#: Length ratio beyond which the galloping walk beats the merge walk.
+GALLOP_FACTOR = 8
+
+
+def _merge_intersect(a: Sequence[int], b: Sequence[int]) -> list[int]:
+    """Two-pointer intersection of two sorted sequences."""
+    out: list[int] = []
+    append = out.append
+    i = j = 0
+    n_a, n_b = len(a), len(b)
+    while i < n_a and j < n_b:
+        x, y = a[i], b[j]
+        if x < y:
+            i += 1
+        elif y < x:
+            j += 1
+        else:
+            append(x)
+            i += 1
+            j += 1
+    return out
+
+
+def _gallop_intersect(short: Sequence[int], long: Sequence[int]) -> list[int]:
+    """Binary-search each element of ``short`` in ``long``.
+
+    The search window shrinks as the walk advances (``lo`` only moves
+    forward), so repeated probes over a hub adjacency stay logarithmic in
+    the *remaining* suffix.
+    """
+    out: list[int] = []
+    append = out.append
+    lo = 0
+    hi = len(long)
+    for x in short:
+        lo = bisect_left(long, x, lo, hi)
+        if lo == hi:
+            break
+        if long[lo] == x:
+            append(x)
+            lo += 1
+    return out
+
+
+def intersect_sorted(a: Sequence[int], b: Sequence[int]) -> list[int]:
+    """``a ∩ b`` for sorted duplicate-free sequences, as a sorted list.
+
+    Adaptively picks the merge walk or the galloping walk based on the
+    length ratio (see module docstring).
+    """
+    n_a, n_b = len(a), len(b)
+    if n_a == 0 or n_b == 0:
+        return []
+    if n_a * GALLOP_FACTOR < n_b:
+        return _gallop_intersect(a, b)
+    if n_b * GALLOP_FACTOR < n_a:
+        return _gallop_intersect(b, a)
+    return _merge_intersect(a, b)
+
+
+def intersect_size(a: Sequence[int], b: Sequence[int]) -> int:
+    """``|a ∩ b|`` without materialising the intersection."""
+    n_a, n_b = len(a), len(b)
+    if n_a == 0 or n_b == 0:
+        return 0
+    if n_a > n_b:
+        a, b, n_a, n_b = b, a, n_b, n_a
+    if n_a * GALLOP_FACTOR < n_b:
+        count = 0
+        lo = 0
+        for x in a:
+            lo = bisect_left(b, x, lo, n_b)
+            if lo == n_b:
+                break
+            if b[lo] == x:
+                count += 1
+                lo += 1
+        return count
+    count = 0
+    i = j = 0
+    while i < n_a and j < n_b:
+        x, y = a[i], b[j]
+        if x < y:
+            i += 1
+        elif y < x:
+            j += 1
+        else:
+            count += 1
+            i += 1
+            j += 1
+    return count
+
+
+def intersects(a: Sequence[int], b: Sequence[int]) -> bool:
+    """True iff the sorted sequences share at least one element.
+
+    Early-exits on the first common element; the disjoint case gallops
+    through the short side like :func:`intersect_size`.
+    """
+    n_a, n_b = len(a), len(b)
+    if n_a == 0 or n_b == 0:
+        return False
+    if n_a > n_b:
+        a, b, n_a, n_b = b, a, n_b, n_a
+    lo = 0
+    for x in a:
+        lo = bisect_left(b, x, lo, n_b)
+        if lo == n_b:
+            return False
+        if b[lo] == x:
+            return True
+    return False
+
+
+def is_subset_sorted(a: Sequence[int], b: Sequence[int]) -> bool:
+    """True iff sorted sequence ``a`` is a subset of sorted sequence ``b``."""
+    n_a, n_b = len(a), len(b)
+    if n_a > n_b:
+        return False
+    lo = 0
+    for x in a:
+        lo = bisect_left(b, x, lo, n_b)
+        if lo == n_b or b[lo] != x:
+            return False
+        lo += 1
+    return True
+
+
+def common_neighborhood(
+    rows: Iterable[Sequence[int]],
+    limit: "int | None" = None,
+) -> list[int]:
+    """Fold :func:`intersect_sorted` over several sorted rows.
+
+    Computes ``row_1 ∩ row_2 ∩ ...`` (the common neighborhood ``N(S)``
+    when the rows are CSR adjacency rows), short-circuiting to ``[]``
+    as soon as the running intersection empties — or drops below
+    ``limit`` elements, for callers that only care whether at least
+    ``limit`` survivors exist.
+    """
+    iterator = iter(rows)
+    try:
+        first = next(iterator)
+    except StopIteration:
+        raise ValueError("common neighborhood of an empty collection is undefined")
+    result = list(first)
+    floor = 0 if limit is None else limit
+    for row in iterator:
+        if len(result) < max(1, floor):
+            return []
+        result = intersect_sorted(result, row)
+    if limit is not None and len(result) < limit:
+        return []
+    return result
+
+
+def count_in_range(row: Sequence[int], lo_value: int) -> int:
+    """Number of elements of sorted ``row`` strictly greater than ``lo_value``.
+
+    The CSR form of ``|N^{>u}(v)|`` — a single binary search, no slice.
+    """
+    return len(row) - bisect_right(row, lo_value)

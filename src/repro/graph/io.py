@@ -11,10 +11,15 @@ Two format pitfalls are handled explicitly rather than silently:
 * on write, labels that could not survive a round trip — empty, containing
   whitespace (the column separator), or starting with a comment marker —
   are rejected with :class:`ValueError` before anything is written.
+
+Paths ending in ``.gz`` are transparently (de)compressed on both read and
+write, and both entry points also accept an already-open file-like
+object, so archived KONECT dumps load without an unpack step.
 """
 
 from __future__ import annotations
 
+import gzip
 import io
 import warnings
 from pathlib import Path
@@ -30,14 +35,36 @@ def parse_edge_list(text: str) -> tuple[BipartiteGraph, list[str], list[str]]:
     return _read(io.StringIO(text))
 
 
-def read_edge_list(path: "str | Path") -> tuple[BipartiteGraph, list[str], list[str]]:
-    """Read a bipartite edge list from ``path``.
+def read_edge_list(
+    source: "str | Path | TextIO",
+) -> tuple[BipartiteGraph, list[str], list[str]]:
+    """Read a bipartite edge list from a path or an open file object.
 
     Returns ``(graph, left_labels, right_labels)`` where
     ``left_labels[id]`` is the original label of left vertex ``id``.
+    Paths ending in ``.gz`` are decompressed transparently; a file-like
+    ``source`` (anything with ``read``) is consumed but not closed, and
+    may yield text or UTF-8 bytes.
     """
-    with open(path, "r", encoding="utf-8") as handle:
+    if hasattr(source, "read"):
+        return _read(_as_text(source))
+    with _open_text(source, "rt") as handle:
         return _read(handle)
+
+
+def _open_text(path: "str | Path", mode: str):
+    """Open ``path`` for text I/O, via gzip when the suffix says so."""
+    if str(path).endswith(".gz"):
+        return gzip.open(path, mode, encoding="utf-8")
+    return open(path, mode.replace("t", ""), encoding="utf-8")
+
+
+def _as_text(handle) -> TextIO:
+    """Present a user-supplied file object as a text stream."""
+    sample = handle.read(0)
+    if isinstance(sample, bytes):
+        return io.TextIOWrapper(handle, encoding="utf-8")
+    return handle
 
 
 def _read(handle: TextIO) -> tuple[BipartiteGraph, list[str], list[str]]:
@@ -96,22 +123,36 @@ def _check_labels(labels: "list[str] | None", side: str) -> None:
 
 def write_edge_list(
     graph: BipartiteGraph,
-    path: "str | Path",
+    target: "str | Path | TextIO",
     left_labels: "list[str] | None" = None,
     right_labels: "list[str] | None" = None,
 ) -> None:
     """Write ``graph`` as an edge list; labels default to integer ids.
 
-    Labels are validated before anything is written: a label that is
-    empty, contains whitespace, or starts with ``#`` or ``%`` would be
-    mangled (or swallowed as a comment) by :func:`read_edge_list`, so
-    such labels raise :class:`ValueError` instead of corrupting the file.
+    ``target`` may be a path (``.gz`` compresses transparently) or an
+    open text-mode file object (left open for the caller).  Labels are
+    validated before anything is written: a label that is empty, contains
+    whitespace, or starts with ``#`` or ``%`` would be mangled (or
+    swallowed as a comment) by :func:`read_edge_list`, so such labels
+    raise :class:`ValueError` instead of corrupting the file.
     """
     _check_labels(left_labels, "left")
     _check_labels(right_labels, "right")
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(f"# bipartite |U|={graph.n_left} |V|={graph.n_right} |E|={graph.num_edges}\n")
-        for u, v in graph.edges():
-            u_label = left_labels[u] if left_labels is not None else str(u)
-            v_label = right_labels[v] if right_labels is not None else str(v)
-            handle.write(f"{u_label} {v_label}\n")
+    if hasattr(target, "write"):
+        _write(graph, target, left_labels, right_labels)
+        return
+    with _open_text(target, "wt") as handle:
+        _write(graph, handle, left_labels, right_labels)
+
+
+def _write(
+    graph: BipartiteGraph,
+    handle: TextIO,
+    left_labels: "list[str] | None",
+    right_labels: "list[str] | None",
+) -> None:
+    handle.write(f"# bipartite |U|={graph.n_left} |V|={graph.n_right} |E|={graph.num_edges}\n")
+    for u, v in graph.edges():
+        u_label = left_labels[u] if left_labels is not None else str(u)
+        v_label = right_labels[v] if right_labels is not None else str(v)
+        handle.write(f"{u_label} {v_label}\n")

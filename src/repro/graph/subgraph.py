@@ -11,13 +11,20 @@ Two locality structures from Section 4 of the paper:
   right side ``N(w)``, left side ``{w} ∪ N^{>w}(v) for v in N(w)``.  Every
   biclique whose smallest left vertex is ``w`` lives in ``G_w``
   (ZigZag++, Algorithm 8).
+
+Both builders work directly on the parent's CSR layout: the local vertex
+sets are CSR row slices (already sorted), each local row is one
+galloping sorted intersection (:mod:`repro.graph.intersect`) between a
+parent row and the local right side, and the local graph is assembled
+with :meth:`BipartiteGraph.from_csr` — no edge-list detour, no re-sort,
+no duplicate-check.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.graph.bigraph import BipartiteGraph
+from repro.graph.bigraph import BipartiteGraph, csr_induce
 
 __all__ = ["LocalSubgraph", "edge_neighborhood_graph", "two_hop_graph"]
 
@@ -45,19 +52,13 @@ def edge_neighborhood_graph(graph: BipartiteGraph, u: int, v: int) -> LocalSubgr
 
     The subgraph is induced by ``N^{>u}(v)`` on the left and ``N^{>v}(u)``
     on the right; its edges are exactly the ordering neighbors
-    ``\\vec{N}(e(u, v))`` of the paper.
+    ``\\vec{N}(e(u, v))`` of the paper.  Both sides are single CSR row
+    slices of the parent.
     """
     left_ids = graph.higher_neighbors_of_right(v, u)
     right_ids = graph.higher_neighbors_of_left(u, v)
-    right_pos = {old: new for new, old in enumerate(right_ids)}
-    right_set = set(right_ids)
-    edges = []
-    for new_u, old_u in enumerate(left_ids):
-        for old_v in graph.neighbors_left(old_u):
-            if old_v in right_set:
-                edges.append((new_u, right_pos[old_v]))
-    local = BipartiteGraph(len(left_ids), len(right_ids), edges)
-    return LocalSubgraph(local, tuple(left_ids), tuple(right_ids))
+    local = csr_induce(graph, left_ids, right_ids)
+    return LocalSubgraph(local, left_ids, right_ids)
 
 
 def two_hop_graph(graph: BipartiteGraph, w: int) -> LocalSubgraph:
@@ -72,15 +73,6 @@ def two_hop_graph(graph: BipartiteGraph, w: int) -> LocalSubgraph:
     left_set = {w}
     for v in right_ids:
         left_set.update(graph.higher_neighbors_of_right(v, w))
-    left_ids = sorted(left_set)
-    left_pos = {old: new for new, old in enumerate(left_ids)}
-    right_pos = {old: new for new, old in enumerate(right_ids)}
-    right_set = set(right_ids)
-    edges = []
-    for old_u in left_ids:
-        new_u = left_pos[old_u]
-        for old_v in graph.neighbors_left(old_u):
-            if old_v in right_set:
-                edges.append((new_u, right_pos[old_v]))
-    local = BipartiteGraph(len(left_ids), len(right_ids), edges)
-    return LocalSubgraph(local, tuple(left_ids), tuple(right_ids))
+    left_ids = tuple(sorted(left_set))
+    local = csr_induce(graph, left_ids, right_ids)
+    return LocalSubgraph(local, left_ids, right_ids)

@@ -14,19 +14,44 @@ partial results (exact-integer :class:`BicliqueCounts` matrices or
 per-vertex local count vectors).  The traversal workers themselves live
 next to the engines (e.g. :mod:`repro.core.epivoter`) so they stay
 picklable module-level functions.
+
+Graph shipping
+--------------
+The shared graph travels to each worker **once per pool**, not once per
+chunk.  :func:`run_chunked` takes the graph separately from the chunk
+payloads and publishes its CSR buffers through the pool initializer:
+
+* **shared memory** (default when :mod:`multiprocessing.shared_memory`
+  is usable): the parent copies the four CSR buffers into one segment;
+  each worker maps the segment and wraps zero-copy ``memoryview`` rows
+  with :meth:`BipartiteGraph.from_csr`.  Bytes cross the process
+  boundary once *in total*, regardless of worker or chunk count.
+* **pickle-by-buffer** fallback: the graph rides in the initializer
+  arguments and is unpickled once per worker (``__reduce__`` ships raw
+  CSR bytes, no re-sort/re-validate).
+
+Chunk workers fetch the graph with :func:`worker_graph` and may memoise
+derived state (e.g. a built engine) in :func:`worker_cache`, which lives
+for the pool's lifetime.  ``obs`` counters record how many ships
+happened (``parallel.graph_ships`` — asserted to be 1 by the test
+suite), the bytes shipped, and per-worker warm-up time.
+
+Set ``REPRO_PARALLEL_SHIP=pickle`` to force the fallback (e.g. on
+platforms with a broken ``/dev/shm``).
 """
 
 from __future__ import annotations
 
 import heapq
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence, TypeVar
 
-if TYPE_CHECKING:  # imported for annotations only: keeps this module free of
-    # repro imports, so engines can depend on it without cycles.
+from repro.graph.bigraph import BipartiteGraph
+
+if TYPE_CHECKING:  # imported for annotations only
     from repro.core.counts import BicliqueCounts
-    from repro.graph.bigraph import BipartiteGraph
     from repro.obs.registry import MetricsRegistry
 
 __all__ = [
@@ -34,6 +59,9 @@ __all__ = [
     "root_edge_weight",
     "chunk_root_edges",
     "run_chunked",
+    "worker_graph",
+    "worker_cache",
+    "worker_warmup_seconds",
     "split_worker_results",
     "merge_counts",
     "merge_local_counts",
@@ -46,6 +74,10 @@ R = TypeVar("R")
 #: executor rebalance dynamically when one chunk turns out heavier than its
 #: static weight estimate suggested.
 CHUNKS_PER_WORKER = 4
+
+#: ``auto`` ships through shared memory when available, ``pickle`` forces
+#: the initargs fallback.
+_SHIP_MODE_ENV = "REPRO_PARALLEL_SHIP"
 
 
 def resolve_workers(workers: "int | None") -> int:
@@ -64,6 +96,11 @@ def resolve_workers(workers: "int | None") -> int:
     return workers
 
 
+# ----------------------------------------------------------------------
+# Root-edge weighing and chunking
+# ----------------------------------------------------------------------
+
+
 def root_edge_weight(graph: BipartiteGraph, u: int, v: int) -> int:
     """Estimated traversal cost of the search rooted at edge ``e(u, v)``.
 
@@ -71,9 +108,10 @@ def root_edge_weight(graph: BipartiteGraph, u: int, v: int) -> int:
     first recursion level inspects their full product, so the product of
     their sizes is a cheap degree-based proxy for subtree cost (the same
     quantity the hybrid partitioner sums per vertex in Definition 5.1).
+    Pure binary searches over the CSR rows — nothing is materialised.
     """
-    return len(graph.higher_neighbors_of_right(v, u)) * len(
-        graph.higher_neighbors_of_left(u, v)
+    return graph.num_higher_neighbors_of_right(v, u) * graph.num_higher_neighbors_of_left(
+        u, v
     )
 
 
@@ -97,10 +135,10 @@ def chunk_root_edges(
     if n_chunks <= 1 or len(roots) <= 1:
         return [roots] if roots else []
     n_chunks = min(n_chunks, len(roots))
-    weighted = sorted(
-        roots,
-        key=lambda e: (-root_edge_weight(graph, e[0], e[1]), e),
-    )
+    # Weigh each root once; the old per-comparison recomputation made the
+    # LPT pass the dominant cost on large graphs.
+    weights = {edge: root_edge_weight(graph, edge[0], edge[1]) for edge in roots}
+    weighted = sorted(roots, key=lambda e: (-weights[e], e))
     chunks: list[list[tuple[int, int]]] = [[] for _ in range(n_chunks)]
     heap = [(0, index) for index in range(n_chunks)]
     heapq.heapify(heap)
@@ -109,28 +147,204 @@ def chunk_root_edges(
         chunks[index].append(edge)
         # +1 keeps zero-weight edges moving round-robin instead of piling
         # into the first chunk.
-        heapq.heappush(
-            heap, (load + root_edge_weight(graph, edge[0], edge[1]) + 1, index)
-        )
+        heapq.heappush(heap, (load + weights[edge] + 1, index))
     return [chunk for chunk in chunks if chunk]
+
+
+# ----------------------------------------------------------------------
+# Worker-side graph residency
+# ----------------------------------------------------------------------
+
+#: The pool-shared graph, installed once per worker by the initializer
+#: (or by :func:`run_chunked` itself on the in-process path).
+_WORKER_GRAPH: "BipartiteGraph | None" = None
+#: Keeps the shared-memory segment mapped for the worker's lifetime.
+_WORKER_SHM = None
+#: Pool-lifetime memo for state derived from the graph (built engines…).
+_WORKER_CACHE: dict = {}
+#: Seconds this worker spent attaching/rebuilding the graph (plus any
+#: engine warm-up registered with :func:`add_worker_warmup`).
+_WORKER_WARMUP = 0.0
+
+
+def worker_graph() -> BipartiteGraph:
+    """The graph shipped to this worker's pool (raises if none)."""
+    if _WORKER_GRAPH is None:
+        raise RuntimeError(
+            "no shared graph installed; run_chunked(..., graph=...) ships one"
+        )
+    return _WORKER_GRAPH
+
+
+def worker_cache() -> dict:
+    """A per-worker, per-pool dict for memoising graph-derived state."""
+    return _WORKER_CACHE
+
+
+def worker_warmup_seconds() -> float:
+    """Time this worker spent building its shared state (attach + warm-up)."""
+    return _WORKER_WARMUP
+
+
+def add_worker_warmup(seconds: float) -> None:
+    """Fold engine-construction time into this worker's warm-up total."""
+    global _WORKER_WARMUP
+    _WORKER_WARMUP += seconds
+
+
+def _install_graph(graph: "BipartiteGraph | None", shm=None) -> None:
+    global _WORKER_GRAPH, _WORKER_SHM, _WORKER_CACHE, _WORKER_WARMUP
+    _WORKER_GRAPH = graph
+    _WORKER_SHM = shm
+    _WORKER_CACHE = {}
+    _WORKER_WARMUP = 0.0
+
+
+def _attach_shm(name: str):
+    """Attach to the parent's shared-memory segment without tracking it.
+
+    Before 3.13 (``track=False``), merely *attaching* registers the
+    segment with the resource tracker; with forked workers the tracker
+    process is shared with the parent, so per-child registrations would
+    race each other (and steal the parent's own registration) at
+    unregister time.  The parent owns the segment and unlinks it, so
+    child-side registration is suppressed entirely.
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # pre-3.13
+        pass
+    from multiprocessing import resource_tracker
+
+    original_register = resource_tracker.register
+
+    def _register_skipping_shm(path, rtype):
+        if rtype != "shared_memory":
+            original_register(path, rtype)
+
+    resource_tracker.register = _register_skipping_shm
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original_register
+
+
+def _init_worker(spec) -> None:
+    """Pool initializer: attach the shipped graph exactly once per worker."""
+    start = time.perf_counter()
+    mode = spec[0]
+    if mode == "shm":
+        _, name, n_left, n_right, num_edges = spec
+        shm = _attach_shm(name)
+        rows = memoryview(shm.buf).cast("q")
+        bounds = (n_left + 1, num_edges, n_right + 1, num_edges)
+        buffers = []
+        offset = 0
+        for length in bounds:
+            buffers.append(rows[offset : offset + length])
+            offset += length
+        graph = BipartiteGraph.from_csr(n_left, n_right, *buffers)
+        _install_graph(graph, shm)
+    else:  # "pickle": the graph itself rode in the initargs
+        _install_graph(spec[1])
+    add_worker_warmup(time.perf_counter() - start)
+
+
+class _GraphShipment:
+    """Parent-side handle for one pool's shipped graph."""
+
+    def __init__(self, graph: BipartiteGraph, obs: "MetricsRegistry | None"):
+        self.shm = None
+        mode = os.environ.get(_SHIP_MODE_ENV, "auto")
+        self.spec = None
+        if mode != "pickle":
+            self.spec = self._try_shm(graph)
+        if self.spec is None:
+            self.spec = ("pickle", graph)
+        if obs is not None and obs.enabled:
+            obs.incr("parallel.graph_ships")
+            obs.incr("parallel.graph_ship_bytes", graph.nbytes)
+            obs.incr(f"parallel.graph_ships_{self.spec[0]}")
+
+    def _try_shm(self, graph: BipartiteGraph):
+        try:
+            from multiprocessing import shared_memory
+
+            shm = shared_memory.SharedMemory(
+                create=True, size=max(8, graph.nbytes)
+            )
+        except Exception:  # pragma: no cover - no /dev/shm
+            return None
+        offset = 0
+        for buffer in graph.csr_buffers():
+            blob = bytes(buffer)
+            shm.buf[offset : offset + len(blob)] = blob
+            offset += len(blob)
+        self.shm = shm
+        return ("shm", shm.name, graph.n_left, graph.n_right, graph.num_edges)
+
+    def close(self) -> None:
+        if self.shm is not None:
+            self.shm.close()
+            self.shm.unlink()
+            self.shm = None
 
 
 def run_chunked(
     worker: Callable[[T], R],
     payloads: Sequence[T],
     workers: int,
+    graph: "BipartiteGraph | None" = None,
+    obs: "MetricsRegistry | None" = None,
 ) -> list[R]:
     """Map ``worker`` over ``payloads``, in processes when it pays off.
 
     With one worker or one payload the map runs in-process (identical to
     the serial path, no pickling).  ``worker`` must be a module-level
     function and the payloads picklable.
+
+    ``graph`` is the state shared by every payload.  It is **not** part
+    of the payloads: on the process path it ships once per pool (shared
+    memory, or pickle-by-buffer per worker) and workers retrieve it with
+    :func:`worker_graph`; on the in-process path it is installed directly
+    with zero copies.  ``obs`` receives the ship counters.
     """
     payloads = list(payloads)
     if workers <= 1 or len(payloads) <= 1:
-        return [worker(payload) for payload in payloads]
-    with ProcessPoolExecutor(max_workers=min(workers, len(payloads))) as pool:
-        return list(pool.map(worker, payloads))
+        if graph is None:
+            return [worker(payload) for payload in payloads]
+        previous = (_WORKER_GRAPH, _WORKER_SHM, _WORKER_CACHE, _WORKER_WARMUP)
+        _install_graph(graph)
+        try:
+            return [worker(payload) for payload in payloads]
+        finally:
+            globals().update(
+                _WORKER_GRAPH=previous[0],
+                _WORKER_SHM=previous[1],
+                _WORKER_CACHE=previous[2],
+                _WORKER_WARMUP=previous[3],
+            )
+    max_workers = min(workers, len(payloads))
+    if graph is None:
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            return list(pool.map(worker, payloads))
+    shipment = _GraphShipment(graph, obs)
+    try:
+        with ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=_init_worker,
+            initargs=(shipment.spec,),
+        ) as pool:
+            return list(pool.map(worker, payloads))
+    finally:
+        shipment.close()
+
+
+# ----------------------------------------------------------------------
+# Result merging
+# ----------------------------------------------------------------------
 
 
 def split_worker_results(

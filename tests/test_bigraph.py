@@ -199,3 +199,142 @@ class TestEquality:
 
     def test_not_equal_to_other_type(self):
         assert BipartiteGraph(1, 1, []) != "graph"
+
+
+class TestCsrLayout:
+    def test_csr_buffers_shapes(self):
+        g = BipartiteGraph(3, 2, [(0, 0), (0, 1), (2, 0)])
+        indptr_l, indices_l, indptr_r, indices_r = g.csr_buffers()
+        assert list(indptr_l) == [0, 2, 2, 3]
+        assert list(indices_l) == [0, 1, 0]
+        assert list(indptr_r) == [0, 2, 3]
+        assert list(indices_r) == [0, 2, 0]
+
+    def test_nbytes_counts_all_four_buffers(self):
+        g = BipartiteGraph(3, 2, [(0, 0), (0, 1), (2, 0)])
+        # (n_left+1) + E + (n_right+1) + E int64 slots.
+        assert g.nbytes == 8 * (4 + 3 + 3 + 3)
+
+    def test_rows_are_sorted_slices(self):
+        g = BipartiteGraph(3, 3, [(0, 2), (0, 0), (1, 1)])
+        assert list(g.row_left(0)) == [0, 2]
+        assert list(g.row_right(1)) == [1]
+        assert list(g.row_left(2)) == []
+
+    def test_from_csr_roundtrip(self):
+        g = BipartiteGraph(4, 3, [(0, 0), (1, 2), (3, 1), (3, 2)])
+        rebuilt = BipartiteGraph.from_csr(g.n_left, g.n_right, *g.csr_buffers())
+        assert rebuilt == g
+        assert list(rebuilt.edges()) == list(g.edges())
+
+    def test_from_csr_accepts_memoryviews(self):
+        g = BipartiteGraph(2, 2, [(0, 0), (1, 1)])
+        views = [memoryview(b) for b in g.csr_buffers()]
+        rebuilt = BipartiteGraph.from_csr(2, 2, *views)
+        assert rebuilt == g
+        assert rebuilt.neighbors_left(0) == (0,)
+
+
+class TestEdgeIdSpace:
+    def test_edge_index_is_csr_offset(self):
+        g = BipartiteGraph(3, 3, [(0, 1), (0, 2), (1, 0), (2, 1)])
+        for eid, (u, v) in enumerate(g.edges()):
+            assert g.edge_index(u, v) == eid
+            assert g.edge_at(eid) == (u, v)
+
+    def test_edge_index_missing_edge_raises(self):
+        g = BipartiteGraph(2, 2, [(0, 0)])
+        with pytest.raises(KeyError):
+            g.edge_index(0, 1)
+
+    def test_edge_at_out_of_range(self):
+        g = BipartiteGraph(2, 2, [(0, 0)])
+        with pytest.raises(IndexError):
+            g.edge_at(1)
+        with pytest.raises(IndexError):
+            g.edge_at(-1)
+
+    def test_edge_ids_skip_isolated_left_vertices(self):
+        g = BipartiteGraph(4, 2, [(0, 1), (3, 0)])
+        assert g.edge_index(0, 1) == 0
+        assert g.edge_index(3, 0) == 1
+        assert g.edge_at(1) == (3, 0)
+
+
+class TestPickleByBuffer:
+    def test_pickle_roundtrip(self):
+        import pickle
+
+        g = BipartiteGraph(5, 4, [(0, 0), (2, 3), (4, 1), (4, 2)])
+        clone = pickle.loads(pickle.dumps(g))
+        assert clone == g
+        assert list(clone.edges()) == list(g.edges())
+        assert clone.degrees_left() == g.degrees_left()
+
+    def test_pickle_of_from_csr_view_graph(self):
+        import pickle
+
+        g = BipartiteGraph(3, 3, [(0, 0), (1, 2)])
+        views = [memoryview(b) for b in g.csr_buffers()]
+        wrapped = BipartiteGraph.from_csr(3, 3, *views)
+        clone = pickle.loads(pickle.dumps(wrapped))
+        assert clone == g
+
+    def test_pickle_skips_validation_but_preserves_queries(self, rng):
+        import pickle
+
+        from .conftest import random_bigraph
+
+        for _ in range(10):
+            g = random_bigraph(rng)
+            clone = pickle.loads(pickle.dumps(g))
+            assert clone == g
+            for u in range(g.n_left):
+                assert clone.neighbors_left(u) == g.neighbors_left(u)
+
+
+class TestDegreeCaches:
+    def test_degrees_from_indptr(self):
+        g = BipartiteGraph(3, 2, [(0, 0), (0, 1), (2, 0)])
+        assert g.degrees_left() == [2, 0, 1]
+        assert g.degrees_right() == [2, 1]
+
+    def test_degree_sequences_are_cached_objects(self):
+        g = BipartiteGraph(2, 2, [(0, 0)])
+        assert g.degrees_left() is g.degrees_left()
+        assert g.degrees_right() is g.degrees_right()
+
+
+class TestNumpyBuildParity:
+    def test_numpy_and_python_builders_agree(self, rng):
+        pytest.importorskip("numpy")
+        from repro.graph.bigraph import _build_csr_numpy, _build_csr_python
+
+        for _ in range(20):
+            n_left = rng.randint(1, 10)
+            n_right = rng.randint(1, 10)
+            edges = list(
+                {
+                    (rng.randrange(n_left), rng.randrange(n_right))
+                    for _ in range(rng.randint(0, 40))
+                }
+            )
+            rng.shuffle(edges)
+            # Throw in duplicates: both builders must collapse them.
+            edges = edges + edges[: len(edges) // 2]
+            py = _build_csr_python(n_left, n_right, edges)
+            np_ = _build_csr_numpy(n_left, n_right, edges)
+            assert [list(b) for b in py] == [list(b) for b in np_]
+
+    def test_large_build_crosses_numpy_threshold(self):
+        pytest.importorskip("numpy")
+        from repro.graph.bigraph import _NUMPY_BUILD_THRESHOLD
+
+        n = 64
+        edges = [(u, v) for u in range(n) for v in range(n)]
+        assert len(edges) >= _NUMPY_BUILD_THRESHOLD
+        g = BipartiteGraph(n, n, edges)
+        assert g.num_edges == n * n
+        assert g.neighbors_left(0) == tuple(range(n))
+        small = BipartiteGraph(2, 2, [(0, 0), (1, 1)])
+        assert small.num_edges == 2

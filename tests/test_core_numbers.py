@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.apps.core_numbers import biclique_core_numbers
-from repro.baselines.brute import count_bicliques_brute, local_counts_brute
+from repro.baselines.brute import local_counts_brute
 from repro.graph.bigraph import BipartiteGraph
 
 from .conftest import complete_bigraph, random_bigraph

@@ -21,7 +21,7 @@ import pytest
 
 from repro.baselines.bclist import bc_count, bc_enumerate
 from repro.baselines.vertex_pivot import enumerate_maximal_bicliques_vertex
-from repro.core.epivoter import EPivoter, count_all, count_local, count_single
+from repro.core.epivoter import count_all, count_local, count_single
 from repro.core.mbce import enumerate_maximal_bicliques
 from repro.core.sampler import BicliqueSampler
 from repro.graph.bigraph import BipartiteGraph

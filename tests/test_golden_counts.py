@@ -1,0 +1,138 @@
+"""Golden biclique counts pinned across the CSR refactor.
+
+The reference values below were computed with the original tuple-backed
+``BipartiteGraph`` (EPivoter ``count_all`` over every bundled dataset,
+all cells up to (4, 4)) *before* the graph core moved to CSR buffers.
+They pin the refactor end to end: any representation bug — wrong row
+slicing, a broken relabelling permutation, a kernel off-by-one — shows
+up as an integer mismatch on real graph structure rather than a subtle
+perf artifact.
+
+The ER sweep complements the fixed datasets: random graphs checked
+against the brute-force oracle for every (p, q) up to (4, 4), through
+both the all-pairs and the single-pair (core-reduced) entry points.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.bclist import bc_count
+from repro.baselines.brute import count_all_bicliques_brute, count_bicliques_brute
+from repro.core.epivoter import EPivoter, count_single
+from repro.graph.datasets import available_datasets, load_dataset
+
+from .conftest import random_bigraph
+
+# (p, q) -> count for count_all(4, 4), computed pre-CSR (tuple adjacency).
+GOLDEN = {
+    "Github": {
+        (1, 1): 4402, (1, 2): 156308, (1, 3): 11705507, (1, 4): 886036380,
+        (2, 1): 30855, (2, 2): 39264, (2, 3): 290226, (2, 4): 3559213,
+        (3, 1): 537673, (3, 2): 50713, (3, 3): 31628, (3, 4): 53896,
+        (4, 1): 10997906, (4, 2): 184501, (4, 3): 20561, (4, 4): 7878,
+    },
+    "Twitter": {
+        (1, 1): 7562, (1, 2): 616869, (1, 3): 99820280, (1, 4): 15659445906,
+        (2, 1): 69233, (2, 2): 205758, (2, 3): 4090978, (2, 4): 126423210,
+        (3, 1): 1822252, (3, 2): 334351, (3, 3): 593512, (3, 4): 2667011,
+        (4, 1): 57245543, (4, 2): 1592852, (4, 3): 491000, (4, 4): 438827,
+    },
+    "rating-movielens": {
+        (1, 1): 2500, (1, 2): 12639, (1, 3): 95228, (1, 4): 846055,
+        (2, 1): 46433, (2, 2): 17804, (2, 3): 14175, (2, 4): 23008,
+        (3, 1): 1355297, (3, 2): 77408, (3, 3): 7723, (3, 4): 1471,
+        (4, 1): 41219015, (4, 2): 546801, (4, 3): 11949, (4, 4): 247,
+    },
+    "IMDB": {
+        (1, 1): 6789, (1, 2): 57201, (1, 3): 1200254, (1, 4): 29781405,
+        (2, 1): 288388, (2, 2): 104364, (2, 3): 165094, (2, 4): 594584,
+        (3, 1): 25377585, (3, 2): 1136976, (3, 3): 208989, (3, 4): 110232,
+        (4, 1): 2310148277, (4, 2): 19331054, (4, 3): 860103, (4, 4): 133809,
+    },
+    "DBLP": {
+        (1, 1): 9792, (1, 2): 40691, (1, 3): 116536, (1, 4): 258078,
+        (2, 1): 12160, (2, 2): 7332, (2, 3): 3439, (2, 4): 1364,
+        (3, 1): 9752, (3, 2): 997, (3, 3): 96, (3, 4): 8,
+        (4, 1): 5850, (4, 2): 129, (4, 3): 1, (4, 4): 0,
+    },
+    "Amazon": {
+        (1, 1): 7179, (1, 2): 43163, (1, 3): 905744, (1, 4): 24898583,
+        (2, 1): 86308, (2, 2): 7629, (2, 3): 4762, (2, 4): 7625,
+        (3, 1): 3069872, (3, 2): 15846, (3, 3): 906, (3, 4): 117,
+        (4, 1): 129493550, (4, 2): 62452, (4, 3): 739, (4, 4): 22,
+    },
+    "StackOF": {
+        (1, 1): 6509, (1, 2): 28640, (1, 3): 322154, (1, 4): 4516644,
+        (2, 1): 446420, (2, 2): 82514, (2, 3): 57028, (2, 4): 90592,
+        (3, 1): 62372579, (3, 2): 1373975, (3, 3): 136286, (3, 4): 41525,
+        (4, 1): 8584139317, (4, 2): 29745322, (4, 3): 692519, (4, 4): 57656,
+    },
+    "Actor2": {
+        (1, 1): 7564, (1, 2): 322291, (1, 3): 29960602, (1, 4): 2886677691,
+        (2, 1): 55364, (2, 2): 84527, (2, 3): 751598, (2, 4): 12460599,
+        (3, 1): 1010762, (3, 2): 118331, (3, 3): 71464, (3, 4): 111625,
+        (4, 1): 23136873, (4, 2): 503783, (4, 3): 64770, (4, 4): 19948,
+    },
+}
+
+
+class TestDatasetGoldenCounts:
+    def test_every_table1_dataset_has_a_golden_entry(self):
+        from repro.graph.datasets import TABLE1_DATASETS
+
+        table1 = {spec.name for spec in TABLE1_DATASETS}
+        assert table1 <= set(GOLDEN)
+        assert set(GOLDEN) <= set(available_datasets())
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN))
+    def test_count_all_matches_tuple_era_counts(self, name):
+        graph = load_dataset(name)
+        counts = EPivoter(graph).count_all(4, 4)
+        for (p, q), expected in GOLDEN[name].items():
+            assert counts[p, q] == expected, (name, p, q)
+
+    @pytest.mark.parametrize("name", ["Github", "DBLP"])
+    def test_count_single_spot_checks(self, name):
+        graph = load_dataset(name)
+        for p, q in ((2, 2), (3, 3), (4, 4)):
+            assert count_single(graph, p, q) == GOLDEN[name][(p, q)]
+
+
+class TestErSweepAgainstBrute:
+    """Random ER graphs, every (p, q) cell up to (4, 4), vs the oracle."""
+
+    def test_count_all_full_matrix(self, rng):
+        for _ in range(8):
+            g = random_bigraph(rng, max_left=6, max_right=6)
+            expected = count_all_bicliques_brute(g, 4, 4)
+            counts = EPivoter(g).count_all(4, 4)
+            for p in range(1, 5):
+                for q in range(1, 5):
+                    assert counts[p, q] == expected[p, q], (p, q)
+
+    def test_count_single_every_cell(self, rng):
+        for _ in range(4):
+            g = random_bigraph(rng, max_left=6, max_right=6)
+            for p in range(1, 5):
+                for q in range(1, 5):
+                    expected = count_bicliques_brute(g, p, q)
+                    assert count_single(g, p, q) == expected, (p, q)
+
+    def test_bc_baseline_agrees(self, rng):
+        for _ in range(4):
+            g = random_bigraph(rng, max_left=6, max_right=6)
+            for p in range(1, 5):
+                for q in range(1, 5):
+                    assert bc_count(g, p, q) == count_bicliques_brute(g, p, q)
+
+    def test_exact_pivot_mode_full_matrix(self, rng):
+        # The exact pivot rule rides the sorted-candidate invariant; a
+        # broken invariant changes the tree and (if unsound) the counts.
+        for _ in range(4):
+            g = random_bigraph(rng, max_left=6, max_right=6)
+            expected = count_all_bicliques_brute(g, 4, 4)
+            counts = EPivoter(g, pivot="exact").count_all(4, 4)
+            for p in range(1, 5):
+                for q in range(1, 5):
+                    assert counts[p, q] == expected[p, q], (p, q)

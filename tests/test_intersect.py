@@ -1,0 +1,143 @@
+"""Tests for the galloping sorted-intersection kernel."""
+
+from __future__ import annotations
+
+import random
+from array import array
+
+import pytest
+
+from repro.graph.intersect import (
+    GALLOP_FACTOR,
+    common_neighborhood,
+    count_in_range,
+    intersect_size,
+    intersect_sorted,
+    intersects,
+    is_subset_sorted,
+)
+
+
+def random_sorted(rng: random.Random, universe: int, size: int) -> list[int]:
+    return sorted(rng.sample(range(universe), min(size, universe)))
+
+
+class TestIntersectSorted:
+    def test_basic(self):
+        assert intersect_sorted([1, 3, 5, 7], [3, 4, 5, 6]) == [3, 5]
+
+    def test_disjoint(self):
+        assert intersect_sorted([1, 2], [3, 4]) == []
+
+    def test_empty_sides(self):
+        assert intersect_sorted([], [1, 2]) == []
+        assert intersect_sorted([1, 2], []) == []
+        assert intersect_sorted([], []) == []
+
+    def test_identical(self):
+        row = [0, 2, 4, 8]
+        assert intersect_sorted(row, row) == row
+
+    def test_accepts_any_sorted_sequence(self):
+        a = array("q", [1, 2, 5, 9])
+        b = (2, 5, 7)
+        assert intersect_sorted(a, b) == [2, 5]
+        assert intersect_sorted(memoryview(a), b) == [2, 5]
+
+    def test_skewed_lengths_force_gallop_path(self):
+        short = [10, 500, 999]
+        long = list(range(1000))
+        assert len(long) > GALLOP_FACTOR * len(short)
+        assert intersect_sorted(short, long) == short
+        assert intersect_sorted(long, short) == short
+
+    def test_matches_set_oracle(self, rng):
+        for _ in range(300):
+            a = random_sorted(rng, 60, rng.randint(0, 25))
+            b = random_sorted(rng, 60, rng.randint(0, 25))
+            expected = sorted(set(a) & set(b))
+            assert intersect_sorted(a, b) == expected
+            assert intersect_size(a, b) == len(expected)
+            assert intersects(a, b) == bool(expected)
+
+    def test_skewed_matches_set_oracle(self, rng):
+        for _ in range(50):
+            a = random_sorted(rng, 5000, rng.randint(0, 5))
+            b = random_sorted(rng, 5000, rng.randint(500, 2000))
+            expected = sorted(set(a) & set(b))
+            assert intersect_sorted(a, b) == expected
+            assert intersect_sorted(b, a) == expected
+
+
+class TestPredicates:
+    def test_intersects_early_exit_semantics(self):
+        assert intersects([1, 5], [5, 9])
+        assert not intersects([1, 5], [2, 6])
+        assert not intersects([], [1])
+
+    def test_is_subset_sorted(self):
+        assert is_subset_sorted([], [1, 2])
+        assert is_subset_sorted([2], [1, 2, 3])
+        assert is_subset_sorted([1, 3], [1, 2, 3])
+        assert not is_subset_sorted([1, 4], [1, 2, 3])
+        assert not is_subset_sorted([1], [])
+
+    def test_is_subset_matches_set_oracle(self, rng):
+        for _ in range(200):
+            a = random_sorted(rng, 30, rng.randint(0, 8))
+            b = random_sorted(rng, 30, rng.randint(0, 20))
+            assert is_subset_sorted(a, b) == (set(a) <= set(b))
+
+
+class TestCommonNeighborhood:
+    def test_empty_rows_list_rejected(self):
+        with pytest.raises(ValueError, match="empty collection"):
+            common_neighborhood([])
+
+    def test_single_row_copied(self):
+        row = array("q", [1, 4, 6])
+        out = common_neighborhood([row])
+        assert out == [1, 4, 6]
+        assert isinstance(out, list)
+
+    def test_fold(self):
+        rows = [[1, 2, 3, 4], [2, 3, 4, 5], [0, 2, 4]]
+        assert common_neighborhood(rows) == [2, 4]
+
+    def test_limit_short_circuits_to_empty(self):
+        rows = [[1, 2, 3], [2, 3], [3]]
+        assert common_neighborhood(rows, limit=2) == []
+        assert common_neighborhood(rows, limit=1) == [3]
+
+    def test_matches_set_oracle(self, rng):
+        for _ in range(100):
+            rows = [
+                random_sorted(rng, 25, rng.randint(0, 15))
+                for _ in range(rng.randint(1, 4))
+            ]
+            expected = sorted(set.intersection(*(set(r) for r in rows)))
+            assert common_neighborhood(rows) == expected
+
+
+class TestCountInRange:
+    def test_counts_suffix(self):
+        assert count_in_range([1, 3, 5, 7], 4) == 2
+        assert count_in_range([1, 3, 5, 7], 0) == 4
+        assert count_in_range([1, 3, 5, 7], 8) == 0
+        assert count_in_range([], 3) == 0
+
+    def test_boundary_is_exclusive(self):
+        # Strictly greater: the CSR form of |N^{>u}(v)|.
+        assert count_in_range([2, 4, 6], 4) == 1
+
+
+class TestCrossoverConsistency:
+    @pytest.mark.parametrize("ratio", [1, GALLOP_FACTOR - 1, GALLOP_FACTOR, GALLOP_FACTOR + 1, 4 * GALLOP_FACTOR])
+    def test_merge_and_gallop_agree_at_crossover(self, rng, ratio):
+        # The adaptive dispatch must be invisible: same result whichever
+        # side of the crossover the size ratio lands on.
+        for _ in range(20):
+            short = random_sorted(rng, 400, 5)
+            long = random_sorted(rng, 400, min(400, 5 * ratio))
+            expected = sorted(set(short) & set(long))
+            assert intersect_sorted(short, long) == expected

@@ -98,6 +98,61 @@ class TestRoundTrip:
         # Validation happens before any bytes hit the disk.
         assert not path.exists()
 
+    def test_gzip_roundtrip(self, tmp_path):
+        import gzip
+
+        g = BipartiteGraph(3, 2, [(0, 0), (1, 1), (2, 0), (0, 1)])
+        path = tmp_path / "graph.txt.gz"
+        write_edge_list(g, path)
+        # The file really is gzip, not plain text with a lying suffix.
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            assert handle.readline().startswith("# bipartite")
+        loaded, left, right = read_edge_list(path)
+        assert loaded.num_edges == g.num_edges
+        assert sorted(
+            (int(left[u]), int(right[v])) for u, v in loaded.edges()
+        ) == sorted(g.edges())
+
+    def test_gzip_matches_plain(self, tmp_path, rng):
+        from .conftest import random_bigraph
+
+        g = random_bigraph(rng)
+        plain = tmp_path / "g.txt"
+        packed = tmp_path / "g.txt.gz"
+        write_edge_list(g, plain)
+        write_edge_list(g, packed)
+        loaded_plain = read_edge_list(plain)[0]
+        loaded_packed = read_edge_list(packed)[0]
+        assert loaded_plain == loaded_packed
+
+    def test_read_from_text_file_object(self):
+        import io
+
+        buffer = io.StringIO("a x\nb y\n")
+        g, left, right = read_edge_list(buffer)
+        assert g.shape == (2, 2, 2)
+        assert left == ["a", "b"]
+        # The caller's handle is left open.
+        assert not buffer.closed
+
+    def test_read_from_binary_file_object(self):
+        import io
+
+        buffer = io.BytesIO(b"# hdr\na x\na y\n")
+        g, _, right = read_edge_list(buffer)
+        assert g.shape == (1, 2, 2)
+        assert right == ["x", "y"]
+
+    def test_write_to_file_object(self):
+        import io
+
+        g = BipartiteGraph(2, 1, [(0, 0), (1, 0)])
+        buffer = io.StringIO()
+        write_edge_list(g, buffer, left_labels=["a", "b"], right_labels=["x"])
+        assert "a x" in buffer.getvalue()
+        loaded, _, _ = read_edge_list(io.StringIO(buffer.getvalue()))
+        assert loaded.num_edges == 2
+
     def test_roundtrip_preserves_structure_exactly(self, tmp_path, rng):
         from .conftest import random_bigraph
 

@@ -77,11 +77,8 @@ class TestRandomised:
             g = random_bigraph(rng, 5, 5)
             direct = set(enumerate_maximal_bicliques(g))
             swapped = {
-                (l, r)
-                for r, l in (
-                    (left, right)
-                    for left, right in enumerate_maximal_bicliques(g.swap_sides())
-                )
+                (right, left)
+                for left, right in enumerate_maximal_bicliques(g.swap_sides())
             }
             assert direct == swapped
 

@@ -245,3 +245,77 @@ class TestDownstreamEquality:
     def test_hcc_profile(self):
         g = load_dataset("Github")
         assert hcc_profile(g, h_max=4, workers=2) == hcc_profile(g, h_max=4)
+
+
+class TestGraphShipping:
+    """The pool ships the graph once, not once per chunk (or per call)."""
+
+    def _run_with_mode(self, mode, monkeypatch):
+        if mode is None:
+            monkeypatch.delenv("REPRO_PARALLEL_SHIP", raising=False)
+        else:
+            monkeypatch.setenv("REPRO_PARALLEL_SHIP", mode)
+        graph = load_dataset("Github")
+        obs = MetricsRegistry()
+        engine = EPivoter(graph)
+        counts = engine.count_all(3, 3, workers=2, obs=obs)
+        return engine, counts, obs
+
+    @pytest.mark.parametrize("mode", [None, "pickle"])
+    def test_graph_ships_exactly_once_per_pool(self, mode, monkeypatch):
+        engine, counts, obs = self._run_with_mode(mode, monkeypatch)
+        # More chunks than workers — the whole point: chunks do not
+        # re-ship the graph.
+        assert obs.gauges["parallel.chunks"] > obs.gauges["parallel.workers"]
+        assert obs.counters["parallel.graph_ships"] == 1
+        assert obs.counters["parallel.graph_ship_bytes"] == engine.graph.nbytes
+        assert counts[2, 2] == count_all(engine.graph)[2, 2]
+
+    def test_ship_mode_counter_reflects_transport(self, monkeypatch):
+        _, _, obs_auto = self._run_with_mode(None, monkeypatch)
+        _, _, obs_pickle = self._run_with_mode("pickle", monkeypatch)
+        assert obs_pickle.counters["parallel.graph_ships_pickle"] == 1
+        assert "parallel.graph_ships_pickle" not in obs_auto.counters or (
+            "parallel.graph_ships_shm" not in obs_auto.counters
+        )
+        # Whichever transport, one ship and identical counts.
+        assert obs_auto.counters["parallel.graph_ships"] == 1
+
+    @pytest.mark.parametrize("mode", [None, "pickle"])
+    def test_transports_agree_on_counts(self, mode, monkeypatch, rng):
+        if mode is None:
+            monkeypatch.delenv("REPRO_PARALLEL_SHIP", raising=False)
+        g = random_bigraph(rng, max_left=12, max_right=12, density=0.5)
+        serial = count_all(g, 4, 4)
+        if mode is not None:
+            monkeypatch.setenv("REPRO_PARALLEL_SHIP", mode)
+        parallel = count_all(g, 4, 4, workers=3)
+        assert parallel == serial
+
+    def test_workers_report_warmup(self, monkeypatch):
+        _, _, obs = self._run_with_mode(None, monkeypatch)
+        assert obs.workers
+        for stats in obs.workers:
+            assert stats["warmup_seconds"] >= 0.0
+
+    def test_worker_graph_requires_installation(self):
+        from repro.utils.parallel import worker_graph
+
+        with pytest.raises(RuntimeError, match="no shared graph"):
+            worker_graph()
+
+    def test_in_process_path_installs_and_restores(self):
+        from repro.utils import parallel as par
+
+        g = BipartiteGraph(2, 2, [(0, 0), (1, 1)])
+        seen = run_chunked(_probe_worker_graph, [0, 1], workers=1, graph=g)
+        assert seen == [(2, 2, 2), (2, 2, 2)]
+        with pytest.raises(RuntimeError):
+            par.worker_graph()
+
+
+def _probe_worker_graph(_payload):
+    from repro.utils.parallel import worker_graph
+
+    g = worker_graph()
+    return (g.n_left, g.n_right, g.num_edges)

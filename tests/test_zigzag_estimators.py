@@ -7,12 +7,9 @@ assertions with fixed seeds and generous tolerances.
 
 from __future__ import annotations
 
-from itertools import combinations
-
-import numpy as np
 import pytest
 
-from repro.baselines.brute import count_all_bicliques_brute, count_bicliques_brute
+from repro.baselines.brute import count_bicliques_brute
 from repro.core.counts import BicliqueCounts
 from repro.core.epivoter import count_all
 from repro.core.zigzag import (
