@@ -118,16 +118,30 @@ def _print_stats(report: RunReport, stream) -> None:
         mib = value / (1024 * 1024)
         print(f"memory {name:<27} {mib:>11.2f}M", file=stream)
     if report.workers:
-        print("worker  roots  nodes_expanded  prune_hits  wall_time", file=stream)
-        for worker in report.workers:
-            print(
-                f"{worker.get('worker', '?'):>6}"
-                f"  {worker.get('roots', 0):>5}"
-                f"  {worker.get('nodes_expanded', 0):>14}"
-                f"  {worker.get('prune_hits', 0):>10}"
-                f"  {worker.get('wall_time', 0.0):>8.3f}s",
-                file=stream,
-            )
+        sampling = any("units" in worker for worker in report.workers)
+        if sampling:
+            # Estimator chunk workers: unit counts + per-pass draw shares.
+            print("worker  phase                units  samples  wall_time", file=stream)
+            for worker in report.workers:
+                print(
+                    f"{worker.get('worker', '?'):>6}"
+                    f"  {worker.get('phase', '?'):<19}"
+                    f"  {worker.get('units', 0):>5}"
+                    f"  {worker.get('samples_drawn', 0):>7}"
+                    f"  {worker.get('wall_time', 0.0):>8.3f}s",
+                    file=stream,
+                )
+        else:
+            print("worker  roots  nodes_expanded  prune_hits  wall_time", file=stream)
+            for worker in report.workers:
+                print(
+                    f"{worker.get('worker', '?'):>6}"
+                    f"  {worker.get('roots', 0):>5}"
+                    f"  {worker.get('nodes_expanded', 0):>14}"
+                    f"  {worker.get('prune_hits', 0):>10}"
+                    f"  {worker.get('wall_time', 0.0):>8.3f}s",
+                    file=stream,
+                )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -162,7 +176,12 @@ def build_parser() -> argparse.ArgumentParser:
     estimate.add_argument("--seed", type=int, default=None)
     estimate.add_argument(
         "--workers", type=int, default=None,
-        help="worker processes for the hybrid exact pass (0 = one per CPU)",
+        help="worker processes for the sampling (and hybrid exact) pass; "
+        "estimates are bit-identical for any worker count (0 = one per CPU)",
+    )
+    estimate.add_argument(
+        "--per-sample", action="store_true",
+        help="use the per-sample reference walk instead of the batch kernel",
     )
     _add_obs_arguments(estimate, json_output=True)
 
@@ -207,6 +226,10 @@ def build_parser() -> argparse.ArgumentParser:
     adaptive.add_argument("--epsilon", type=float, default=0.05)
     adaptive.add_argument("--max-samples", type=int, default=100_000)
     adaptive.add_argument("--seed", type=int, default=None)
+    adaptive.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for each sampling round (0 = one per CPU)",
+    )
     _add_obs_arguments(adaptive)
 
     sub.add_parser("datasets", help="list bundled synthetic datasets")
@@ -282,11 +305,13 @@ def main(argv: "list[str] | None" = None) -> int:
         elif args.command == "estimate":
             if args.algorithm == "zigzag":
                 counts = zigzag_count_all(
-                    graph, args.h_max, args.samples, args.seed, obs=obs
+                    graph, args.h_max, args.samples, args.seed, obs=obs,
+                    workers=args.workers, batch=not args.per_sample,
                 )
             elif args.algorithm == "zigzag++":
                 counts = zigzagpp_count_all(
-                    graph, args.h_max, args.samples, args.seed, obs=obs
+                    graph, args.h_max, args.samples, args.seed, obs=obs,
+                    workers=args.workers, batch=not args.per_sample,
                 )
             else:
                 estimator = "zigzag" if args.algorithm == "hybrid" else "zigzag++"
@@ -351,7 +376,7 @@ def main(argv: "list[str] | None" = None) -> int:
                 graph, args.p, args.q,
                 delta=args.delta, epsilon=args.epsilon,
                 max_samples=args.max_samples, seed=args.seed,
-                obs=obs,
+                obs=obs, workers=args.workers,
             )
             lo, hi = result.interval
             status = "met" if result.satisfied else "sample cap reached"

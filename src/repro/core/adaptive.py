@@ -69,6 +69,8 @@ def adaptive_count(
     max_samples: int = 200_000,
     seed: "int | None | np.random.Generator" = None,
     obs: "MetricsRegistry | None" = None,
+    workers: "int | None" = None,
+    batch: bool = True,
 ) -> AdaptiveEstimate:
     """Estimate the (p, q) count to relative error ``delta`` w.p. ``1-epsilon``.
 
@@ -80,6 +82,11 @@ def adaptive_count(
     ``obs`` records the adaptation itself — rounds run, samples drawn to
     convergence, the final Theorem 4.11 requirement — on top of the
     underlying zigzag engine's counters.
+
+    ``workers`` fans each round's unit sampling out over processes; the
+    round estimates (and therefore the adaptation trace) are bit-identical
+    to a serial run with the same seed, because the engines use per-unit
+    RNG streams.  ``batch=False`` selects the per-sample reference walk.
     """
     if min(p, q) < 2:
         raise ValueError("adaptive sampling applies to min(p, q) >= 2; star cells are exact")
@@ -99,7 +106,7 @@ def adaptive_count(
         denominator = binomial(q, p) if p <= q else binomial(p - 1, q - 1)
 
     total_drawn = 0
-    batch = initial_samples
+    round_samples = initial_samples
     rounds: list[tuple[int, float]] = []
     estimate = 0.0
     z_max = 0.0
@@ -109,12 +116,15 @@ def adaptive_count(
     # unbiased estimate; weight by its sample count.
     weighted_sum = 0.0
     while total_drawn < max_samples:
-        batch = min(batch, max_samples - total_drawn)
-        engine = engine_cls(ordered, max(p, q), batch, rng, levels=[level], obs=obs)
+        round_samples = min(round_samples, max_samples - total_drawn)
+        engine = engine_cls(
+            ordered, max(p, q), round_samples, rng, levels=[level], obs=obs,
+            workers=workers, batch=batch,
+        )
         counts = engine.run()
         round_estimate = counts[p, q]
-        weighted_sum += round_estimate * batch
-        total_drawn += batch
+        weighted_sum += round_estimate * round_samples
+        total_drawn += round_samples
         estimate = weighted_sum / total_drawn
         rounds.append((total_drawn, estimate))
         zigzag_total = engine.stats.zigzag_totals.get(level, 0.0)
@@ -129,7 +139,7 @@ def adaptive_count(
         required = _required_samples(z_max, rho, delta, epsilon)
         if total_drawn >= required:
             break
-        batch *= 2
+        round_samples *= 2
 
     # Hoeffding half width on the mean hit count, scaled to count units.
     if z_max > 0 and total_drawn > 0:

@@ -21,6 +21,16 @@ Sampling (Algorithm 6) walks the table backwards: the head edge is drawn
 proportionally to ``dpA[2h-1]``, each subsequent edge proportionally to
 the remaining-suffix counts, which yields an exactly uniform h-zigzag
 (Theorem 4.5).
+
+:meth:`ZigzagDP.sample_batch` is the vectorised form of the same walk:
+all ``k`` partial zigzags advance level-by-level as numpy column stacks,
+with one inverse-CDF ``searchsorted`` (head step) or one masked row-wise
+cumulative-sum draw (walk steps) per level instead of one Python walk
+per sample.  The batch kernel consumes the generator in exactly the
+per-sample order (``rng.random((k, 2h-1))`` fills row-major, i.e. sample
+by sample) and performs bit-identical float arithmetic per draw, so a
+batch of ``k`` equals ``k`` successive :meth:`ZigzagDP.sample` calls on
+the same generator — the per-sample walk is kept as the reference path.
 """
 
 from __future__ import annotations
@@ -30,7 +40,12 @@ import numpy as np
 from repro.graph.bigraph import BipartiteGraph
 from repro.utils.rng import as_generator
 
-__all__ = ["ZigzagDP", "count_zigzags", "count_zigzags_naive"]
+__all__ = ["ZigzagDP", "SAMPLE_BLOCK", "count_zigzags", "count_zigzags_naive"]
+
+#: Samples advanced together per :meth:`ZigzagDP.sample_batch` block; caps
+#: the ``block x max_range_width`` float working set at a few MiB for
+#: typical local-subgraph widths while keeping the vector lanes full.
+SAMPLE_BLOCK = 4096
 
 
 class ZigzagDP:
@@ -58,6 +73,7 @@ class ZigzagDP:
         edges = list(graph.edges())
         m = len(edges)
         self.num_edges = m
+        self._float_cache: dict[tuple[str, int], np.ndarray] = {}
         dtype = object if exact else np.float64
         if m == 0:
             self._dpA: dict[int, np.ndarray] = {1: np.zeros(0, dtype=dtype)}
@@ -166,6 +182,128 @@ class ZigzagDP:
         draw = rng.random() * total
         index = int(np.searchsorted(cumulative, draw, side="right"))
         return lo + min(index, hi - lo - 1)
+
+    # Batched sampling ---------------------------------------------------
+
+    def sample_batch(
+        self,
+        h: int,
+        k: int,
+        rng: "int | None | np.random.Generator" = None,
+        head_range: "tuple[int, int] | None" = None,
+        block: int = SAMPLE_BLOCK,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Draw ``k`` uniform h-zigzags at once.
+
+        Returns ``(lefts, rights)``: two ``(k, h)`` int64 arrays whose
+        rows are the sampled zigzags in path order.  Bit-identical to
+        ``k`` successive :meth:`sample` calls on the same generator (same
+        uniform-draw order, same per-draw arithmetic), so the two paths
+        are interchangeable mid-stream.
+
+        ``block`` caps how many samples advance together (bounding the
+        ``block x max_range_width`` working set); blocks run back to back
+        on the same generator, so the result is block-size independent.
+        """
+        if not 1 <= h <= self.h_max:
+            raise ValueError(f"h must be in 1..{self.h_max}")
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        if block < 1:
+            raise ValueError("block must be positive")
+        lefts = np.empty((k, h), dtype=np.int64)
+        rights = np.empty((k, h), dtype=np.int64)
+        if k == 0:
+            return lefts, rights
+        if self.num_edges == 0:
+            raise ValueError("cannot sample from a graph with no edges")
+        rng = as_generator(rng)
+        lo, hi = head_range if head_range is not None else (0, self.num_edges)
+        # The head step's range is shared by the whole batch; its
+        # cumulative array is hoisted out of the block loop.
+        head_weights = self._float_table(2 * h - 1)[lo:hi]
+        head_cum = np.cumsum(head_weights)
+        head_total = head_cum[-1] if len(head_cum) else 0.0
+        if head_total <= 0:
+            raise ValueError("cannot sample: no zigzag with positive weight")
+        draws_per_sample = 2 * h - 1
+        for start in range(0, k, block):
+            stop = min(start + block, k)
+            kb = stop - start
+            # Row-major fill = sample-by-sample draw order, matching the
+            # reference per-sample walk on the same generator.
+            uniforms = rng.random((kb, draws_per_sample))
+            heads = np.searchsorted(head_cum, uniforms[:, 0] * head_total, side="right")
+            cursors = lo + np.minimum(heads, hi - lo - 1)
+            lefts[start:stop, 0] = self.a_u[cursors]
+            rights[start:stop, 0] = self.a_v[cursors]
+            left_col = right_col = 1
+            for step, level in enumerate(range(2 * h - 2, 0, -1), start=1):
+                if level % 2 == 0:
+                    # Move A -> B: pick the next left vertex.
+                    cursors = self._pick_batch(
+                        self._float_table(level, side="B"),
+                        self._a_lo[cursors],
+                        self._a_hi[cursors],
+                        uniforms[:, step],
+                    )
+                    lefts[start:stop, left_col] = self.b_u[cursors]
+                    left_col += 1
+                else:
+                    # Move B -> A: pick the next right vertex.
+                    cursors = self._pick_batch(
+                        self._float_table(level, side="A"),
+                        self._b_lo[cursors],
+                        self._b_hi[cursors],
+                        uniforms[:, step],
+                    )
+                    rights[start:stop, right_col] = self.a_v[cursors]
+                    right_col += 1
+        return lefts, rights
+
+    def _float_table(self, level: int, side: str = "A") -> np.ndarray:
+        """The DP table as float64 (memoised cast for exact-mode tables)."""
+        table = self._dpA[level] if side == "A" else self._dpB[level]
+        if not self.exact:
+            return table
+        key = (side, level)
+        cached = self._float_cache.get(key)
+        if cached is None:
+            cached = self._float_cache[key] = table.astype(np.float64)
+        return cached
+
+    def _pick_batch(
+        self,
+        table: np.ndarray,
+        lows: np.ndarray,
+        highs: np.ndarray,
+        uniforms: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorised :meth:`_pick` over per-sample ``[low, high)`` ranges.
+
+        Each row's weights are gathered into a padded matrix and
+        cumulative-summed left to right (``np.cumsum`` accumulates
+        sequentially, so every row matches the 1-D cumsum the per-sample
+        path computes bit for bit); the inverse-CDF index is the count of
+        cumulative values ``<= draw``, which is ``searchsorted(...,
+        side="right")``.  Padding columns carry the row total and a draw
+        is strictly below its total, so they never count.
+        """
+        widths = highs - lows
+        if np.any(widths <= 0):
+            raise ValueError("cannot sample: no zigzag with positive weight")
+        max_width = int(widths.max())
+        columns = np.arange(max_width)
+        gather = lows[:, None] + columns[None, :]
+        valid = columns[None, :] < widths[:, None]
+        values = np.where(valid, table[np.minimum(gather, len(table) - 1)], 0.0)
+        cumulative = np.cumsum(values, axis=1)
+        totals = cumulative[np.arange(len(lows)), widths - 1]
+        if np.any(totals <= 0):
+            raise ValueError("cannot sample: no zigzag with positive weight")
+        draws = uniforms * totals
+        indices = (cumulative <= draws[:, None]).sum(axis=1)
+        return lows + np.minimum(indices, widths - 1)
 
 
 def count_zigzags(graph: BipartiteGraph, h: int, exact: bool = True):

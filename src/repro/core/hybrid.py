@@ -24,7 +24,6 @@ from repro.core.epivoter import EPivoter
 from repro.core.zigzag import zigzag_count_all, zigzagpp_count_all
 from repro.graph.bigraph import BipartiteGraph
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
-from repro.utils.rng import as_generator
 
 __all__ = [
     "partition_graph",
@@ -101,9 +100,10 @@ def hybrid_count_all(
 
     ``estimator`` selects the dense-region algorithm: ``"zigzag"`` (the
     paper's EP/ZZ) or ``"zigzag++"`` (EP/ZZ++).  ``workers`` parallelises
-    the exact sparse-region EPivoter pass over processes (the sampling
-    pass is untouched); the exact part is merged from integer partials,
-    so results for any worker count match the serial run exactly.
+    both regions: the exact sparse-region EPivoter pass merges integer
+    partials, and the dense-region sampler uses per-unit RNG streams, so
+    results for any worker count match the serial run exactly —
+    bit-identical given the same seed.
 
     ``obs`` records the partition sizes (``hybrid.sparse_vertices`` /
     ``hybrid.dense_vertices``) and per-region time (phase timers
@@ -113,7 +113,6 @@ def hybrid_count_all(
     if estimator not in ("zigzag", "zigzag++"):
         raise ValueError("estimator must be 'zigzag' or 'zigzag++'")
     reg = obs if obs is not None else NULL_REGISTRY
-    rng = as_generator(seed)
     ordered = graph if graph.is_degree_ordered() else graph.degree_ordered()[0]
     with reg.phase("hybrid.partition"):
         sparse, dense, _ = partition_graph(ordered, tau=tau, quantile=quantile)
@@ -130,9 +129,11 @@ def hybrid_count_all(
     if dense:
         estimate_fn = zigzag_count_all if estimator == "zigzag" else zigzagpp_count_all
         with reg.phase("hybrid.estimate_dense"):
+            # The seed passes through untouched so an all-dense hybrid run
+            # reproduces the pure sampler's estimate bit for bit.
             sampled_part = estimate_fn(
-                ordered, h_max=h_max, samples=samples, seed=rng,
-                left_region=dense, obs=obs,
+                ordered, h_max=h_max, samples=samples, seed=seed,
+                left_region=dense, obs=obs, workers=workers,
             )
         for p, q, value in sampled_part.items():
             counts.add(p, q, value)
@@ -162,7 +163,6 @@ def hybrid_count_single(
     if min(p, q) < 1:
         raise ValueError("p and q must be positive")
     reg = obs if obs is not None else NULL_REGISTRY
-    rng = as_generator(seed)
     ordered = graph if graph.is_degree_ordered() else graph.degree_ordered()[0]
     with reg.phase("hybrid.partition"):
         sparse, dense, _ = partition_graph(ordered, tau=tau, quantile=quantile)
@@ -191,10 +191,11 @@ def hybrid_count_single(
                     ordered,
                     max(p, q),
                     samples,
-                    rng,
+                    seed,
                     levels=[level],
                     unit_filter=dense,
                     obs=obs,
+                    workers=workers,
                 )
                 total += engine.run()[p, q]
     return total

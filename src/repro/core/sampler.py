@@ -101,7 +101,10 @@ class BicliqueSampler:
         if self.count == 0:
             raise ValueError(f"the graph has no ({self.p}, {self.q})-bicliques")
         index = int(np.searchsorted(self._cumulative, rng.random(), side="right"))
-        index = min(index, len(self._leaves) - 1)
+        return self._expand(min(index, len(self._leaves) - 1), rng)
+
+    def _expand(self, index: int, rng: np.random.Generator):
+        """Materialise one biclique from a drawn leaf's subset choices."""
         free_l, fixed_l, free_r, fixed_r, extra, i = self._leaves[index]
         a = self.p - len(fixed_l)
         b = self.q - len(fixed_r) - i
@@ -121,8 +124,21 @@ class BicliqueSampler:
     def sample_many(
         self, k: int, seed: "int | None | np.random.Generator" = None
     ) -> list[tuple[tuple[int, ...], tuple[int, ...]]]:
-        """Draw ``k`` independent uniform samples (with replacement)."""
+        """Draw ``k`` independent uniform samples (with replacement).
+
+        The leaf lookups are vectorised: one inverse-CDF ``searchsorted``
+        over a block of ``k`` uniforms replaces ``k`` scalar binary
+        searches; only the per-sample subset choices remain scalar work.
+        """
         if k < 0:
             raise ValueError("k must be non-negative")
+        if k == 0:
+            return []
+        if self.count == 0:
+            raise ValueError(f"the graph has no ({self.p}, {self.q})-bicliques")
         rng = as_generator(seed)
-        return [self.sample(rng) for _ in range(k)]
+        indices = np.minimum(
+            np.searchsorted(self._cumulative, rng.random(k), side="right"),
+            len(self._leaves) - 1,
+        )
+        return [self._expand(int(index), rng) for index in indices]

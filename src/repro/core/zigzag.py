@@ -19,10 +19,36 @@ Cells with ``min(p, q) = 1`` (stars) are computed exactly in closed form;
 sampling covers ``2 <= min(p, q) <= h_max``.  The proportional sample
 allocation is randomised with a multinomial draw, which keeps the global
 estimator exactly unbiased (DESIGN.md §4).
+
+Hot-path engineering (beyond the paper)
+---------------------------------------
+The estimation driver is organised around *units* — one subgraph family
+member (an edge for ZigZag, a left vertex for ZigZag++) — and is
+deterministic at unit granularity:
+
+* **per-unit RNG streams**: one ``np.random.SeedSequence`` child per
+  unit (plus one for the multinomial allocation), so a unit's samples
+  depend only on the seed and the unit — not on which process drew them
+  or in which order.  Serial and parallel runs with the same seed are
+  **bit-identical**.
+* **batch sampling**: each unit draws all its allocated samples per
+  level through :meth:`ZigzagDP.sample_batch` — a vectorised inverse-CDF
+  walk that is itself bit-identical to the retained per-sample reference
+  path (``batch=False``).
+* **built-once DP state**: the totals pass and the sampling pass share
+  one LRU of built ``(LocalSubgraph, ZigzagDP)`` state per unit (the
+  per-worker :func:`repro.utils.parallel.worker_cache` on the process
+  path), instead of rebuilding every unit's DP twice.
+* **unit fan-out**: ``workers=`` chunks the units over processes via
+  :class:`repro.utils.parallel.GraphPool`; the graph ships once for both
+  passes and per-unit partial sums merge back in unit order, preserving
+  float-accumulation order exactly.
 """
 
 from __future__ import annotations
 
+import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -34,7 +60,16 @@ from repro.graph.intersect import common_neighborhood, is_subset_sorted
 from repro.graph.subgraph import LocalSubgraph, edge_neighborhood_graph, two_hop_graph
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.utils.combinatorics import binomial
-from repro.utils.rng import as_generator
+from repro.utils.parallel import (
+    GraphPool,
+    resolve_workers,
+    split_evenly,
+    split_worker_results,
+    worker_cache,
+    worker_graph,
+    worker_warmup_seconds,
+)
+from repro.utils.rng import spawn_sequences
 
 __all__ = [
     "zigzag_count_all",
@@ -44,6 +79,12 @@ __all__ = [
     "SamplingStats",
     "star_counts",
 ]
+
+#: Units whose built ``(LocalSubgraph, ZigzagDP)`` state stays resident
+#: between the totals pass and the sampling pass (per process).  Beyond
+#: this many units the least-recently-used state is evicted and rebuilt
+#: on demand (counted as ``zigzag.dp_cache_misses``).
+DP_CACHE_UNITS = 65536
 
 
 @dataclass
@@ -60,6 +101,23 @@ class SamplingStats:
     max_hit: dict[tuple[int, int], float] = field(default_factory=dict)
     samples: dict[int, int] = field(default_factory=dict)
 
+    def merge(self, other: "SamplingStats") -> "SamplingStats":
+        """Fold another (partial) stats object into this one, in place.
+
+        Totals and sample counts add, per-cell maxima take the larger
+        value — all order-independent operations, so merging per-chunk
+        partials in any order reproduces a serial run's stats exactly.
+        Returns ``self`` for chaining.
+        """
+        for level, total in other.zigzag_totals.items():
+            self.zigzag_totals[level] = self.zigzag_totals.get(level, 0.0) + total
+        for pair, value in other.max_hit.items():
+            if value > self.max_hit.get(pair, 0.0):
+                self.max_hit[pair] = value
+        for level, drawn in other.samples.items():
+            self.samples[level] = self.samples.get(level, 0) + drawn
+        return self
+
     def z_over_rho_squared(self, p: int, q: int, estimate: float, level: int, denom: int) -> float:
         """The sampling-hardness ratio ``(Z / rho)^2`` of Theorem 4.11."""
         total = self.zigzag_totals.get(level, 0.0)
@@ -72,6 +130,20 @@ class SamplingStats:
         return (z / rho) ** 2
 
 
+def _binomial_histogram_sum(histogram: np.ndarray, k: int) -> int:
+    """``sum over vertices of C(degree, k)`` from a degree histogram.
+
+    One exact-integer binomial per *distinct* degree instead of one per
+    vertex; the multiplication by the degree's multiplicity stays in
+    Python integers, so the star cells remain exact.
+    """
+    return sum(
+        int(multiplicity) * binomial(degree, k)
+        for degree, multiplicity in enumerate(histogram)
+        if multiplicity
+    )
+
+
 def star_counts(
     graph: BipartiteGraph,
     counts: BicliqueCounts,
@@ -80,24 +152,27 @@ def star_counts(
     """Fill the exact closed-form cells with ``min(p, q) = 1``.
 
     Without a region: ``C_{1,q} = sum_u C(d(u), q)`` and
-    ``C_{p,1} = sum_v C(d(v), p)``.  With ``left_region`` only the stars
-    whose *minimal left vertex* lies in the region are counted — the
-    attribution rule the hybrid algorithm uses to keep regions disjoint
-    (every biclique belongs to the region of its smallest left vertex
-    under the degree ordering).
+    ``C_{p,1} = sum_v C(d(v), p)``, computed over a ``np.bincount``
+    degree histogram (one binomial per distinct degree).  With
+    ``left_region`` only the stars whose *minimal left vertex* lies in
+    the region are counted — the attribution rule the hybrid algorithm
+    uses to keep regions disjoint (every biclique belongs to the region
+    of its smallest left vertex under the degree ordering).
     """
     if left_region is None:
-        left_degrees = graph.degrees_left()
-        right_degrees = graph.degrees_right()
+        left_hist = np.bincount(np.asarray(graph.degrees_left(), dtype=np.int64))
+        right_hist = np.bincount(np.asarray(graph.degrees_right(), dtype=np.int64))
         for q in range(1, counts.max_q + 1):
-            counts.add(1, q, sum(binomial(d, q) for d in left_degrees))
+            counts.add(1, q, _binomial_histogram_sum(left_hist, q))
         for p in range(2, counts.max_p + 1):
-            counts.add(p, 1, sum(binomial(d, p) for d in right_degrees))
+            counts.add(p, 1, _binomial_histogram_sum(right_hist, p))
         return
+    region_degrees = np.asarray(
+        [graph.degree_left(u) for u in left_region], dtype=np.int64
+    )
+    region_hist = np.bincount(region_degrees) if region_degrees.size else region_degrees
     for q in range(1, counts.max_q + 1):
-        counts.add(
-            1, q, sum(binomial(graph.degree_left(u), q) for u in left_region)
-        )
+        counts.add(1, q, _binomial_histogram_sum(region_hist, q))
     # (p, 1) stars: choose a right vertex v and p of its neighbors; the
     # star belongs to the region of the smallest chosen neighbor, so for
     # each neighbor u (rank r from the end) it is the minimum of
@@ -114,7 +189,7 @@ def star_counts(
 
 
 # ----------------------------------------------------------------------
-# Shared estimation driver
+# Hit testing
 # ----------------------------------------------------------------------
 
 
@@ -133,14 +208,283 @@ def _hit_pools(local: BipartiteGraph, left: list[int], right: list[int]):
     return len(common_right) - len(right), len(common_left) - len(left)
 
 
+def _hit_pools_batch(
+    local: BipartiteGraph, lefts: np.ndarray, rights: np.ndarray
+) -> list:
+    """:func:`_hit_pools` over a ``(k, h)`` sample matrix, memoised.
+
+    Repeated zigzags (common in dense units, where few distinct zigzags
+    absorb many draws) run the intersection kernels once; the per-sample
+    result list keeps the original draw order so downstream accumulation
+    stays bit-identical to the per-sample path.
+    """
+    pools = []
+    memo: dict[tuple[bytes, bytes], "tuple[int, int] | None"] = {}
+    for row in range(lefts.shape[0]):
+        key = (lefts[row].tobytes(), rights[row].tobytes())
+        cached = memo.get(key, memo)
+        if cached is memo:  # sentinel: None is a valid cached value
+            cached = memo[key] = _hit_pools(
+                local, lefts[row].tolist(), rights[row].tolist()
+            )
+        pools.append(cached)
+    return pools
+
+
+# ----------------------------------------------------------------------
+# Per-unit machinery (shared by the serial path and chunk workers)
+# ----------------------------------------------------------------------
+
+
+def _build_unit(graph: BipartiteGraph, kind: str, unit: int) -> LocalSubgraph:
+    """Build the subgraph family member for one unit id."""
+    if kind == "zigzag":
+        u, v = graph.edge_at(unit)
+        return edge_neighborhood_graph(graph, u, v)
+    return two_hop_graph(graph, unit)
+
+
+def _unit_state(
+    graph: BipartiteGraph,
+    kind: str,
+    max_level: int,
+    unit: int,
+    cache: OrderedDict,
+    acct: dict,
+):
+    """The built ``(LocalSubgraph, ZigzagDP, head_range)`` of one unit.
+
+    Served from the LRU ``cache`` when resident (``acct["cache_hits"]``);
+    otherwise built once, its DP cell count charged to ``acct``, and
+    inserted (evicting the least-recently-used unit beyond
+    ``DP_CACHE_UNITS``).  This is the fix for the historical double
+    build: the totals pass populates the cache and the sampling pass
+    reuses it.
+    """
+    key = (kind, max_level, unit)
+    state = cache.get(key)
+    if state is not None:
+        cache.move_to_end(key)
+        acct["cache_hits"] += 1
+        return state
+    acct["cache_misses"] += 1
+    local = _build_unit(graph, kind, unit)
+    if local.num_edges == 0:
+        state = (local, None, None)
+    else:
+        dp = ZigzagDP(local.graph, max_level)
+        # Two directed-edge tables (A and B) per DP level.
+        acct["dp_cells"] += 2 * dp.num_edges * max_level
+        # The 2-hop subgraph owner w has local left id 0 by construction.
+        head = dp.head_range_for_left(0) if kind == "zigzagpp" else None
+        state = (local, dp, head)
+    cache[key] = state
+    if len(cache) > DP_CACHE_UNITS:
+        cache.popitem(last=False)
+    return state
+
+
+def _unit_totals(
+    graph: BipartiteGraph,
+    kind: str,
+    max_level: int,
+    levels: "tuple[int, ...]",
+    unit: int,
+    cache: OrderedDict,
+    acct: dict,
+) -> list[float]:
+    """Exact per-level zigzag totals of one unit (the DP pass)."""
+    _, dp, head = _unit_state(graph, kind, max_level, unit, cache, acct)
+    if dp is None:
+        return [0.0] * len(levels)
+    return [float(dp.zigzag_count(level, head)) for level in levels]
+
+
+def _estimate_unit(
+    graph: BipartiteGraph,
+    kind: str,
+    h_max: int,
+    max_level: int,
+    levels: "tuple[int, ...]",
+    unit: int,
+    alloc_row,
+    seed_seq: np.random.SeedSequence,
+    batch: bool,
+    cache: OrderedDict,
+    acct: dict,
+):
+    """Draw one unit's allocated samples and accumulate its hit weights.
+
+    Returns ``(sums, max_hit, hits)`` where ``sums[(p, q)]`` is the sum
+    of per-sample biclique weights in draw order (so merging units in
+    unit order reproduces a flat serial accumulation bit for bit).  The
+    unit's generator comes from its own spawned ``seed_seq``, making the
+    result independent of chunking and worker count.
+    """
+    local, dp, head = _unit_state(graph, kind, max_level, unit, cache, acct)
+    rng = np.random.default_rng(seed_seq)
+    cell_base = 1 if kind == "zigzag" else 0
+    sums: dict[tuple[int, int], float] = {}
+    max_hit: dict[tuple[int, int], float] = {}
+    hits = 0
+    for col, level in enumerate(levels):
+        k = int(alloc_row[col])
+        if not k:
+            continue
+        if batch:
+            lefts, rights = dp.sample_batch(level, k, rng, head)
+            pools = _hit_pools_batch(local.graph, lefts, rights)
+            acct["batches"] += 1
+            if k > acct["batch_max"]:
+                acct["batch_max"] = k
+        else:
+            pools = []
+            for _ in range(k):
+                left, right = dp.sample(level, rng, head)
+                pools.append(_hit_pools(local.graph, left, right))
+        base = level + cell_base
+        for pair in pools:
+            if pair is None:
+                continue
+            hits += 1
+            pool_right, pool_left = pair
+            for extra in range(0, min(pool_right, h_max - base) + 1):
+                weight = binomial(pool_right, extra)
+                cell = (base, base + extra)
+                sums[cell] = sums.get(cell, 0.0) + weight
+                if weight > max_hit.get(cell, 0.0):
+                    max_hit[cell] = float(weight)
+            for extra in range(1, min(pool_left, h_max - base) + 1):
+                weight = binomial(pool_left, extra)
+                cell = (base + extra, base)
+                sums[cell] = sums.get(cell, 0.0) + weight
+                if weight > max_hit.get(cell, 0.0):
+                    max_hit[cell] = float(weight)
+    return sums, max_hit, hits
+
+
+def _denominator(kind: str, p: int, q: int) -> int:
+    """Zigzags per (p, q)-biclique in the unit's local frame (Thm 4.4)."""
+    if kind == "zigzag":
+        return binomial(max(p, q) - 1, min(p, q) - 1)
+    if p <= q:
+        return binomial(q, p)
+    return binomial(p - 1, q - 1)
+
+
+def _new_acct() -> dict:
+    return {
+        "dp_cells": 0,
+        "cache_hits": 0,
+        "cache_misses": 0,
+        "batches": 0,
+        "batch_max": 0,
+    }
+
+
+def _worker_lru() -> OrderedDict:
+    """This worker's pool-lifetime unit-state LRU (shared across passes)."""
+    return worker_cache().setdefault("zigzag.unit_lru", OrderedDict())
+
+
+def _acct_stats(acct: dict, extra_counters: "dict | None" = None) -> dict:
+    """Fold an acct dict into worker-stat counter/gauge form."""
+    counters = {
+        "zigzag.dp_table_cells": acct["dp_cells"],
+        "zigzag.dp_cache_hits": acct["cache_hits"],
+        "zigzag.dp_cache_misses": acct["cache_misses"],
+        "zigzag.sample_batches": acct["batches"],
+    }
+    if extra_counters:
+        counters.update(extra_counters)
+    return {
+        "counters": counters,
+        "gauges": {"zigzag.batch_max_size": acct["batch_max"]},
+    }
+
+
+def _totals_chunk(payload):
+    """Worker: exact per-unit zigzag totals over one chunk of units."""
+    kind, max_level, levels, units, collect = payload
+    graph = worker_graph()
+    cache = _worker_lru()
+    acct = _new_acct()
+    start = time.perf_counter()
+    rows = [
+        _unit_totals(graph, kind, max_level, levels, unit, cache, acct)
+        for unit in units
+    ]
+    if not collect:
+        return rows, None
+    stats = _acct_stats(acct)
+    stats.update(
+        phase="zigzag.dp_pass",
+        units=len(units),
+        wall_time=time.perf_counter() - start,
+        warmup_seconds=worker_warmup_seconds(),
+    )
+    return rows, stats
+
+
+def _sampling_chunk(payload):
+    """Worker: sample one chunk of allocated units with their own streams."""
+    kind, h_max, max_level, levels, items, batch, collect = payload
+    graph = worker_graph()
+    cache = _worker_lru()
+    acct = _new_acct()
+    start = time.perf_counter()
+    results = []
+    drawn = hits_total = 0
+    partial = SamplingStats()
+    for row, unit, alloc_row, seed_seq in items:
+        sums, max_hit, hits = _estimate_unit(
+            graph, kind, h_max, max_level, levels, unit, alloc_row, seed_seq,
+            batch, cache, acct,
+        )
+        results.append((row, sums, hits))
+        drawn += sum(alloc_row)
+        hits_total += hits
+        partial.merge(SamplingStats(max_hit=max_hit))
+    if not collect:
+        # The stats partial must ride back even without observability:
+        # the parent's SamplingStats.max_hit feeds adaptive sampling.
+        return results, {"sampling": partial}
+    stats = _acct_stats(acct)
+    # Units built *during sampling* are cache-affinity rebuilds (the pool
+    # gave this chunk to a worker that didn't run the unit's totals), not
+    # new DP work: charge them separately so ``zigzag.dp_table_cells``
+    # stays identical between serial and parallel runs.
+    counters = stats["counters"]
+    counters["zigzag.dp_rebuild_cells"] = counters.pop("zigzag.dp_table_cells")
+    stats.update(
+        phase="zigzag.sampling_pass",
+        units=len(items),
+        wall_time=time.perf_counter() - start,
+        warmup_seconds=worker_warmup_seconds(),
+        samples_drawn=drawn,
+        sample_hits=hits_total,
+        sampling=partial,
+    )
+    return results, stats
+
+
+# ----------------------------------------------------------------------
+# Shared estimation driver
+# ----------------------------------------------------------------------
+
+
 class _Estimator:
     """Two-pass proportional-allocation zigzag estimation engine.
 
-    Subclasses define the subgraph family and how a local hit maps onto
-    global (p, q) cells; everything else (DP construction, allocation,
-    sampling, unbiased scaling) is shared between ZigZag and ZigZag++.
+    Subclasses define the subgraph family (``kind``) and its sampled
+    levels; everything else — DP construction with LRU reuse, multinomial
+    allocation, per-unit-stream sampling (batched or per-sample), process
+    fan-out, unbiased scaling — is shared between ZigZag and ZigZag++.
     """
 
+    #: Subgraph family: ``"zigzag"`` (per edge) or ``"zigzagpp"`` (per
+    #: left vertex); also selects hit-cell mapping and denominators.
+    kind = "zigzag"
     #: Sampled levels map to cells with min(p, q) = level + cell_offset.
     cell_offset = 0
 
@@ -149,10 +493,12 @@ class _Estimator:
         graph: BipartiteGraph,
         h_max: int,
         samples: int,
-        rng: np.random.Generator,
+        seed: "int | None | np.random.Generator | np.random.SeedSequence" = None,
         levels: "list[int] | None" = None,
         unit_filter: "set[int] | None" = None,
         obs: "MetricsRegistry | None" = None,
+        workers: "int | None" = None,
+        batch: bool = True,
     ):
         if h_max < 2:
             raise ValueError("h_max must be at least 2")
@@ -161,11 +507,14 @@ class _Estimator:
         self.graph = graph
         self.h_max = h_max
         self.samples = samples
-        self.rng = rng
+        self.seed = seed
         self.levels = levels if levels is not None else self.default_levels()
         self.unit_filter = unit_filter
         self.stats = SamplingStats()
         self.obs = obs if obs is not None else NULL_REGISTRY
+        self.workers = workers
+        self.batch = batch
+        self._cache: OrderedDict = OrderedDict()
 
     # Subclass hooks -----------------------------------------------------
 
@@ -176,19 +525,6 @@ class _Estimator:
         """Identifiers of the subgraph family (edge index / left vertex)."""
         raise NotImplementedError
 
-    def build(self, unit: int) -> LocalSubgraph:
-        raise NotImplementedError
-
-    def head_range(self, dp: ZigzagDP) -> "tuple[int, int] | None":
-        return None
-
-    def cells_for_hit(self, level: int, pool_right: int, pool_left: int):
-        """Yield ``(p, q, weight)`` contributions of one hit sample."""
-        raise NotImplementedError
-
-    def denominator(self, p: int, q: int) -> int:
-        raise NotImplementedError
-
     # Driver -------------------------------------------------------------
 
     def run(self) -> BicliqueCounts:
@@ -197,115 +533,180 @@ class _Estimator:
         counts = BicliqueCounts(self.h_max, self.h_max)
         star_counts(self.graph, counts, self.unit_filter)
         units = self.units()
-        max_level = max(self.levels, default=0)
+        levels = tuple(self.levels)
+        max_level = max(levels, default=0)
         if track:
             obs.incr("zigzag.units", len(units))
-            obs.gauge_max("zigzag.levels", len(self.levels))
+            obs.gauge_max("zigzag.levels", len(levels))
         if max_level == 0 or not units:
             return counts
-        # Pass 1: exact zigzag totals per unit and per level.
-        dp_cells = 0
-        totals = np.zeros((len(units), len(self.levels)))
-        with obs.phase("zigzag.dp_pass"):
-            for row, unit in enumerate(units):
-                local = self.build(unit)
-                if local.num_edges == 0:
+        n_workers = min(resolve_workers(self.workers), len(units))
+        acct = _new_acct()
+        sample_acct = _new_acct()
+        pool = None
+        try:
+            if n_workers > 1:
+                pool = GraphPool(self.graph, n_workers, obs if track else None)
+                if track:
+                    obs.gauge_max("parallel.workers", n_workers)
+            # Pass 1: exact zigzag totals per unit and per level.
+            with obs.phase("zigzag.dp_pass"):
+                totals = self._totals_pass(units, levels, max_level, pool, acct)
+            level_totals = totals.sum(axis=0)
+            for col, level in enumerate(levels):
+                self.stats.zigzag_totals[level] = float(level_totals[col])
+            # Deterministic streams: child 0 allocates, child 1 + i
+            # samples unit i — a pure function of the seed and the unit,
+            # independent of chunking and worker count.
+            children = spawn_sequences(self.seed, len(units) + 1)
+            alloc_rng = np.random.default_rng(children[0])
+            allocation = np.zeros_like(totals, dtype=np.int64)
+            for col, level in enumerate(levels):
+                if level_totals[col] <= 0:
                     continue
-                dp = ZigzagDP(local.graph, max_level)
-                # Two directed-edge tables (A and B) per DP level.
-                dp_cells += 2 * dp.num_edges * max_level
-                head = self.head_range(dp)
-                for col, level in enumerate(self.levels):
-                    totals[row, col] = dp.zigzag_count(level, head)
-        level_totals = totals.sum(axis=0)
-        for col, level in enumerate(self.levels):
-            self.stats.zigzag_totals[level] = float(level_totals[col])
-        # Pass 2: multinomial allocation, sampling, accumulation.
-        allocation = np.zeros_like(totals, dtype=np.int64)
-        for col, level in enumerate(self.levels):
-            if level_totals[col] <= 0:
-                continue
-            probs = totals[:, col] / level_totals[col]
-            allocation[:, col] = self.rng.multinomial(self.samples, probs)
-            self.stats.samples[level] = int(allocation[:, col].sum())
-        sums: dict[tuple[int, int], float] = {}
-        drawn_total = hits = 0
-        with obs.phase("zigzag.sampling_pass"):
-            for row, unit in enumerate(units):
-                if not allocation[row].any():
-                    continue
-                local = self.build(unit)
-                dp = ZigzagDP(local.graph, max_level)
-                dp_cells += 2 * dp.num_edges * max_level
-                head = self.head_range(dp)
-                for col, level in enumerate(self.levels):
-                    for _ in range(int(allocation[row, col])):
-                        drawn_total += 1
-                        left, right = dp.sample(level, self.rng, head)
-                        pools = _hit_pools(local.graph, left, right)
-                        if pools is None:
-                            continue
-                        hits += 1
-                        pool_right, pool_left = pools
-                        for p, q, weight in self.cells_for_hit(level, pool_right, pool_left):
-                            sums[(p, q)] = sums.get((p, q), 0.0) + weight
-                            if weight > self.stats.max_hit.get((p, q), 0.0):
-                                self.stats.max_hit[(p, q)] = float(weight)
+                probs = totals[:, col] / level_totals[col]
+                allocation[:, col] = alloc_rng.multinomial(self.samples, probs)
+                self.stats.samples[level] = int(allocation[:, col].sum())
+            active = [int(row) for row in np.flatnonzero(allocation.any(axis=1))]
+            drawn_total = int(allocation.sum())
+            # Pass 2: per-unit-stream sampling and in-order accumulation.
+            start = time.perf_counter()
+            with obs.phase("zigzag.sampling_pass"):
+                results, hits = self._sampling_pass(
+                    units, levels, max_level, allocation, active, children, pool,
+                    sample_acct,
+                )
+            elapsed = time.perf_counter() - start
+            sums: dict[tuple[int, int], float] = {}
+            for _row, unit_sums, _unit_hits in results:
+                for pair, value in unit_sums.items():
+                    sums[pair] = sums.get(pair, 0.0) + value
+        finally:
+            if pool is not None:
+                pool.close()
         for (p, q), total in sums.items():
             level = min(p, q) - self.cell_offset
             zigzags = self.stats.zigzag_totals.get(level, 0.0)
             drawn = self.stats.samples.get(level, 0)
             if not zigzags or not drawn:
                 continue
-            estimate = zigzags * total / (drawn * self.denominator(p, q))
+            estimate = zigzags * total / (drawn * _denominator(self.kind, p, q))
             counts.add(p, q, estimate)
         if track:
-            obs.incr("zigzag.dp_table_cells", dp_cells)
+            for name, value in _acct_stats(acct)["counters"].items():
+                obs.incr(name, value)
+            sample_counters = _acct_stats(sample_acct)["counters"]
+            # Serial sampling hits the cache populated by the totals pass;
+            # any build here is an LRU-eviction rebuild, same bucket as
+            # the workers' affinity rebuilds.
+            sample_counters["zigzag.dp_rebuild_cells"] = sample_counters.pop(
+                "zigzag.dp_table_cells"
+            )
+            for name, value in sample_counters.items():
+                obs.incr(name, value)
+            obs.gauge_max(
+                "zigzag.batch_max_size",
+                max(acct["batch_max"], sample_acct["batch_max"]),
+            )
             obs.incr("zigzag.samples_drawn", drawn_total)
             obs.incr("zigzag.sample_hits", hits)
             # Misses (zero-estimate samples): the zero-estimate rate of a
             # run is sample_misses / samples_drawn.
             obs.incr("zigzag.sample_misses", drawn_total - hits)
+            if elapsed > 0:
+                obs.gauge("zigzag.samples_per_sec", drawn_total / elapsed)
         return counts
+
+    def _totals_pass(self, units, levels, max_level, pool, acct) -> np.ndarray:
+        """Exact per-unit totals, serial or fanned out over the pool."""
+        if pool is not None:
+            chunks = split_evenly(units, pool.max_workers * _CHUNKS_PER_WORKER)
+            collect = self.obs.enabled
+            if collect:
+                self.obs.gauge_max("parallel.chunks", len(chunks))
+            payloads = [
+                (self.kind, max_level, levels, chunk, collect) for chunk in chunks
+            ]
+            parts = split_worker_results(
+                pool.map(_totals_chunk, payloads), self.obs
+            )
+            rows = [row for part in parts for row in part]
+        else:
+            rows = [
+                _unit_totals(
+                    self.graph, self.kind, max_level, levels, unit, self._cache,
+                    acct,
+                )
+                for unit in units
+            ]
+        totals = np.asarray(rows, dtype=np.float64)
+        return totals.reshape(len(units), len(levels))
+
+    def _sampling_pass(
+        self, units, levels, max_level, allocation, active, children, pool, acct
+    ):
+        """Sample every allocated unit; returns in-unit-order results."""
+        items = [
+            (row, units[row], tuple(int(k) for k in allocation[row]), children[row + 1])
+            for row in active
+        ]
+        hits_total = 0
+        if pool is not None:
+            chunks = split_evenly(items, pool.max_workers * _CHUNKS_PER_WORKER)
+            collect = self.obs.enabled
+            payloads = [
+                (self.kind, self.h_max, max_level, levels, chunk, self.batch, collect)
+                for chunk in chunks
+            ]
+            parts = split_worker_results(
+                pool.map(_sampling_chunk, payloads), self.obs, self.stats
+            )
+            results = []
+            for part in parts:
+                for row, sums, hits in part:
+                    results.append((row, sums, hits))
+                    hits_total += hits
+            return results, hits_total
+        results = []
+        for row, unit, alloc_row, seed_seq in items:
+            sums, max_hit, hits = _estimate_unit(
+                self.graph, self.kind, self.h_max, max_level, levels, unit,
+                alloc_row, seed_seq, self.batch, self._cache, acct,
+            )
+            results.append((row, sums, hits))
+            hits_total += hits
+            self.stats.merge(SamplingStats(max_hit=max_hit))
+        return results, hits_total
+
+
+#: Chunks per worker in the unit fan-out; more chunks than workers lets
+#: the pool rebalance when allocation concentrates on a few dense units.
+_CHUNKS_PER_WORKER = 4
 
 
 class _ZigZag(_Estimator):
     """Per-edge neighborhood subgraphs (Algorithm 7)."""
 
+    kind = "zigzag"
     cell_offset = 1  # local level h' serves cells with min(p, q) = h' + 1
-
-    def __init__(self, *args, **kwargs):
-        super().__init__(*args, **kwargs)
-        self._edges = list(self.graph.edges())
 
     def default_levels(self) -> list[int]:
         return list(range(1, self.h_max))
 
     def units(self) -> list[int]:
         if self.unit_filter is None:
-            return list(range(len(self._edges)))
+            return list(range(self.graph.num_edges))
         return [
-            i for i, (u, _) in enumerate(self._edges) if u in self.unit_filter
+            index
+            for index, (u, _) in enumerate(self.graph.edges())
+            if u in self.unit_filter
         ]
-
-    def build(self, unit: int) -> LocalSubgraph:
-        u, v = self._edges[unit]
-        return edge_neighborhood_graph(self.graph, u, v)
-
-    def cells_for_hit(self, level: int, pool_right: int, pool_left: int):
-        base = level + 1
-        for extra in range(0, min(pool_right, self.h_max - base) + 1):
-            yield base, base + extra, binomial(pool_right, extra)
-        for extra in range(1, min(pool_left, self.h_max - base) + 1):
-            yield base + extra, base, binomial(pool_left, extra)
-
-    def denominator(self, p: int, q: int) -> int:
-        return binomial(max(p, q) - 1, min(p, q) - 1)
 
 
 class _ZigZagPP(_Estimator):
     """Per-vertex 2-hop subgraphs (Algorithm 8)."""
 
+    kind = "zigzagpp"
     cell_offset = 0  # level h serves cells with min(p, q) = h
 
     def default_levels(self) -> list[int]:
@@ -316,24 +717,6 @@ class _ZigZagPP(_Estimator):
         if self.unit_filter is None:
             return list(vertices)
         return [w for w in vertices if w in self.unit_filter]
-
-    def build(self, unit: int) -> LocalSubgraph:
-        return two_hop_graph(self.graph, unit)
-
-    def head_range(self, dp: ZigzagDP) -> tuple[int, int]:
-        # The subgraph owner w has local left id 0 by construction.
-        return dp.head_range_for_left(0)
-
-    def cells_for_hit(self, level: int, pool_right: int, pool_left: int):
-        for extra in range(0, min(pool_right, self.h_max - level) + 1):
-            yield level, level + extra, binomial(pool_right, extra)
-        for extra in range(1, min(pool_left, self.h_max - level) + 1):
-            yield level + extra, level, binomial(pool_left, extra)
-
-    def denominator(self, p: int, q: int) -> int:
-        if p <= q:
-            return binomial(q, p)
-        return binomial(p - 1, q - 1)
 
 
 # ----------------------------------------------------------------------
@@ -356,6 +739,8 @@ def zigzag_count_all(
     return_stats: bool = False,
     left_region: "set[int] | None" = None,
     obs: "MetricsRegistry | None" = None,
+    workers: "int | None" = None,
+    batch: bool = True,
 ):
     """Estimate all (p, q)-biclique counts with ZigZag (Algorithm 7).
 
@@ -364,15 +749,22 @@ def zigzag_count_all(
     in the region (used by the hybrid algorithm, which passes a dense
     region of an already degree-ordered graph).
 
+    ``workers`` fans the per-edge units out over processes (0 = one per
+    CPU); thanks to per-unit RNG streams the estimate is **bit-identical**
+    for any worker count given the same seed.  ``batch=False`` selects
+    the per-sample reference walk instead of the vectorised batch kernel
+    (same estimates, for cross-validation).
+
     Returns a :class:`BicliqueCounts` (float cells for sampled levels,
     exact integers for ``min(p, q) = 1``), plus :class:`SamplingStats`
     when ``return_stats`` is set.  ``obs`` collects sampling counters
-    (samples drawn, hit/miss split, DP table cells) and phase timers.
+    (samples drawn, hit/miss split, DP table cells, cache residency,
+    samples/sec) and phase timers.
     """
     ordered = _prepare(graph)
     engine = _ZigZag(
-        ordered, h_max, samples, as_generator(seed), unit_filter=left_region,
-        obs=obs,
+        ordered, h_max, samples, seed, unit_filter=left_region, obs=obs,
+        workers=workers, batch=batch,
     )
     counts = engine.run()
     if return_stats:
@@ -388,12 +780,14 @@ def zigzagpp_count_all(
     return_stats: bool = False,
     left_region: "set[int] | None" = None,
     obs: "MetricsRegistry | None" = None,
+    workers: "int | None" = None,
+    batch: bool = True,
 ):
     """Estimate all (p, q)-biclique counts with ZigZag++ (Algorithm 8)."""
     ordered = _prepare(graph)
     engine = _ZigZagPP(
-        ordered, h_max, samples, as_generator(seed), unit_filter=left_region,
-        obs=obs,
+        ordered, h_max, samples, seed, unit_filter=left_region, obs=obs,
+        workers=workers, batch=batch,
     )
     counts = engine.run()
     if return_stats:
@@ -407,6 +801,8 @@ def zigzag_count_single(
     q: int,
     samples: int = 100_000,
     seed: "int | None | np.random.Generator" = None,
+    workers: "int | None" = None,
+    batch: bool = True,
 ) -> float:
     """Estimate one (p, q) count with ZigZag, sampling only the needed level.
 
@@ -422,7 +818,8 @@ def zigzag_count_single(
         star_counts(ordered, counts)
         return counts[p, q]
     engine = _ZigZag(
-        ordered, max(p, q), samples, as_generator(seed), levels=[min(p, q) - 1]
+        ordered, max(p, q), samples, seed, levels=[min(p, q) - 1],
+        workers=workers, batch=batch,
     )
     return engine.run()[p, q]
 
@@ -433,6 +830,8 @@ def zigzagpp_count_single(
     q: int,
     samples: int = 100_000,
     seed: "int | None | np.random.Generator" = None,
+    workers: "int | None" = None,
+    batch: bool = True,
 ) -> float:
     """Estimate one (p, q) count with ZigZag++ (single sampled level)."""
     if min(p, q) < 1:
@@ -443,6 +842,7 @@ def zigzagpp_count_single(
         star_counts(ordered, counts)
         return counts[p, q]
     engine = _ZigZagPP(
-        ordered, max(p, q), samples, as_generator(seed), levels=[min(p, q)]
+        ordered, max(p, q), samples, seed, levels=[min(p, q)],
+        workers=workers, batch=batch,
     )
     return engine.run()[p, q]

@@ -58,7 +58,9 @@ __all__ = [
     "resolve_workers",
     "root_edge_weight",
     "chunk_root_edges",
+    "split_evenly",
     "run_chunked",
+    "GraphPool",
     "worker_graph",
     "worker_cache",
     "worker_warmup_seconds",
@@ -149,6 +151,31 @@ def chunk_root_edges(
         # into the first chunk.
         heapq.heappush(heap, (load + weights[edge] + 1, index))
     return [chunk for chunk in chunks if chunk]
+
+
+def split_evenly(items: Sequence[T], n_chunks: int) -> list[list[T]]:
+    """Partition ``items`` into at most ``n_chunks`` contiguous, balanced runs.
+
+    Order-preserving (their concatenation equals ``items``) and
+    deterministic; used where per-item costs are roughly uniform or
+    unknown upfront — e.g. the zigzag estimators' unit fan-out, whose
+    per-unit results are merged back in unit order.  Returns only
+    non-empty chunks.
+    """
+    items = list(items)
+    if n_chunks < 1:
+        raise ValueError("n_chunks must be positive")
+    if not items:
+        return []
+    n_chunks = min(n_chunks, len(items))
+    base, extra = divmod(len(items), n_chunks)
+    chunks = []
+    start = 0
+    for index in range(n_chunks):
+        stop = start + base + (1 if index < extra else 0)
+        chunks.append(items[start:stop])
+        start = stop
+    return chunks
 
 
 # ----------------------------------------------------------------------
@@ -292,6 +319,57 @@ class _GraphShipment:
             self.shm = None
 
 
+class GraphPool:
+    """A process pool whose workers share one shipped graph across calls.
+
+    :func:`run_chunked` opens and closes one of these per invocation;
+    phased engines hold one open across *several* ``map()`` calls — the
+    zigzag estimators run a totals pass and a sampling pass against the
+    same pool, so the graph ships once for both and the per-worker
+    :func:`worker_cache` (holding built ``LocalSubgraph`` + ``ZigzagDP``
+    state) survives between the phases.
+
+    The pool is a context manager; :meth:`close` (or ``__exit__``)
+    shuts the executor down and releases the shared-memory segment.
+    """
+
+    def __init__(
+        self,
+        graph: BipartiteGraph,
+        max_workers: int,
+        obs: "MetricsRegistry | None" = None,
+    ):
+        if max_workers < 1:
+            raise ValueError("max_workers must be positive")
+        self.max_workers = max_workers
+        self._shipment = _GraphShipment(graph, obs)
+        self._pool = ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=_init_worker,
+            initargs=(self._shipment.spec,),
+        )
+
+    def map(self, worker: Callable[[T], R], payloads: Sequence[T]) -> list[R]:
+        """Map ``worker`` over ``payloads`` on the pool's processes."""
+        if self._pool is None:
+            raise RuntimeError("GraphPool is closed")
+        return list(self._pool.map(worker, payloads))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+        if self._shipment is not None:
+            self._shipment.close()
+            self._shipment = None
+
+    def __enter__(self) -> "GraphPool":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
 def run_chunked(
     worker: Callable[[T], R],
     payloads: Sequence[T],
@@ -330,16 +408,8 @@ def run_chunked(
     if graph is None:
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
             return list(pool.map(worker, payloads))
-    shipment = _GraphShipment(graph, obs)
-    try:
-        with ProcessPoolExecutor(
-            max_workers=max_workers,
-            initializer=_init_worker,
-            initargs=(shipment.spec,),
-        ) as pool:
-            return list(pool.map(worker, payloads))
-    finally:
-        shipment.close()
+    with GraphPool(graph, max_workers, obs) as pool:
+        return pool.map(worker, payloads)
 
 
 # ----------------------------------------------------------------------
@@ -350,6 +420,7 @@ def run_chunked(
 def split_worker_results(
     parts: "Sequence[tuple[R, dict | None]]",
     obs: "MetricsRegistry | None" = None,
+    sampling_stats=None,
 ) -> list[R]:
     """Unzip ``(result, stats)`` worker returns; record stats into ``obs``.
 
@@ -360,15 +431,25 @@ def split_worker_results(
     counters fold into the global totals, so the merged counters of an
     ``N``-worker run equal a serial run's (the chunks partition the
     search tree).  With ``obs`` absent or disabled the stats are dropped.
+
+    ``sampling_stats`` (a :class:`repro.core.zigzag.SamplingStats`)
+    receives the ``"sampling"`` partial each estimator chunk worker ships
+    in its stat dict, folded in via :meth:`SamplingStats.merge`; the
+    partial is popped before the dict is recorded so reports stay
+    JSON-serialisable.
     """
     results: list[R] = []
     track = obs is not None and obs.enabled
     for index, (result, stats) in enumerate(parts):
         results.append(result)
-        if track and stats is not None:
+        if stats is not None:
             stats = dict(stats)
-            stats.setdefault("worker", index)
-            obs.record_worker(stats)
+            partial = stats.pop("sampling", None)
+            if sampling_stats is not None and partial is not None:
+                sampling_stats.merge(partial)
+            if track:
+                stats.setdefault("worker", index)
+                obs.record_worker(stats)
     return results
 
 

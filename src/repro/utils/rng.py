@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["as_generator", "spawn"]
+__all__ = ["as_generator", "as_seed_sequence", "spawn", "spawn_sequences"]
 
 SeedLike = "int | None | np.random.Generator"
 
@@ -24,6 +24,45 @@ def as_generator(seed: "int | None | np.random.Generator") -> np.random.Generato
     if isinstance(seed, np.random.Generator):
         return seed
     return np.random.default_rng(seed)
+
+
+def as_seed_sequence(
+    seed: "int | None | np.random.Generator | np.random.SeedSequence",
+) -> np.random.SeedSequence:
+    """Coerce ``seed`` into a :class:`numpy.random.SeedSequence`.
+
+    Seed sequences are the root of the estimators' *per-unit stream*
+    scheme: spawned children are deterministic functions of the root
+    entropy and the child index, independent of how the units are later
+    chunked over worker processes — which is what makes parallel sampling
+    runs bit-identical to serial ones.
+
+    A :class:`~numpy.random.Generator` is consumed for entropy (advancing
+    its state), so threading one generator through successive estimation
+    rounds still yields fresh-but-reproducible streams per round.
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    if isinstance(seed, np.random.Generator):
+        entropy = seed.integers(0, 2**63 - 1, size=4, dtype=np.int64)
+        return np.random.SeedSequence([int(word) for word in entropy])
+    return np.random.SeedSequence(seed)
+
+
+def spawn_sequences(
+    seed: "int | None | np.random.Generator | np.random.SeedSequence",
+    count: int,
+) -> list[np.random.SeedSequence]:
+    """Spawn ``count`` independent child seed sequences from ``seed``.
+
+    Child ``i`` depends only on the root entropy and ``i``, so the
+    mapping ``unit -> stream`` survives any chunking or process fan-out.
+    The children are small picklable objects, cheap to ship in worker
+    payloads.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    return as_seed_sequence(seed).spawn(count) if count else []
 
 
 def spawn(rng: np.random.Generator, count: int) -> list[np.random.Generator]:

@@ -60,6 +60,18 @@ class TestCommands:
         assert code == 0
         assert "p\\q" in capsys.readouterr().out
 
+    def test_estimate_workers_and_per_sample_match_serial(self, graph_file, capsys):
+        base = [
+            "estimate", "--input", graph_file, "--algorithm", "zigzag++",
+            "--h-max", "3", "--samples", "500", "--seed", "4",
+        ]
+        outputs = []
+        for extra in ([], ["--workers", "2"], ["--per-sample"]):
+            assert main(base + extra) == 0
+            lines = capsys.readouterr().out.splitlines()
+            outputs.append([l for l in lines if not l.startswith("elapsed")])
+        assert outputs[0] == outputs[1] == outputs[2]
+
     def test_estimate_hybrid(self, graph_file, capsys):
         code = main(
             [
