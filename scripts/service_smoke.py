@@ -1,0 +1,134 @@
+"""CI smoke test for the HTTP serving layer.
+
+Starts a real ``repro-biclique serve`` subprocess on a synthetic
+dataset, exercises every endpoint with urllib, and asserts the served
+counts equal the golden values pinned in ``tests/test_golden_counts.py``
+— the same numbers the tier-1 suite holds the engines to, now checked
+through planner, executor, cache, and HTTP socket.
+
+Run from the repository root:
+
+    PYTHONPATH=src:. python scripts/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import subprocess
+import sys
+import urllib.error
+import urllib.request
+
+DATASET = "DBLP"
+
+
+def post(base: str, path: str, body: dict) -> tuple[int, dict]:
+    request = urllib.request.Request(
+        base + path,
+        data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=300) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def get(base: str, path: str) -> tuple[int, dict]:
+    with urllib.request.urlopen(base + path, timeout=60) as response:
+        return response.status, json.loads(response.read())
+
+
+def main() -> int:
+    from tests.test_golden_counts import GOLDEN
+
+    golden = GOLDEN[DATASET]
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--dataset", DATASET, "--port", "0", "--threads", "2",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+    )
+    try:
+        line = proc.stdout.readline().strip()
+        match = re.search(r"http://([\d.]+):(\d+)", line)
+        assert match, f"no readiness line, got {line!r}"
+        base = f"http://{match.group(1)}:{match.group(2)}"
+        print(f"server up at {base}")
+
+        status, body = get(base, "/healthz")
+        assert status == 200 and body["status"] == "ok", body
+        assert body["graphs"] == [DATASET], body
+
+        # Exact counts through the full service path == golden values.
+        for p, q in ((2, 2), (3, 3), (4, 4)):
+            status, body = post(
+                base, "/v1/count", {"graph": DATASET, "p": p, "q": q}
+            )
+            assert status == 200, body
+            assert body["exact"] is True and body["degraded"] is False, body
+            assert body["value"] == golden[(p, q)], (
+                f"count({p},{q}) = {body['value']} != golden {golden[(p, q)]}"
+            )
+            print(f"count({p},{q}) = {body['value']} (golden) "
+                  f"in {body['elapsed_ms']}ms")
+
+        # A repeat is served from the cache.
+        status, body = post(base, "/v1/count", {"graph": DATASET, "p": 2, "q": 2})
+        assert status == 200 and body["cached"] is True, body
+        print("repeat query served from cache")
+
+        # A millisecond deadline degrades to an estimator, not an error.
+        status, body = post(
+            base, "/v1/count",
+            {"graph": DATASET, "p": 3, "q": 3, "deadline_ms": 1},
+        )
+        assert status == 200 and body["degraded"] is True, body
+        assert body["method"] != "epivoter", body
+        print(f"1ms deadline degraded to {body['method']}: {body['reason']}")
+
+        # Estimation endpoint, seeded.
+        status, body = post(
+            base, "/v1/estimate",
+            {"graph": DATASET, "p": 2, "q": 2, "samples": 5000, "seed": 7},
+        )
+        assert status == 200, body
+        exact = golden[(2, 2)]
+        assert 0 < body["value"] < 10 * exact, body
+        print(f"estimate(2,2) = {body['value']} vs exact {exact}")
+
+        # Error mapping.
+        status, _ = post(base, "/v1/count", {"graph": "ghost", "p": 2, "q": 2})
+        assert status == 404, status
+        status, _ = post(base, "/v1/count", {"graph": DATASET})
+        assert status == 400, status
+
+        # Metrics reflect what just happened.
+        status, body = get(base, "/metrics")
+        assert status == 200, status
+        counters = body["counters"]
+        assert counters["service.cache.hits"] >= 1, counters
+        assert counters["service.degraded"] >= 1, counters
+        assert counters["service.engine_runs"] >= 4, counters
+        assert body["cache"]["size"] >= 4, body["cache"]
+        print("metrics OK:", {
+            name: value for name, value in sorted(counters.items())
+            if name.startswith("service.")
+        })
+        print("service smoke OK")
+        return 0
+    finally:
+        proc.terminate()
+        try:
+            proc.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,7 +7,8 @@ Subcommands mirror the library's main entry points:
 * ``maximal``   — maximal biclique enumeration (EPMBCE);
 * ``hcc``       — higher-order clustering coefficient profile;
 * ``densest``   — (p, q)-biclique densest subgraph (peeling or exact);
-* ``datasets``  — list the bundled synthetic stand-in datasets.
+* ``datasets``  — list the bundled synthetic stand-in datasets;
+* ``serve``     — the HTTP counting service (see ``docs/service.md``).
 
 Graphs come either from ``--dataset NAME`` (synthetic stand-ins) or
 ``--input FILE`` (edge-list format, see :mod:`repro.graph.io`).
@@ -233,6 +234,44 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_arguments(adaptive)
 
     sub.add_parser("datasets", help="list bundled synthetic datasets")
+
+    serve = sub.add_parser(
+        "serve", help="start the HTTP counting service (docs/service.md)"
+    )
+    _add_graph_arguments(serve)  # optional preload; /v1/graphs works too
+    serve.add_argument(
+        "--name", default=None,
+        help="registration name for the preloaded graph "
+        "(default: the dataset name or a fingerprint prefix)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8750, help="0 picks a free port"
+    )
+    serve.add_argument(
+        "--threads", type=int, default=2,
+        help="request worker threads (bounds engine concurrency)",
+    )
+    serve.add_argument(
+        "--queue-size", type=int, default=64,
+        help="admission queue capacity; a full queue answers 429",
+    )
+    serve.add_argument(
+        "--engine-workers", type=int, default=None,
+        help="worker processes for exact counting (0 = one per CPU); "
+        "with >1 each registered graph keeps a resident process pool",
+    )
+    serve.add_argument(
+        "--cache-capacity", type=int, default=1024,
+        help="result cache entries (0 disables caching)",
+    )
+    serve.add_argument(
+        "--cache-file", default=None,
+        help="JSON file to load the result cache from and save it to on exit",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request to stderr"
+    )
     return parser
 
 
@@ -246,8 +285,51 @@ def _report_arguments(args: argparse.Namespace) -> dict:
     }
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    """The ``serve`` subcommand: build the service stack and block."""
+    from repro.service.cache import ResultCache
+    from repro.service.executor import ServiceExecutor
+    from repro.service.server import create_server, serve_forever
+
+    obs = MetricsRegistry()
+    cache = ResultCache(
+        capacity=args.cache_capacity, obs=obs, path=args.cache_file
+    )
+    executor = ServiceExecutor(
+        max_queue=args.queue_size,
+        threads=args.threads,
+        engine_workers=args.engine_workers,
+        cache=cache,
+        obs=obs,
+    )
+    if args.dataset or args.input:
+        graph = _load_graph(args)
+        name = args.name or args.dataset or None
+        registered = executor.register(graph, name=name)
+        print(
+            f"registered graph {registered.name!r}"
+            f" ({registered.profile.num_edges} edges,"
+            f" fingerprint {registered.fingerprint[:12]})",
+            file=sys.stderr,
+        )
+    if args.cache_file and len(cache):
+        print(f"result cache: {len(cache)} entries loaded", file=sys.stderr)
+    server = create_server(
+        args.host, args.port, executor, obs=obs, quiet=not args.verbose
+    )
+    host, port = server.server_address[:2]
+    # The readiness line goes to stdout, flushed, so wrappers (the CI
+    # smoke script) can wait for it before sending requests.
+    print(f"serving on http://{host}:{port}", flush=True)
+    serve_forever(server)
+    return 0
+
+
 def main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
+
+    if args.command == "serve":
+        return _run_serve(args)
 
     if args.command == "datasets":
         out = sys.stdout

@@ -19,6 +19,7 @@ interval, and the round trace, so callers can see the adaptation.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -71,6 +72,7 @@ def adaptive_count(
     obs: "MetricsRegistry | None" = None,
     workers: "int | None" = None,
     batch: bool = True,
+    time_budget: "float | None" = None,
 ) -> AdaptiveEstimate:
     """Estimate the (p, q) count to relative error ``delta`` w.p. ``1-epsilon``.
 
@@ -78,6 +80,14 @@ def adaptive_count(
     empirical Theorem 4.11 bound is met or ``max_samples`` is exhausted;
     ``satisfied`` on the result says which.  Requires ``min(p, q) >= 2``
     (star cells are exact, no sampling needed).
+
+    ``time_budget`` caps the wall-clock seconds spent across rounds: the
+    round loop stops at the deadline and the best-so-far estimate is
+    returned with ``satisfied=False`` (unless the accuracy bound happened
+    to be met already).  A round in flight is never interrupted — the
+    deadline is checked between rounds — so the overshoot is at most one
+    round; the service planner's degradation path relies on this to turn
+    a tight deadline into a coarser answer instead of an error.
 
     ``obs`` records the adaptation itself — rounds run, samples drawn to
     convergence, the final Theorem 4.11 requirement — on top of the
@@ -96,6 +106,11 @@ def adaptive_count(
         raise ValueError("need 1 <= initial_samples <= max_samples")
     if estimator not in ("zigzag", "zigzag++"):
         raise ValueError("estimator must be 'zigzag' or 'zigzag++'")
+    if time_budget is not None and time_budget < 0:
+        raise ValueError("time_budget must be non-negative")
+    deadline = (
+        time.monotonic() + time_budget if time_budget is not None else None
+    )
     rng = as_generator(seed)
     ordered = graph if graph.is_degree_ordered() else graph.degree_ordered()[0]
     engine_cls = _ZigZag if estimator == "zigzag" else _ZigZagPP
@@ -116,6 +131,8 @@ def adaptive_count(
     # unbiased estimate; weight by its sample count.
     weighted_sum = 0.0
     while total_drawn < max_samples:
+        if deadline is not None and time.monotonic() >= deadline:
+            break  # best-so-far: satisfied stays False unless already met
         round_samples = min(round_samples, max_samples - total_drawn)
         engine = engine_cls(
             ordered, max(p, q), round_samples, rng, levels=[level], obs=obs,

@@ -57,7 +57,29 @@ from repro.utils.parallel import (
 if TYPE_CHECKING:
     from repro.obs.progress import Heartbeat
 
-__all__ = ["EPivoter", "count_all", "count_single", "count_local"]
+__all__ = [
+    "EPivoter",
+    "CountBudgetExceeded",
+    "count_all",
+    "count_single",
+    "count_local",
+]
+
+
+class CountBudgetExceeded(RuntimeError):
+    """Raised when an exact count exceeds its node or wall-clock budget.
+
+    Mirrors :class:`repro.baselines.bclist.EnumerationBudgetExceeded`: the
+    traversal is abandoned cleanly mid-run with no engine state to clean
+    up (the engine holds no mutable counting state), so callers — the
+    service planner's degradation path in particular — can catch this and
+    fall back to an estimator.
+    """
+
+
+#: Wall-clock deadline checks happen every this many expanded nodes, so
+#: an armed deadline costs one ``perf_counter`` per block, not per node.
+_DEADLINE_CHECK_MASK = 255
 
 # A leaf contribution: (free_l, fixed_l, free_r, fixed_r, multiplier).
 # It represents `multiplier * C(free_l, p - fixed_l) * C(free_r, q - fixed_r)`
@@ -117,6 +139,7 @@ class EPivoter:
         workers: "int | None" = None,
         obs: "MetricsRegistry | None" = None,
         heartbeat: "Heartbeat | None" = None,
+        pool: "object | None" = None,
     ) -> BicliqueCounts:
         """Count (p, q)-bicliques for **all** pairs with ``p, q >= 1``.
 
@@ -149,6 +172,8 @@ class EPivoter:
         track = obs is not None and obs.enabled
 
         n_workers = resolve_workers(workers)
+        if pool is not None:
+            n_workers = max(n_workers, getattr(pool, "max_workers", 1))
         if n_workers > 1:
             chunks = self._root_chunks(n_workers, left_region)
             if len(chunks) > 1:
@@ -159,7 +184,8 @@ class EPivoter:
                     (self.pivot, max_p, max_q, chunk, track) for chunk in chunks
                 ]
                 parts = run_chunked(
-                    _count_all_chunk, payloads, n_workers, graph=self.graph, obs=obs
+                    _count_all_chunk, payloads, n_workers, graph=self.graph,
+                    obs=obs, pool=pool,
                 )
                 return merge_counts(split_worker_results(parts, obs))
 
@@ -181,15 +207,40 @@ class EPivoter:
         workers: "int | None" = None,
         obs: "MetricsRegistry | None" = None,
         heartbeat: "Heartbeat | None" = None,
+        node_budget: "int | None" = None,
+        time_budget: "float | None" = None,
+        pool: "object | None" = None,
     ) -> int:
         """Count (p, q)-bicliques for one pair, with the §3.3 pruning.
 
         ``use_core`` first shrinks the graph to its (q, p)-core, which is
         sound because every (p, q)-biclique survives the reduction.
+
+        ``node_budget`` caps the expanded search nodes and ``time_budget``
+        the wall-clock seconds; exceeding either raises
+        :class:`CountBudgetExceeded`.  On parallel runs each worker
+        applies the budgets to its own chunk traversal (the first worker
+        to trip re-raises in the coordinator), so a blown budget surfaces
+        after at most one chunk's worth of overshoot.
+
+        ``pool`` is a :class:`repro.utils.parallel.GraphPool` already
+        holding *this engine's* graph: the service executor registers a
+        resident graph once and reuses the pool per request, so the CSR
+        buffers ship to the workers once per registration, not once per
+        query.  ``pool`` implies the parallel path (and is incompatible
+        with ``use_core``, which would traverse a different graph).
         """
         if p < 1 or q < 1:
             raise ValueError("p and q must be positive")
+        if pool is not None and use_core:
+            raise ValueError(
+                "pool reuse requires use_core=False: the pool holds the "
+                "engine's full graph, not the per-query core"
+            )
         track = obs is not None and obs.enabled
+        deadline = (
+            time.monotonic() + time_budget if time_budget is not None else None
+        )
         engine = self
         if use_core:
             core, _, _ = core_for_biclique(self.graph, p, q)
@@ -202,6 +253,8 @@ class EPivoter:
             engine = EPivoter(core, pivot=self.pivot)
 
         n_workers = resolve_workers(workers)
+        if pool is not None:
+            n_workers = max(n_workers, getattr(pool, "max_workers", 1))
         if n_workers > 1:
             chunks = engine._root_chunks(n_workers, None)
             if len(chunks) > 1:
@@ -209,7 +262,8 @@ class EPivoter:
                     obs.gauge_max("parallel.workers", n_workers)
                     obs.gauge_max("parallel.chunks", len(chunks))
                 payloads = [
-                    (engine.pivot, p, q, chunk, track) for chunk in chunks
+                    (engine.pivot, p, q, chunk, track, node_budget, time_budget)
+                    for chunk in chunks
                 ]
                 parts = run_chunked(
                     _count_single_chunk,
@@ -217,6 +271,7 @@ class EPivoter:
                     n_workers,
                     graph=engine.graph,
                     obs=obs,
+                    pool=pool,
                 )
                 return sum(split_worker_results(parts, obs))
 
@@ -230,7 +285,14 @@ class EPivoter:
                 * binomial(free_r, q - fixed_r)
             )
 
-        engine._run(visit, bounds=(p, q, p, q), obs=obs, heartbeat=heartbeat)
+        engine._run(
+            visit,
+            bounds=(p, q, p, q),
+            obs=obs,
+            heartbeat=heartbeat,
+            node_budget=node_budget,
+            deadline=deadline,
+        )
         return total
 
     def count_local(
@@ -319,6 +381,8 @@ class EPivoter:
         roots: "list[tuple[int, int]] | None" = None,
         obs: "MetricsRegistry | None" = None,
         heartbeat: "Heartbeat | None" = None,
+        node_budget: "int | None" = None,
+        deadline: "float | None" = None,
     ) -> None:
         """Run the traversal over ``roots``; ``visit`` receives leaves.
 
@@ -336,6 +400,12 @@ class EPivoter:
         locals and flushes them once at the end, so instrumentation adds
         one branch per node when on and nothing but the default-argument
         check when off.  ``heartbeat.tick()`` fires per expanded node.
+
+        ``node_budget`` / ``deadline`` (an absolute ``time.monotonic()``
+        timestamp) abandon the walk with :class:`CountBudgetExceeded`.
+        The deadline is polled every ``_DEADLINE_CHECK_MASK + 1`` nodes
+        so an armed budget costs one integer compare per node, not a
+        clock read.
         """
         g = self.graph
         adj_left = self._adj_left
@@ -348,12 +418,18 @@ class EPivoter:
         if roots is None:
             roots = g.edges()
         track = obs is not None and obs.enabled
+        budgeted = node_budget is not None or deadline is not None
+        budget_nodes = 0
         n_roots = nodes = leaves = 0
         pivot_branches = edge_branches = 0
         prune_size = prune_reach_l = prune_reach_r = 0
         max_depth = 0
         stack: list[tuple[list[int], list[int], int, int, int, int]] = []
         push = stack.append
+        if deadline is not None and time.monotonic() >= deadline:
+            raise CountBudgetExceeded(
+                "deadline expired before the traversal started"
+            )
         for root_u, root_v in roots:
             if left_region is not None and root_u not in left_region:
                 continue
@@ -370,6 +446,20 @@ class EPivoter:
                     nodes += 1
                     if len(stack) > max_depth:
                         max_depth = len(stack)
+                if budgeted:
+                    budget_nodes += 1
+                    if node_budget is not None and budget_nodes > node_budget:
+                        raise CountBudgetExceeded(
+                            f"node budget of {node_budget} exhausted"
+                        )
+                    if (
+                        deadline is not None
+                        and (budget_nodes & _DEADLINE_CHECK_MASK) == 0
+                        and time.monotonic() >= deadline
+                    ):
+                        raise CountBudgetExceeded(
+                            f"deadline hit after {budget_nodes} nodes"
+                        )
                 if heartbeat is not None:
                     heartbeat.tick()
                 cand_l, cand_r, p_l, h_l, p_r, h_r = stack.pop()
@@ -804,8 +894,15 @@ def _count_all_chunk(payload) -> "tuple[BicliqueCounts, dict | None]":
 
 
 def _count_single_chunk(payload) -> "tuple[int, dict | None]":
-    """Worker: a single (p, q) count over one chunk of root edges."""
-    pivot, p, q, roots, collect = payload
+    """Worker: a single (p, q) count over one chunk of root edges.
+
+    The optional trailing budget fields arm per-chunk limits; a budget
+    trip raises :class:`CountBudgetExceeded`, which the executor
+    re-raises in the coordinator.
+    """
+    pivot, p, q, roots, collect = payload[:5]
+    node_budget = payload[5] if len(payload) > 5 else None
+    time_budget = payload[6] if len(payload) > 6 else None
     engine = _chunk_engine(pivot)
     total = 0
 
@@ -819,7 +916,11 @@ def _count_single_chunk(payload) -> "tuple[int, dict | None]":
 
     obs = MetricsRegistry() if collect else None
     start = time.perf_counter()
-    engine._run(visit, bounds=(p, q, p, q), roots=roots, obs=obs)
+    deadline = time.monotonic() + time_budget if time_budget is not None else None
+    engine._run(
+        visit, bounds=(p, q, p, q), roots=roots, obs=obs,
+        node_budget=node_budget, deadline=deadline,
+    )
     stats = (
         _worker_stats(obs, len(roots), time.perf_counter() - start)
         if collect

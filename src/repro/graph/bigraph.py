@@ -37,6 +37,7 @@ accessor works on any int64 sequence).
 
 from __future__ import annotations
 
+import hashlib
 from array import array
 from bisect import bisect_left, bisect_right
 from typing import Iterable, Iterator, Sequence
@@ -222,6 +223,7 @@ class BipartiteGraph:
         "_indices_r",
         "_deg_l",
         "_deg_r",
+        "_fingerprint",
     )
 
     def __init__(self, n_left: int, n_right: int, edges: Iterable[tuple[int, int]]):
@@ -242,6 +244,7 @@ class BipartiteGraph:
         self._indptr_l, self._indices_l, self._indptr_r, self._indices_r = built
         self._deg_l = None
         self._deg_r = None
+        self._fingerprint = None
 
     @classmethod
     def from_csr(
@@ -269,6 +272,7 @@ class BipartiteGraph:
         graph._indices_r = _as_buffer(indices_right)
         graph._deg_l = None
         graph._deg_r = None
+        graph._fingerprint = None
         return graph
 
     # ------------------------------------------------------------------
@@ -549,7 +553,27 @@ class BipartiteGraph:
             and bytes(self._indices_l) == bytes(other._indices_l)
         )
 
+    def content_fingerprint(self) -> str:
+        """A stable hex digest of the graph's content, cached per instance.
+
+        Computed over exactly the fields :meth:`__eq__` compares — the side
+        sizes and the **left** CSR buffers (the right CSR is a derived
+        re-indexing of the same edge set, so including it would only make
+        the digest sensitive to representation, not content).  Two graphs
+        compare equal iff their fingerprints match, and the fingerprint
+        survives :meth:`__reduce__` round-trips and :meth:`from_csr`
+        re-wrapping (``memoryview`` vs ``array`` storage digests the same
+        bytes).  The service layer keys result caches by this digest.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha256()
+            digest.update(f"{self.n_left}:{self.n_right}:".encode())
+            digest.update(bytes(self._indptr_l))
+            digest.update(bytes(self._indices_l))
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
+
     def __hash__(self) -> int:
-        return hash(
-            (self.n_left, self.n_right, bytes(self._indptr_l), bytes(self._indices_l))
-        )
+        # Derived from the content fingerprint so hash, equality, and the
+        # service-layer cache key can never disagree about graph identity.
+        return int(self.content_fingerprint()[:16], 16)

@@ -20,6 +20,7 @@ the exact code path it took before this module existed.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from typing import Iterator
@@ -28,7 +29,13 @@ __all__ = ["MetricsRegistry", "NullRegistry", "NULL_REGISTRY"]
 
 
 class MetricsRegistry:
-    """Collects counters, accumulating timers, gauges, and worker stats."""
+    """Collects counters, accumulating timers, gauges, and worker stats.
+
+    Mutations are guarded by a lock, so one registry can be shared by the
+    service layer's request threads.  The cost is negligible for the
+    engines: hot loops accumulate into locals and flush once per
+    traversal, so the lock is taken per run, not per node.
+    """
 
     #: Engines consult this before doing per-node bookkeeping.
     enabled = True
@@ -39,18 +46,21 @@ class MetricsRegistry:
         self.gauges: dict[str, "int | float"] = {}
         #: Per-worker stat dicts recorded by the parallel layer.
         self.workers: list[dict] = []
+        self._lock = threading.Lock()
 
     # Counters ----------------------------------------------------------
 
     def incr(self, name: str, amount: "int | float" = 1) -> None:
         """Add ``amount`` to counter ``name`` (created at 0)."""
-        self.counters[name] = self.counters.get(name, 0) + amount
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + amount
 
     # Timers ------------------------------------------------------------
 
     def add_time(self, name: str, seconds: float) -> None:
         """Accumulate ``seconds`` into phase timer ``name``."""
-        self.timers[name] = self.timers.get(name, 0.0) + seconds
+        with self._lock:
+            self.timers[name] = self.timers.get(name, 0.0) + seconds
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -69,12 +79,14 @@ class MetricsRegistry:
 
     def gauge(self, name: str, value: "int | float") -> None:
         """Set gauge ``name`` to ``value`` (last write wins)."""
-        self.gauges[name] = value
+        with self._lock:
+            self.gauges[name] = value
 
     def gauge_max(self, name: str, value: "int | float") -> None:
         """Raise gauge ``name`` to ``value`` if larger (high-water mark)."""
-        if value > self.gauges.get(name, value - 1):
-            self.gauges[name] = value
+        with self._lock:
+            if value > self.gauges.get(name, value - 1):
+                self.gauges[name] = value
 
     # Worker stats ------------------------------------------------------
 
@@ -86,7 +98,8 @@ class MetricsRegistry:
         worker reports, the merged totals equal what a serial run would
         have counted (the fan-out partitions the search tree).
         """
-        self.workers.append(stats)
+        with self._lock:
+            self.workers.append(stats)
         for name, value in stats.get("counters", {}).items():
             self.incr(name, value)
         for name, value in stats.get("gauges", {}).items():
@@ -96,12 +109,13 @@ class MetricsRegistry:
 
     def snapshot(self) -> dict:
         """A JSON-serialisable copy of everything collected so far."""
-        return {
-            "counters": dict(self.counters),
-            "timers": dict(self.timers),
-            "gauges": dict(self.gauges),
-            "workers": [dict(worker) for worker in self.workers],
-        }
+        with self._lock:
+            return {
+                "counters": dict(self.counters),
+                "timers": dict(self.timers),
+                "gauges": dict(self.gauges),
+                "workers": [dict(worker) for worker in self.workers],
+            }
 
 
 class NullRegistry(MetricsRegistry):

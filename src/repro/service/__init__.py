@@ -1,0 +1,47 @@
+"""The query-serving layer: plan, cache, and serve biclique counts.
+
+The engines below this package answer one `(p, q)` question per process
+invocation, reloading and re-shipping the graph every time.  This
+package turns them into a serving stack for the ROADMAP's north star —
+many queries against a *resident* graph:
+
+* :mod:`repro.service.fingerprint` — content digests of graphs and the
+  derived cache keys, so results are cacheable by graph identity;
+* :mod:`repro.service.cache` — a thread-safe LRU result cache with
+  optional JSON disk persistence;
+* :mod:`repro.service.planner` — a cost-based dispatcher choosing exact
+  EPivoter vs. hybrid vs. ZigZag++ vs. adaptive per request, with
+  graceful degradation under deadlines;
+* :mod:`repro.service.executor` — a bounded-queue executor with
+  admission control, coalescing of identical in-flight queries, and
+  per-registration :class:`~repro.utils.parallel.GraphPool` reuse;
+* :mod:`repro.service.server` — a stdlib HTTP JSON API over the
+  executor, exposed by the ``repro-biclique serve`` subcommand.
+
+The package imports no HTTP machinery at engine level: the executor is
+fully usable in-process (the tests drive it directly), and the server is
+a thin JSON shim over it.
+"""
+
+from repro.service.cache import ResultCache
+from repro.service.executor import (
+    Query,
+    QueryRejected,
+    ServiceExecutor,
+    UnknownGraph,
+)
+from repro.service.fingerprint import cache_key, graph_fingerprint
+from repro.service.planner import GraphProfile, QueryPlan, plan_query
+
+__all__ = [
+    "ResultCache",
+    "Query",
+    "QueryRejected",
+    "UnknownGraph",
+    "ServiceExecutor",
+    "cache_key",
+    "graph_fingerprint",
+    "GraphProfile",
+    "QueryPlan",
+    "plan_query",
+]

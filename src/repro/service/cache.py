@@ -1,0 +1,191 @@
+"""A thread-safe LRU result cache with optional JSON disk persistence.
+
+Entries are keyed by :func:`repro.service.fingerprint.cache_key` tuples
+— ``(graph fingerprint, kind, p, q, params)`` — and hold the JSON-safe
+response dicts the executor produces.  Because the graph component is a
+content digest, a cache survives process restarts and even graph
+re-registration under a different name: identical bytes mean identical
+answers.
+
+Everything observable about the cache lands in the metrics registry:
+
+* ``service.cache.hits`` / ``service.cache.misses`` — ``get`` outcomes;
+* ``service.cache.evictions`` — LRU entries dropped at capacity;
+* ``service.cache.size`` (gauge) — entries resident after each mutation.
+
+Persistence is line-oriented JSON (one ``[key, value]`` pair per line)
+written atomically via a temp-file rename, so a crashed writer never
+truncates a previously good snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import OrderedDict
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.obs.registry import MetricsRegistry
+
+__all__ = ["ResultCache", "key_to_json", "key_from_json"]
+
+
+def key_to_json(key: tuple) -> str:
+    """Serialise a cache-key tuple to a canonical JSON string."""
+    fingerprint, kind, p, q, items = key
+    return json.dumps(
+        [fingerprint, kind, p, q, [[name, value] for name, value in items]],
+        sort_keys=False,
+    )
+
+
+def key_from_json(text: str) -> tuple:
+    """Rebuild a cache-key tuple from :func:`key_to_json` output."""
+    fingerprint, kind, p, q, items = json.loads(text)
+    return (
+        fingerprint,
+        kind,
+        p,
+        q,
+        tuple((name, value) for name, value in items),
+    )
+
+
+class ResultCache:
+    """LRU cache of query responses, safe for concurrent request threads.
+
+    ``capacity`` bounds the entry count (0 disables caching entirely —
+    every ``get`` misses and ``put`` is a no-op, which keeps the executor
+    code branch-free).  ``path`` names a JSON persistence file: existing
+    contents are loaded on construction, and :meth:`save` (called by the
+    server on shutdown) writes the current entries back.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        obs: "MetricsRegistry | None" = None,
+        path: "str | None" = None,
+    ):
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = capacity
+        self.path = path
+        self._obs = obs
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[tuple, dict]" = OrderedDict()
+        if path is not None and os.path.exists(path):
+            self.load(path)
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+
+    def get(self, key: tuple) -> "dict | None":
+        """The cached response for ``key``, or None; refreshes recency."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+        self._count("service.cache.hits" if entry is not None else "service.cache.misses")
+        return entry
+
+    def put(self, key: tuple, value: dict) -> None:
+        """Insert (or refresh) ``key``; evicts the LRU entry at capacity."""
+        if self.capacity == 0:
+            return
+        evicted = 0
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                evicted += 1
+            size = len(self._entries)
+        if evicted:
+            self._count("service.cache.evictions", evicted)
+        if self._obs is not None and self._obs.enabled:
+            self._obs.gauge("service.cache.size", size)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def stats(self) -> dict:
+        """Point-in-time cache numbers for ``/metrics`` and ``/healthz``."""
+        with self._lock:
+            return {"size": len(self._entries), "capacity": self.capacity}
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save(self, path: "str | None" = None) -> int:
+        """Write every entry to ``path`` (default: the constructor path).
+
+        Returns the number of entries written.  The write goes through a
+        sibling temp file and an atomic rename.
+        """
+        path = path or self.path
+        if path is None:
+            raise ValueError("no persistence path configured")
+        with self._lock:
+            lines = [
+                json.dumps([json.loads(key_to_json(key)), value])
+                for key, value in self._entries.items()
+            ]
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w") as handle:
+            for line in lines:
+                handle.write(line)
+                handle.write("\n")
+        os.replace(tmp, path)
+        return len(lines)
+
+    def load(self, path: "str | None" = None) -> int:
+        """Merge entries from ``path`` into the cache (LRU order = file order).
+
+        Malformed lines are skipped rather than fatal: a partially
+        corrupted cache file costs recomputation, never availability.
+        Returns the number of entries loaded.
+        """
+        path = path or self.path
+        if path is None:
+            raise ValueError("no persistence path configured")
+        loaded = 0
+        with open(path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    raw_key, value = json.loads(line)
+                    fingerprint, kind, p, q, items = raw_key
+                    key = (
+                        fingerprint,
+                        kind,
+                        p,
+                        q,
+                        tuple((name, item) for name, item in items),
+                    )
+                except (ValueError, TypeError):
+                    continue
+                self.put(key, value)
+                loaded += 1
+        return loaded
+
+    # ------------------------------------------------------------------
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self._obs is not None and self._obs.enabled:
+            self._obs.incr(name, amount)

@@ -1,0 +1,469 @@
+"""The request executor: admission control, coalescing, resident graphs.
+
+One :class:`ServiceExecutor` owns everything a serving process needs:
+
+* **resident graphs** — :meth:`register` degree-orders the graph once,
+  profiles it for the planner, builds the EPivoter engine (adjacency
+  sets and all), and — when ``engine_workers > 1`` — opens a
+  :class:`~repro.utils.parallel.GraphPool` so the CSR buffers ship to
+  the worker processes exactly once per registration;
+* **a bounded request queue** — :meth:`submit` enqueues onto a
+  fixed-capacity queue and raises :class:`QueryRejected` (a retryable
+  condition, HTTP 429 at the server) when it is full, so overload sheds
+  load instead of accumulating latency;
+* **coalescing** — identical queries (same cache key) that arrive while
+  one is in flight all attach to the same future: one engine run fans
+  out to every waiter;
+* **the result cache** — completed responses land in the
+  :class:`~repro.service.cache.ResultCache`; a later identical query is
+  answered without touching the queue or the engines;
+* **graceful degradation** — exact plans run with the planner's armed
+  budgets; a :class:`~repro.core.epivoter.CountBudgetExceeded` switches
+  to the plan's estimator fallback and the response reports
+  ``degraded: true``.
+
+The executor is synchronous-friendly: :meth:`execute` submits and waits,
+which is what the HTTP handler threads do.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.adaptive import adaptive_count
+from repro.core.counts import BicliqueCounts
+from repro.core.epivoter import CountBudgetExceeded, EPivoter
+from repro.core.hybrid import hybrid_count_single
+from repro.core.zigzag import star_counts, zigzag_count_single, zigzagpp_count_single
+from repro.graph.bigraph import BipartiteGraph
+from repro.service.cache import ResultCache
+from repro.service.fingerprint import cache_key, graph_fingerprint
+from repro.service.planner import GraphProfile, QueryPlan, plan_query
+from repro.utils.parallel import GraphPool, resolve_workers
+
+if TYPE_CHECKING:
+    from repro.obs.registry import MetricsRegistry
+
+__all__ = [
+    "Query",
+    "QueryRejected",
+    "UnknownGraph",
+    "RegisteredGraph",
+    "ServiceExecutor",
+]
+
+
+class QueryRejected(RuntimeError):
+    """Admission control: the request queue is full.  Retryable."""
+
+
+class UnknownGraph(KeyError):
+    """The query names a graph id that was never registered."""
+
+
+@dataclass(frozen=True)
+class Query:
+    """One count/estimate request against a registered graph.
+
+    ``deadline`` is wall-clock seconds the caller grants the whole
+    computation; ``method`` forces an engine (default: the planner
+    chooses).  The frozen dataclass doubles as the identity the cache
+    key is derived from.
+    """
+
+    graph_id: str
+    kind: str  # "count" | "estimate"
+    p: int
+    q: int
+    method: str = "auto"
+    deadline: "float | None" = None
+    delta: "float | None" = None
+    epsilon: "float | None" = None
+    samples: "int | None" = None
+    seed: "int | None" = None
+
+    def params(self) -> dict:
+        """The parameter dict folded into the cache key."""
+        return {
+            "method": self.method if self.method != "auto" else None,
+            "deadline": self.deadline,
+            "delta": self.delta,
+            "epsilon": self.epsilon,
+            "samples": self.samples,
+            "seed": self.seed,
+        }
+
+
+@dataclass
+class RegisteredGraph:
+    """A resident graph plus everything derived from it at registration."""
+
+    name: str
+    graph: BipartiteGraph  # degree-ordered
+    fingerprint: str
+    profile: GraphProfile
+    engine: EPivoter
+    pool: "GraphPool | None" = None
+
+    def describe(self) -> dict:
+        return {
+            "graph": self.name,
+            "fingerprint": self.fingerprint,
+            **self.profile.to_dict(),
+        }
+
+
+_SHUTDOWN = object()
+
+
+class ServiceExecutor:
+    """Bounded-queue query executor over resident graphs.
+
+    Parameters
+    ----------
+    max_queue:
+        Capacity of the admission queue; a full queue rejects.
+    threads:
+        Request worker threads draining the queue.  Each runs one plan
+        at a time, so this bounds engine concurrency.
+    engine_workers:
+        Process workers for exact counting (``None``/1 = in-process,
+        0 = one per CPU).  With more than one, each registration opens a
+        :class:`GraphPool` that lives until the graph is dropped — the
+        ship-once contract.
+    cache:
+        The result cache (default: a fresh 1024-entry LRU).
+    obs:
+        Metrics registry receiving ``service.*`` counters and timers.
+    """
+
+    def __init__(
+        self,
+        max_queue: int = 64,
+        threads: int = 2,
+        engine_workers: "int | None" = None,
+        cache: "ResultCache | None" = None,
+        obs: "MetricsRegistry | None" = None,
+        nodes_per_second: "float | None" = None,
+        samples_per_second: "float | None" = None,
+    ):
+        if max_queue < 1:
+            raise ValueError("max_queue must be positive")
+        if threads < 1:
+            raise ValueError("threads must be positive")
+        self._obs = obs
+        self.cache = cache if cache is not None else ResultCache(obs=obs)
+        self.engine_workers = resolve_workers(engine_workers)
+        self._planner_overrides = {}
+        if nodes_per_second is not None:
+            self._planner_overrides["nodes_per_second"] = nodes_per_second
+        if samples_per_second is not None:
+            self._planner_overrides["samples_per_second"] = samples_per_second
+        self._graphs: dict[str, RegisteredGraph] = {}
+        self._inflight: dict[tuple, Future] = {}
+        self._lock = threading.Lock()
+        self._queue: "queue.Queue" = queue.Queue(maxsize=max_queue)
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop, name=f"repro-serve-{i}", daemon=True
+            )
+            for i in range(threads)
+        ]
+        for thread in self._threads:
+            thread.start()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Graph registration
+    # ------------------------------------------------------------------
+
+    def register(
+        self, graph: BipartiteGraph, name: "str | None" = None
+    ) -> RegisteredGraph:
+        """Make ``graph`` resident and return its registration record.
+
+        The graph is degree-ordered once, profiled for the planner, and
+        an engine is built over it; with ``engine_workers > 1`` the CSR
+        buffers also ship to a fresh :class:`GraphPool` here — the only
+        ship this graph will ever pay.  ``name`` defaults to a prefix of
+        the content fingerprint.  Re-registering a name replaces the
+        previous graph (its pool is closed).
+        """
+        ordered = graph if graph.is_degree_ordered() else graph.degree_ordered()[0]
+        fingerprint = graph_fingerprint(ordered)
+        if name is None:
+            name = fingerprint[:12]
+        engine = EPivoter(ordered)
+        profile = GraphProfile.from_graph(ordered)
+        pool = None
+        if self.engine_workers > 1:
+            pool = GraphPool(engine.graph, self.engine_workers, self._obs)
+        registered = RegisteredGraph(
+            name=name,
+            graph=ordered,
+            fingerprint=fingerprint,
+            profile=profile,
+            engine=engine,
+            pool=pool,
+        )
+        with self._lock:
+            previous = self._graphs.get(name)
+            self._graphs[name] = registered
+        if previous is not None and previous.pool is not None:
+            previous.pool.close()
+        self._incr("service.graphs_registered")
+        self._gauge("service.resident_graphs", len(self._graphs))
+        return registered
+
+    def drop(self, name: str) -> bool:
+        """Unregister ``name``; returns whether it existed."""
+        with self._lock:
+            registered = self._graphs.pop(name, None)
+        if registered is not None and registered.pool is not None:
+            registered.pool.close()
+        self._gauge("service.resident_graphs", len(self._graphs))
+        return registered is not None
+
+    def graphs(self) -> "dict[str, RegisteredGraph]":
+        with self._lock:
+            return dict(self._graphs)
+
+    # ------------------------------------------------------------------
+    # Query path
+    # ------------------------------------------------------------------
+
+    def submit(self, query: Query) -> Future:
+        """Enqueue ``query``; the future resolves to the response dict.
+
+        Resolution order: cache hit (immediate), coalesce onto an
+        identical in-flight query, or enqueue — and raise
+        :class:`QueryRejected` when the admission queue is full.
+        """
+        if self._closed:
+            raise RuntimeError("executor is shut down")
+        with self._lock:
+            registered = self._graphs.get(query.graph_id)
+        if registered is None:
+            raise UnknownGraph(query.graph_id)
+        key = cache_key(
+            registered.fingerprint, query.kind, query.p, query.q, query.params()
+        )
+        self._incr("service.requests")
+        cached = self.cache.get(key)
+        if cached is not None:
+            future: Future = Future()
+            future.set_result({**cached, "cached": True})
+            return future
+        with self._lock:
+            inflight = self._inflight.get(key)
+            if inflight is not None:
+                self._incr("service.coalesced")
+                return inflight
+            future = Future()
+            try:
+                self._queue.put_nowait((key, query, registered, future))
+            except queue.Full:
+                self._incr("service.rejected")
+                raise QueryRejected(
+                    "request queue is full; retry with backoff"
+                ) from None
+            self._inflight[key] = future
+            self._gauge("service.queue_depth", self._queue.qsize())
+        return future
+
+    def execute(self, query: Query, timeout: "float | None" = None) -> dict:
+        """Submit and wait — the synchronous convenience the server uses."""
+        return self.submit(query).result(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                self._queue.task_done()
+                return
+            key, query, registered, future = item
+            self._gauge("service.queue_depth", self._queue.qsize())
+            try:
+                result = self._run_query(query, registered)
+            except Exception as exc:  # noqa: BLE001 - delivered to the waiter
+                future.set_exception(exc)
+            else:
+                self.cache.put(key, result)
+                future.set_result(result)
+            finally:
+                with self._lock:
+                    self._inflight.pop(key, None)
+                self._queue.task_done()
+
+    def _run_query(self, query: Query, registered: RegisteredGraph) -> dict:
+        plan = plan_query(
+            registered.profile,
+            query.kind,
+            query.p,
+            query.q,
+            method=query.method,
+            deadline=query.deadline,
+            delta=query.delta,
+            epsilon=query.epsilon,
+            samples=query.samples,
+            seed=query.seed,
+            **self._planner_overrides,
+        )
+        start = time.perf_counter()
+        degraded = plan.degraded
+        method = plan.method
+        try:
+            value, extra = self._execute_plan(plan, query, registered)
+        except CountBudgetExceeded:
+            if plan.fallback is None:
+                raise
+            self._incr("service.budget_exceeded")
+            fallback = plan.fallback
+            method = fallback.method
+            degraded = True
+            value, extra = self._execute_plan(fallback, query, registered)
+            plan = fallback
+        elapsed = time.perf_counter() - start
+        # A plan can also degrade from inside its run (an adaptive round
+        # loop stopped by its time budget reports satisfied=False).
+        if extra.pop("degraded", False):
+            degraded = True
+        if degraded:
+            self._incr("service.degraded")
+        self._add_time(f"service.compute.{query.kind}", elapsed)
+        response = {
+            "graph": registered.name,
+            "fingerprint": registered.fingerprint,
+            "kind": query.kind,
+            "p": query.p,
+            "q": query.q,
+            "value": value,
+            "exact": plan.exact,
+            "method": method,
+            "degraded": degraded,
+            "reason": plan.reason,
+            "elapsed_ms": round(elapsed * 1000.0, 3),
+            "cached": False,
+        }
+        response.update(extra)
+        return response
+
+    def _execute_plan(
+        self, plan: QueryPlan, query: Query, registered: RegisteredGraph
+    ) -> "tuple[int | float, dict]":
+        """Run one plan; returns ``(value, extra response fields)``.
+
+        Separated from the dispatch/fallback logic so tests can stub the
+        engine run (e.g. to hold a request in flight deterministically).
+        """
+        self._incr("service.engine_runs")
+        graph = registered.graph
+        p, q = query.p, query.q
+        params = plan.params
+        if plan.method == "epivoter":
+            value = registered.engine.count_single(
+                p,
+                q,
+                use_core=registered.pool is None,
+                workers=self.engine_workers,
+                pool=registered.pool,
+                obs=self._obs,
+                node_budget=params.get("node_budget"),
+                time_budget=params.get("time_budget"),
+            )
+            return value, {}
+        if plan.method == "stars":
+            counts = BicliqueCounts(max(p, 2), max(q, 2))
+            star_counts(graph, counts)
+            return counts[p, q], {}
+        if plan.method == "adaptive":
+            result = adaptive_count(
+                graph,
+                p,
+                q,
+                delta=params.get("delta", 0.05),
+                epsilon=params.get("epsilon", 0.05),
+                max_samples=params.get("max_samples", 200_000),
+                seed=params.get("seed"),
+                time_budget=params.get("time_budget"),
+                obs=self._obs,
+            )
+            lo, hi = result.interval
+            return result.estimate, {
+                "samples_used": result.samples_used,
+                "satisfied": result.satisfied,
+                "interval": [lo, hi],
+                # An adaptive run that had to stop early delivered less
+                # accuracy than asked: surface that as degradation.
+                "degraded": not result.satisfied,
+            }
+        if plan.method == "hybrid":
+            value = hybrid_count_single(
+                graph, p, q,
+                samples=params.get("samples", 20_000),
+                seed=params.get("seed"),
+                obs=self._obs,
+            )
+            return value, {"samples": params.get("samples")}
+        if plan.method in ("zigzag", "zigzag++"):
+            count_fn = (
+                zigzag_count_single
+                if plan.method == "zigzag"
+                else zigzagpp_count_single
+            )
+            value = count_fn(
+                graph, p, q,
+                samples=params.get("samples", 20_000),
+                seed=params.get("seed"),
+            )
+            return value, {"samples": params.get("samples")}
+        raise ValueError(f"unexecutable plan method {plan.method!r}")
+
+    # ------------------------------------------------------------------
+    # Lifecycle and metrics
+    # ------------------------------------------------------------------
+
+    def queue_depth(self) -> int:
+        return self._queue.qsize()
+
+    def shutdown(self, save_cache: bool = True) -> None:
+        """Stop the worker threads, close graph pools, persist the cache."""
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._threads:
+            self._queue.put(_SHUTDOWN)
+        for thread in self._threads:
+            thread.join(timeout=10)
+        for registered in self.graphs().values():
+            if registered.pool is not None:
+                registered.pool.close()
+        if save_cache and self.cache.path is not None:
+            self.cache.save()
+
+    def __enter__(self) -> "ServiceExecutor":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.shutdown()
+
+    def _incr(self, name: str, amount: int = 1) -> None:
+        if self._obs is not None and self._obs.enabled:
+            self._obs.incr(name, amount)
+
+    def _gauge(self, name: str, value: "int | float") -> None:
+        if self._obs is not None and self._obs.enabled:
+            self._obs.gauge(name, value)
+
+    def _add_time(self, name: str, seconds: float) -> None:
+        if self._obs is not None and self._obs.enabled:
+            self._obs.add_time(name, seconds)

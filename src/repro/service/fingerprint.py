@@ -1,0 +1,54 @@
+"""Graph identity for the service layer: content digests and cache keys.
+
+A served result is only reusable if "the same graph" can be decided
+without comparing edge lists.  :func:`graph_fingerprint` delegates to
+:meth:`BipartiteGraph.content_fingerprint` — a SHA-256 over the side
+sizes and the left CSR buffers, i.e. exactly the fields ``__eq__``
+compares — so two graphs share a fingerprint iff they are equal, no
+matter how they were built (edge list, ``from_csr`` wrapping, pickle
+round-trip, shared-memory attach).
+
+:func:`cache_key` extends the digest to a full query identity: the
+result of a count depends on the graph *and* every parameter that can
+change the answer (method, sizes, sample budget, seed, accuracy targets,
+deadline).  Deadlines are part of the key on purpose: under a tight
+deadline the planner degrades to an estimator, so the same ``(p, q)``
+can legitimately produce different responses at different deadlines.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.graph.bigraph import BipartiteGraph
+
+__all__ = ["graph_fingerprint", "cache_key"]
+
+
+def graph_fingerprint(graph: "BipartiteGraph") -> str:
+    """The stable content digest of ``graph`` (64 hex chars, cached)."""
+    return graph.content_fingerprint()
+
+
+def cache_key(
+    fingerprint: str,
+    kind: str,
+    p: int,
+    q: int,
+    params: "dict | None" = None,
+) -> tuple:
+    """The hashable identity of one query against one graph.
+
+    ``params`` is flattened to sorted ``(name, value)`` pairs; ``None``
+    values are dropped so an omitted parameter and an explicit default
+    produce the same key.  The tuple is hashable (dict keys) and
+    JSON-round-trippable (disk persistence re-reads keys via
+    :func:`repro.service.cache.key_to_json` / ``key_from_json``).
+    """
+    items = tuple(
+        (name, params[name])
+        for name in sorted(params or {})
+        if params[name] is not None
+    )
+    return (fingerprint, kind, p, q, items)

@@ -1,0 +1,347 @@
+"""The query planner: pick an engine per request, degrade under deadlines.
+
+The paper frames exact vs. approximate counting as a latency/accuracy
+trade-off (EPivoter's shared traversal, §3, vs. the ZigZag estimators,
+§4, vs. the hybrid split, §5).  The planner operationalises that
+trade-off per request:
+
+======================  ==========================================  ===========
+request                  condition                                   plan
+======================  ==========================================  ===========
+``count`` / ``estimate`` ``min(p, q) == 1``                          ``stars`` — star counts are a closed form over the degree histogram, exact and effectively free
+``count``                no deadline, or predicted exact time fits   ``epivoter`` with ``node_budget`` / ``time_budget`` armed from the deadline, estimator fallback attached
+``count``                deadline too tight for exact                ``zigzag++`` sized to the deadline, ``degraded=True``
+``estimate``             accuracy budget (``delta`` / ``epsilon``)   ``adaptive`` with ``time_budget`` = the deadline
+``estimate``             no accuracy budget, exact sparse pass fits  ``hybrid`` (exact sparse region + sampled dense region)
+``estimate``             otherwise                                   ``zigzag++``, samples clipped to the deadline (clipping below the request marks ``degraded=True``)
+======================  ==========================================  ===========
+
+Cost inputs come from :class:`GraphProfile`, computed once at graph
+registration: edge count, max degrees, and ``root_cost`` — the summed
+root-edge weights of :func:`repro.utils.parallel.root_edge_weight`,
+i.e. the total first-level candidate-pair work of an EPivoter run, the
+same quantity the hybrid partitioner reasons with (Definition 5.1).
+Predicted runtimes divide these by calibratable throughput constants;
+they only need to be right to an order of magnitude, because every
+exact plan carries a *runtime* safety net too: the armed
+``time_budget`` / ``node_budget`` abort a mispredicted exact run with
+:class:`~repro.core.epivoter.CountBudgetExceeded` and the executor
+switches to the attached fallback plan, marking the response
+``degraded``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.graph.bigraph import BipartiteGraph
+
+__all__ = [
+    "GraphProfile",
+    "QueryPlan",
+    "plan_query",
+    "NODES_PER_SECOND",
+    "SAMPLES_PER_SECOND",
+]
+
+#: Calibration constants: conservative pure-Python throughputs.  Ballpark
+#: figures are all the planner needs (see module docstring); override per
+#: call for calibrated deployments.
+NODES_PER_SECOND = 100_000.0
+SAMPLES_PER_SECOND = 30_000.0
+
+#: Fraction of the deadline the exact path may consume before the plan
+#: prefers an estimator upfront (leaves room for a fallback run).
+_EXACT_DEADLINE_SHARE = 0.5
+
+#: Sample budget clamp for deadline-sized estimator runs.
+_MIN_SAMPLES = 200
+_MAX_DEADLINE_SAMPLES = 200_000
+_DEFAULT_SAMPLES = 20_000
+
+#: ``hybrid`` is only planned when the exact sparse-region pass is
+#: predicted to fit in this many seconds (the estimators cover the rest).
+_HYBRID_EXACT_SECONDS = 2.0
+
+
+@dataclass(frozen=True)
+class GraphProfile:
+    """Dataset statistics the planner prices queries with.
+
+    Computed once per registration (``root_cost`` is an O(E) pass of
+    binary searches) and immutable thereafter.
+    """
+
+    n_left: int
+    n_right: int
+    num_edges: int
+    max_degree_left: int
+    max_degree_right: int
+    #: Summed first-level candidate-pair work over all root edges — the
+    #: planner's proxy for EPivoter's traversal size.
+    root_cost: int
+
+    @classmethod
+    def from_graph(cls, graph: "BipartiteGraph") -> "GraphProfile":
+        """Profile a **degree-ordered** graph (the executor orders first)."""
+        from repro.utils.parallel import root_edge_weight
+
+        root_cost = sum(
+            root_edge_weight(graph, u, v) for u, v in graph.edges()
+        )
+        return cls(
+            n_left=graph.n_left,
+            n_right=graph.n_right,
+            num_edges=graph.num_edges,
+            max_degree_left=max(graph.degrees_left(), default=0),
+            max_degree_right=max(graph.degrees_right(), default=0),
+            root_cost=root_cost,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "n_left": self.n_left,
+            "n_right": self.n_right,
+            "num_edges": self.num_edges,
+            "max_degree_left": self.max_degree_left,
+            "max_degree_right": self.max_degree_right,
+            "root_cost": self.root_cost,
+        }
+
+
+@dataclass
+class QueryPlan:
+    """One executable decision: which engine, with which parameters.
+
+    ``exact`` says whether the produced value is an exact integer.
+    ``degraded`` marks plans that already deliver less than the request
+    asked for (an estimate instead of an exact count, or fewer samples
+    than requested).  ``fallback`` is the pre-computed degradation plan
+    an exact run switches to when its runtime budgets trip.
+    """
+
+    method: str  # "epivoter" | "stars" | "zigzag++" | "zigzag" | "hybrid" | "adaptive"
+    params: dict = field(default_factory=dict)
+    exact: bool = False
+    degraded: bool = False
+    reason: str = ""
+    fallback: "QueryPlan | None" = None
+
+
+def _deadline_samples(
+    deadline: "float | None",
+    requested: "int | None",
+    samples_per_second: float,
+) -> tuple[int, bool]:
+    """Sample budget for a deadline, and whether it undercuts the request."""
+    want = requested if requested is not None else _DEFAULT_SAMPLES
+    if deadline is None:
+        return want, False
+    fit = int(deadline * samples_per_second)
+    fit = max(_MIN_SAMPLES, min(fit, _MAX_DEADLINE_SAMPLES))
+    if fit < want:
+        return fit, requested is not None
+    return want, False
+
+
+def plan_query(
+    profile: GraphProfile,
+    kind: str,
+    p: int,
+    q: int,
+    method: str = "auto",
+    deadline: "float | None" = None,
+    delta: "float | None" = None,
+    epsilon: "float | None" = None,
+    samples: "int | None" = None,
+    seed: "int | None" = None,
+    nodes_per_second: float = NODES_PER_SECOND,
+    samples_per_second: float = SAMPLES_PER_SECOND,
+) -> QueryPlan:
+    """Choose the engine and parameters for one query (see module table).
+
+    ``kind`` is ``"count"`` (the caller wants an exact answer if at all
+    affordable) or ``"estimate"`` (an estimator is acceptable from the
+    start).  ``method`` forces a specific engine and skips the table —
+    the planner still arms deadline budgets where the engine supports
+    them.  ``deadline`` is wall-clock seconds for the whole computation.
+    """
+    if kind not in ("count", "estimate"):
+        raise ValueError("kind must be 'count' or 'estimate'")
+    if p < 1 or q < 1:
+        raise ValueError("p and q must be positive")
+    if deadline is not None and deadline <= 0:
+        raise ValueError("deadline must be positive seconds")
+
+    estimator_plan = _estimator_plan(
+        profile, p, q, deadline, delta, epsilon, samples, seed,
+        nodes_per_second, samples_per_second,
+    )
+
+    if method != "auto":
+        return _forced_plan(
+            method, profile, p, q, deadline, delta, epsilon, samples, seed,
+            nodes_per_second, samples_per_second, estimator_plan,
+        )
+
+    # Star cells are exact closed forms for both kinds.
+    if min(p, q) == 1:
+        return QueryPlan(
+            method="stars", exact=True,
+            reason="min(p, q) == 1: exact star counts from the degree histogram",
+        )
+
+    if kind == "estimate":
+        return estimator_plan
+
+    # kind == "count": exact if the deadline (when any) plausibly allows.
+    predicted = profile.root_cost / nodes_per_second
+    if deadline is not None and predicted > deadline * _EXACT_DEADLINE_SHARE:
+        return replace(
+            estimator_plan,
+            degraded=True,
+            reason=(
+                f"deadline {deadline:.3f}s too tight for exact counting "
+                f"(predicted {predicted:.3f}s); degraded to "
+                f"{estimator_plan.method}"
+            ),
+        )
+    return _exact_plan(
+        p, q, deadline, predicted, nodes_per_second, estimator_plan
+    )
+
+
+def _exact_plan(
+    p: int,
+    q: int,
+    deadline: "float | None",
+    predicted: float,
+    nodes_per_second: float,
+    fallback: QueryPlan,
+) -> QueryPlan:
+    params: dict = {}
+    reason = f"exact EPivoter (predicted {predicted:.3f}s)"
+    if deadline is not None:
+        # Runtime safety net: the node budget mirrors the time budget so
+        # even a stalled clock cannot let the run overshoot unboundedly.
+        params["time_budget"] = deadline
+        params["node_budget"] = max(1, int(deadline * nodes_per_second * 4))
+        reason += f", budgets armed for the {deadline:.3f}s deadline"
+    fb = replace(
+        fallback,
+        degraded=True,
+        reason="exact run exceeded its budget; estimator fallback",
+    )
+    return QueryPlan(
+        method="epivoter", params=params, exact=True, reason=reason,
+        fallback=fb,
+    )
+
+
+def _estimator_plan(
+    profile: GraphProfile,
+    p: int,
+    q: int,
+    deadline: "float | None",
+    delta: "float | None",
+    epsilon: "float | None",
+    samples: "int | None",
+    seed: "int | None",
+    nodes_per_second: float,
+    samples_per_second: float,
+) -> QueryPlan:
+    """The best estimator for this request (the table's lower half)."""
+    if min(p, q) == 1:
+        return QueryPlan(
+            method="stars", exact=True,
+            reason="min(p, q) == 1: exact star counts from the degree histogram",
+        )
+    if delta is not None or epsilon is not None:
+        params = {
+            "delta": delta if delta is not None else 0.05,
+            "epsilon": epsilon if epsilon is not None else 0.05,
+            "max_samples": samples if samples is not None else _MAX_DEADLINE_SAMPLES,
+        }
+        if seed is not None:
+            params["seed"] = seed
+        if deadline is not None:
+            params["time_budget"] = deadline
+        return QueryPlan(
+            method="adaptive", params=params,
+            reason="accuracy budget given: adaptive rounds to the Thm 4.11 bound",
+        )
+    fit_samples, undercut = _deadline_samples(deadline, samples, samples_per_second)
+    params = {"samples": fit_samples}
+    if seed is not None:
+        params["seed"] = seed
+    sparse_exact_seconds = profile.root_cost / nodes_per_second
+    if (
+        deadline is None
+        and sparse_exact_seconds <= _HYBRID_EXACT_SECONDS
+    ):
+        return QueryPlan(
+            method="hybrid", params=params,
+            reason=(
+                "no deadline and the exact sparse-region pass fits "
+                f"(predicted {sparse_exact_seconds:.3f}s): hybrid EP/ZZ++"
+            ),
+        )
+    reason = "ZigZag++ sampling"
+    if undercut:
+        reason = (
+            f"deadline fits {fit_samples} of the requested {samples} samples; "
+            "degraded ZigZag++"
+        )
+    return QueryPlan(
+        method="zigzag++", params=params, degraded=undercut, reason=reason,
+    )
+
+
+def _forced_plan(
+    method: str,
+    profile: GraphProfile,
+    p: int,
+    q: int,
+    deadline: "float | None",
+    delta: "float | None",
+    epsilon: "float | None",
+    samples: "int | None",
+    seed: "int | None",
+    nodes_per_second: float,
+    samples_per_second: float,
+    estimator_plan: QueryPlan,
+) -> QueryPlan:
+    """Honour an explicit ``method`` while still arming runtime budgets."""
+    if method == "epivoter":
+        predicted = profile.root_cost / nodes_per_second
+        return _exact_plan(
+            p, q, deadline, predicted, nodes_per_second, estimator_plan
+        )
+    if method == "stars":
+        if min(p, q) != 1:
+            raise ValueError("method 'stars' requires min(p, q) == 1")
+        return QueryPlan(method="stars", exact=True, reason="forced")
+    if method == "adaptive":
+        params = {
+            "delta": delta if delta is not None else 0.05,
+            "epsilon": epsilon if epsilon is not None else 0.05,
+            "max_samples": samples if samples is not None else _MAX_DEADLINE_SAMPLES,
+        }
+        if seed is not None:
+            params["seed"] = seed
+        if deadline is not None:
+            params["time_budget"] = deadline
+        return QueryPlan(method="adaptive", params=params, reason="forced")
+    if method in ("zigzag", "zigzag++", "hybrid"):
+        fit_samples, undercut = _deadline_samples(
+            deadline, samples, samples_per_second
+        )
+        params = {"samples": fit_samples}
+        if seed is not None:
+            params["seed"] = seed
+        return QueryPlan(
+            method=method, params=params, degraded=undercut, reason="forced",
+        )
+    raise ValueError(f"unknown method {method!r}")

@@ -1,0 +1,271 @@
+"""The HTTP JSON API over the service executor (stdlib only).
+
+A :class:`ThreadingHTTPServer` whose handler threads call straight into
+the shared :class:`~repro.service.executor.ServiceExecutor`; no web
+framework, no new dependencies.  Endpoints:
+
+``POST /v1/graphs``
+    Register a graph: ``{"dataset": NAME}`` (bundled synthetic
+    dataset), ``{"edge_list": TEXT}`` (the :mod:`repro.graph.io`
+    format), or ``{"n_left": N, "n_right": M, "edges": [[u, v], ...]}``.
+    Optional ``"name"`` (defaults to a fingerprint prefix).  Returns the
+    registration record, including the content fingerprint.
+
+``POST /v1/count`` / ``POST /v1/estimate``
+    One query: ``{"graph": NAME, "p": P, "q": Q}`` plus optional
+    ``method``, ``deadline_ms``, ``delta``, ``epsilon``, ``samples``,
+    ``seed``.  ``/v1/count`` asks for an exact answer (the planner may
+    degrade under a deadline and say so via ``degraded: true``);
+    ``/v1/estimate`` accepts an estimator from the start.
+
+``GET /healthz``
+    Liveness plus resident graph names and queue depth.
+
+``GET /metrics``
+    The full metrics registry snapshot plus cache stats — counters,
+    timers, gauges, per-worker stats.
+
+Errors are JSON too: 400 (malformed request), 404 (unknown graph or
+route), 429 (admission control; ``retryable: true``), 500 (engine
+failure).  Request latency lands in ``service.http.<route>`` timers and
+``service.http_requests`` counters.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING
+
+from repro.graph.bigraph import BipartiteGraph
+from repro.graph.io import parse_edge_list
+from repro.service.executor import Query, QueryRejected, ServiceExecutor, UnknownGraph
+
+if TYPE_CHECKING:
+    from repro.obs.registry import MetricsRegistry
+
+__all__ = ["BicliqueServiceServer", "create_server", "serve_forever"]
+
+#: Request bodies larger than this are rejected outright (64 MiB covers
+#: multi-million-edge JSON edge lists while bounding memory per request).
+_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class BicliqueServiceServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one executor and registry."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        executor: ServiceExecutor,
+        obs: "MetricsRegistry | None" = None,
+        quiet: bool = True,
+    ):
+        self.executor = executor
+        self.obs = obs
+        self.quiet = quiet
+        super().__init__(address, _Handler)
+
+
+class _BadRequest(ValueError):
+    """Maps to HTTP 400 with the message as the error body."""
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------
+
+    def log_message(self, fmt: str, *args) -> None:  # noqa: A003
+        if not self.server.quiet:
+            super().log_message(fmt, *args)
+
+    def _respond(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _json_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise _BadRequest("a JSON request body is required")
+        if length > _MAX_BODY_BYTES:
+            raise _BadRequest(f"request body exceeds {_MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length)
+        try:
+            body = json.loads(raw)
+        except ValueError as exc:
+            raise _BadRequest(f"malformed JSON body: {exc}") from None
+        if not isinstance(body, dict):
+            raise _BadRequest("the request body must be a JSON object")
+        return body
+
+    def _observe(self, route: str, elapsed: float) -> None:
+        obs = self.server.obs
+        if obs is not None and obs.enabled:
+            obs.incr("service.http_requests")
+            obs.incr(f"service.http_requests.{route.strip('/').replace('/', '_')}")
+            obs.add_time(f"service.http.{route.strip('/').replace('/', '_')}", elapsed)
+
+    # -- routes --------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        start = time.perf_counter()
+        executor = self.server.executor
+        if self.path == "/healthz":
+            self._respond(
+                200,
+                {
+                    "status": "ok",
+                    "graphs": sorted(executor.graphs()),
+                    "queue_depth": executor.queue_depth(),
+                },
+            )
+        elif self.path == "/metrics":
+            obs = self.server.obs
+            snapshot = obs.snapshot() if obs is not None else {}
+            snapshot["cache"] = executor.cache.stats()
+            snapshot["queue_depth"] = executor.queue_depth()
+            self._respond(200, snapshot)
+        else:
+            self._respond(404, {"error": f"unknown route {self.path}"})
+            return
+        self._observe(self.path, time.perf_counter() - start)
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        start = time.perf_counter()
+        route = self.path
+        try:
+            body = self._json_body()
+            if route == "/v1/graphs":
+                payload = self._register(body)
+            elif route in ("/v1/count", "/v1/estimate"):
+                payload = self._query(body, kind=route.rsplit("/", 1)[1])
+            else:
+                self._respond(404, {"error": f"unknown route {route}"})
+                return
+        except _BadRequest as exc:
+            self._respond(400, {"error": str(exc)})
+        except UnknownGraph as exc:
+            self._respond(
+                404,
+                {"error": f"unknown graph {exc.args[0]!r}; register it first"},
+            )
+        except QueryRejected as exc:
+            self._respond(429, {"error": str(exc), "retryable": True})
+        except Exception as exc:  # noqa: BLE001 - must answer the client
+            self._respond(500, {"error": f"{type(exc).__name__}: {exc}"})
+        else:
+            self._respond(200, payload)
+        self._observe(route, time.perf_counter() - start)
+
+    # -- endpoint bodies ----------------------------------------------
+
+    def _register(self, body: dict) -> dict:
+        executor = self.server.executor
+        name = body.get("name")
+        if name is not None and not isinstance(name, str):
+            raise _BadRequest("'name' must be a string")
+        sources = [key for key in ("dataset", "edge_list", "edges") if key in body]
+        if len(sources) != 1:
+            raise _BadRequest(
+                "provide exactly one of 'dataset', 'edge_list', or 'edges'"
+            )
+        if "dataset" in body:
+            from repro.graph.datasets import available_datasets, load_dataset
+
+            dataset = body["dataset"]
+            if dataset not in available_datasets():
+                raise _BadRequest(f"unknown dataset {dataset!r}")
+            graph = load_dataset(dataset)
+            name = name or dataset
+        elif "edge_list" in body:
+            try:
+                graph, _, _ = parse_edge_list(body["edge_list"])
+            except (ValueError, TypeError) as exc:
+                raise _BadRequest(f"bad edge_list: {exc}") from None
+        else:
+            try:
+                n_left = int(body["n_left"])
+                n_right = int(body["n_right"])
+                edges = [(int(u), int(v)) for u, v in body["edges"]]
+                graph = BipartiteGraph(n_left, n_right, edges)
+            except (KeyError, ValueError, TypeError) as exc:
+                raise _BadRequest(
+                    f"bad edges payload (need n_left, n_right, edges): {exc}"
+                ) from None
+        registered = executor.register(graph, name=name)
+        return registered.describe()
+
+    def _query(self, body: dict, kind: str) -> dict:
+        try:
+            p = int(body["p"])
+            q = int(body["q"])
+        except (KeyError, ValueError, TypeError):
+            raise _BadRequest("'p' and 'q' are required integers") from None
+        graph_id = body.get("graph")
+        if not isinstance(graph_id, str):
+            raise _BadRequest("'graph' (a registered name) is required")
+        deadline_ms = body.get("deadline_ms")
+        try:
+            query = Query(
+                graph_id=graph_id,
+                kind=kind,
+                p=p,
+                q=q,
+                method=body.get("method", "auto"),
+                deadline=(
+                    float(deadline_ms) / 1000.0 if deadline_ms is not None else None
+                ),
+                delta=_opt_float(body, "delta"),
+                epsilon=_opt_float(body, "epsilon"),
+                samples=_opt_int(body, "samples"),
+                seed=_opt_int(body, "seed"),
+            )
+        except (ValueError, TypeError) as exc:
+            raise _BadRequest(f"bad query parameter: {exc}") from None
+        try:
+            return self.server.executor.execute(query)
+        except ValueError as exc:
+            # Planner/engine validation (bad method name, p/q out of a
+            # method's domain) is the client's fault, not a 500.
+            raise _BadRequest(str(exc)) from None
+
+
+def _opt_float(body: dict, key: str) -> "float | None":
+    value = body.get(key)
+    return None if value is None else float(value)
+
+
+def _opt_int(body: dict, key: str) -> "int | None":
+    value = body.get(key)
+    return None if value is None else int(value)
+
+
+def create_server(
+    host: str,
+    port: int,
+    executor: ServiceExecutor,
+    obs: "MetricsRegistry | None" = None,
+    quiet: bool = True,
+) -> BicliqueServiceServer:
+    """Bind (but do not start) a service server; port 0 picks a free port."""
+    return BicliqueServiceServer((host, port), executor, obs=obs, quiet=quiet)
+
+
+def serve_forever(server: BicliqueServiceServer) -> None:
+    """Run until interrupted, then shut the executor down cleanly."""
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.executor.shutdown()
+        server.server_close()

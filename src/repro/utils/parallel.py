@@ -376,6 +376,7 @@ def run_chunked(
     workers: int,
     graph: "BipartiteGraph | None" = None,
     obs: "MetricsRegistry | None" = None,
+    pool: "GraphPool | None" = None,
 ) -> list[R]:
     """Map ``worker`` over ``payloads``, in processes when it pays off.
 
@@ -388,8 +389,19 @@ def run_chunked(
     memory, or pickle-by-buffer per worker) and workers retrieve it with
     :func:`worker_graph`; on the in-process path it is installed directly
     with zero copies.  ``obs`` receives the ship counters.
+
+    ``pool`` is a long-lived :class:`GraphPool` whose shipped graph is
+    ``graph``: the map runs on it and the pool stays open afterwards, so
+    a resident graph serving many requests (the service executor) pays
+    for its ship exactly once per registration.  The caller owns the
+    pool's lifetime; ``graph`` is only used for the single-payload
+    in-process shortcut, which must traverse the same graph.
     """
     payloads = list(payloads)
+    if pool is not None and len(payloads) > 1:
+        if obs is not None and obs.enabled:
+            obs.incr("parallel.pool_reuses")
+        return pool.map(worker, payloads)
     if workers <= 1 or len(payloads) <= 1:
         if graph is None:
             return [worker(payload) for payload in payloads]

@@ -88,3 +88,32 @@ class TestAdaptiveCount:
             adaptive_count(dense_graph, 2, 2, initial_samples=0)
         with pytest.raises(ValueError):
             adaptive_count(dense_graph, 2, 2, estimator="psa")
+
+
+class TestTimeBudget:
+    """Deadline-bounded rounds: best-so-far instead of an exception."""
+
+    def test_zero_budget_returns_unsatisfied_best_effort(self, dense_graph):
+        result = adaptive_count(
+            dense_graph, 3, 3, delta=0.05, epsilon=0.05, seed=5,
+            time_budget=0.0, max_samples=50_000,
+        )
+        assert result.samples_used == 0
+        assert not result.satisfied
+
+    def test_generous_budget_matches_unbudgeted_run(self, dense_graph):
+        free = adaptive_count(
+            dense_graph, 3, 3, delta=0.1, epsilon=0.1, seed=9,
+            max_samples=40_000,
+        )
+        budgeted = adaptive_count(
+            dense_graph, 3, 3, delta=0.1, epsilon=0.1, seed=9,
+            max_samples=40_000, time_budget=3600.0,
+        )
+        assert budgeted.estimate == free.estimate
+        assert budgeted.samples_used == free.samples_used
+        assert budgeted.satisfied == free.satisfied
+
+    def test_negative_budget_rejected(self, dense_graph):
+        with pytest.raises(ValueError):
+            adaptive_count(dense_graph, 2, 2, time_budget=-1.0)

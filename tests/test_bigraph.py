@@ -338,3 +338,38 @@ class TestNumpyBuildParity:
         assert g.neighbors_left(0) == tuple(range(n))
         small = BipartiteGraph(2, 2, [(0, 0), (1, 1)])
         assert small.num_edges == 2
+
+
+class TestContentFingerprint:
+    def test_stable_across_construction_paths(self):
+        import pickle
+
+        g = BipartiteGraph(3, 4, [(0, 0), (0, 1), (1, 2), (2, 3)])
+        fp = g.content_fingerprint()
+        assert len(fp) == 64 and int(fp, 16) >= 0
+        # Edge order must not matter (CSR canonicalises).
+        shuffled = BipartiteGraph(3, 4, [(2, 3), (1, 2), (0, 1), (0, 0)])
+        assert shuffled.content_fingerprint() == fp
+        # Pickle round-trip preserves identity, equality, and hash.
+        clone = pickle.loads(pickle.dumps(g))
+        assert clone == g
+        assert clone.content_fingerprint() == fp
+        assert hash(clone) == hash(g)
+        # from_csr wrapping of the same buffers too.
+        rebuilt = BipartiteGraph.from_csr(g.n_left, g.n_right, *g.csr_buffers())
+        assert rebuilt.content_fingerprint() == fp
+
+    def test_different_graphs_differ(self):
+        a = BipartiteGraph(2, 2, [(0, 0), (1, 1)])
+        b = BipartiteGraph(2, 2, [(0, 1), (1, 0)])
+        assert a.content_fingerprint() != b.content_fingerprint()
+        # Same edges, different universe size: different content.
+        c = BipartiteGraph(3, 2, [(0, 0), (1, 1)])
+        assert c.content_fingerprint() != a.content_fingerprint()
+
+    def test_hash_consistent_with_equality(self):
+        a = BipartiteGraph(2, 3, [(0, 0), (0, 2), (1, 1)])
+        b = BipartiteGraph(2, 3, [(1, 1), (0, 2), (0, 0)])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1

@@ -246,3 +246,48 @@ class TestEngineBehaviour:
         g = random_bigraph(rng)
         counts = EPivoter(g).count_all(3, 3, left_region=set())
         assert counts.total() == 0
+
+
+class TestCountBudgets:
+    """The per-traversal budgets behind the service layer's deadlines."""
+
+    def test_node_budget_trips(self):
+        from repro.core.epivoter import CountBudgetExceeded
+
+        g = complete_bigraph(8, 8)
+        with pytest.raises(CountBudgetExceeded):
+            EPivoter(g).count_single(2, 2, use_core=False, node_budget=3)
+
+    def test_zero_time_budget_trips_before_traversal(self):
+        from repro.core.epivoter import CountBudgetExceeded
+
+        g = complete_bigraph(5, 5)
+        with pytest.raises(CountBudgetExceeded):
+            EPivoter(g).count_single(2, 2, use_core=False, time_budget=0.0)
+
+    def test_generous_budgets_do_not_change_the_count(self, rng):
+        for _ in range(10):
+            g = random_bigraph(rng, 6, 6, density=0.6)
+            reference = EPivoter(g).count_single(2, 2)
+            budgeted = EPivoter(g).count_single(
+                2, 2, node_budget=10**9, time_budget=3600.0
+            )
+            assert budgeted == reference
+
+    def test_node_budget_trips_in_parallel_workers(self):
+        from repro.core.epivoter import CountBudgetExceeded
+
+        g = complete_bigraph(8, 8)
+        with pytest.raises(CountBudgetExceeded):
+            EPivoter(g).count_single(
+                2, 2, use_core=False, workers=2, node_budget=3
+            )
+
+    def test_budget_failure_leaves_engine_reusable(self):
+        from repro.core.epivoter import CountBudgetExceeded
+
+        g = complete_bigraph(6, 6)
+        engine = EPivoter(g)
+        with pytest.raises(CountBudgetExceeded):
+            engine.count_single(2, 2, use_core=False, node_budget=2)
+        assert engine.count_single(2, 2) == EPivoter(g).count_single(2, 2)

@@ -1,0 +1,321 @@
+"""Tests for the serving layer: cache, planner, and the request executor.
+
+The HTTP layer has its own end-to-end file (``test_service_http.py``);
+everything here talks to the components in-process, where concurrency
+can be made deterministic (events, stubbed engine runs).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.epivoter import count_single
+from repro.graph.bigraph import BipartiteGraph
+from repro.obs import MetricsRegistry
+from repro.service.cache import ResultCache, key_from_json, key_to_json
+from repro.service.executor import (
+    Query,
+    QueryRejected,
+    ServiceExecutor,
+    UnknownGraph,
+)
+from repro.service.fingerprint import cache_key, graph_fingerprint
+from repro.service.planner import GraphProfile, plan_query
+
+from .conftest import complete_bigraph, random_bigraph
+
+
+@pytest.fixture
+def graph(rng) -> BipartiteGraph:
+    return random_bigraph(rng, 7, 7, density=0.6)
+
+
+def make_executor(**kwargs) -> ServiceExecutor:
+    kwargs.setdefault("obs", MetricsRegistry())
+    kwargs.setdefault("engine_workers", 1)
+    return ServiceExecutor(**kwargs)
+
+
+def counter(executor: ServiceExecutor, name: str) -> int:
+    return executor._obs.snapshot()["counters"].get(name, 0)
+
+
+class TestCacheKey:
+    def test_params_order_and_none_dropped(self):
+        a = cache_key("fp", "count", 2, 3, {"seed": 1, "samples": None})
+        b = cache_key("fp", "count", 2, 3, {"samples": None, "seed": 1})
+        c = cache_key("fp", "count", 2, 3, {"seed": 1})
+        assert a == b == c
+        assert cache_key("fp", "count", 2, 3, {"seed": 2}) != a
+
+    def test_json_round_trip(self):
+        key = cache_key("fp", "estimate", 4, 5, {"seed": 7, "deadline": 0.5})
+        assert key_from_json(key_to_json(key)) == key
+
+    def test_fingerprint_matches_graph_method(self, graph):
+        assert graph_fingerprint(graph) == graph.content_fingerprint()
+
+
+class TestResultCache:
+    def test_hit_miss_and_lru_eviction(self):
+        obs = MetricsRegistry()
+        cache = ResultCache(capacity=2, obs=obs)
+        k1, k2, k3 = ("a",), ("b",), ("c",)
+        cache.put(k1, {"v": 1})
+        cache.put(k2, {"v": 2})
+        assert cache.get(k1) == {"v": 1}  # refreshes k1 over k2
+        cache.put(k3, {"v": 3})  # evicts k2, the LRU entry
+        assert cache.get(k2) is None
+        assert cache.get(k1) == {"v": 1}
+        assert cache.get(k3) == {"v": 3}
+        counters = obs.snapshot()["counters"]
+        assert counters["service.cache.hits"] == 3
+        assert counters["service.cache.misses"] == 1
+        assert counters["service.cache.evictions"] == 1
+
+    def test_capacity_zero_disables(self):
+        cache = ResultCache(capacity=0)
+        cache.put(("k",), {"v": 1})
+        assert len(cache) == 0
+        assert cache.get(("k",)) is None
+
+    def test_persistence_round_trip(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        cache = ResultCache(capacity=8, path=path)
+        key = cache_key("fp", "count", 2, 2, {"seed": 3})
+        cache.put(key, {"value": 42, "exact": True})
+        assert cache.save() == 1
+        reloaded = ResultCache(capacity=8, path=path)
+        assert reloaded.get(key) == {"value": 42, "exact": True}
+
+    def test_corrupt_lines_skipped(self, tmp_path):
+        path = tmp_path / "cache.json"
+        good = ResultCache(capacity=8)
+        key = cache_key("fp", "count", 2, 2)
+        good.put(key, {"value": 1})
+        good.save(str(path))
+        text = path.read_text()
+        path.write_text("this is not json\n" + text + "[truncated\n")
+        reloaded = ResultCache(capacity=8, path=str(path))
+        assert len(reloaded) == 1
+        assert reloaded.get(key) == {"value": 1}
+
+
+class TestPlanner:
+    @pytest.fixture
+    def profile(self, graph):
+        ordered = graph.degree_ordered()[0]
+        return GraphProfile.from_graph(ordered)
+
+    def test_stars_for_unit_sides(self, profile):
+        for kind in ("count", "estimate"):
+            plan = plan_query(profile, kind, 1, 4)
+            assert plan.method == "stars" and plan.exact
+
+    def test_count_without_deadline_is_exact(self, profile):
+        plan = plan_query(profile, "count", 3, 3)
+        assert plan.method == "epivoter" and plan.exact and not plan.degraded
+        assert plan.fallback is not None and plan.fallback.degraded
+
+    def test_count_with_roomy_deadline_arms_budgets(self, profile):
+        plan = plan_query(profile, "count", 3, 3, deadline=3600.0)
+        assert plan.method == "epivoter"
+        assert plan.params["time_budget"] == 3600.0
+        assert plan.params["node_budget"] > 0
+
+    def test_count_with_tight_deadline_degrades(self, profile):
+        plan = plan_query(profile, "count", 3, 3, deadline=1e-6)
+        assert plan.method != "epivoter"
+        assert plan.degraded and not plan.exact
+
+    def test_estimate_with_accuracy_budget_is_adaptive(self, profile):
+        plan = plan_query(profile, "estimate", 3, 3, delta=0.1, deadline=2.0)
+        assert plan.method == "adaptive"
+        assert plan.params["time_budget"] == 2.0
+
+    def test_estimate_small_graph_no_deadline_is_hybrid(self, profile):
+        plan = plan_query(profile, "estimate", 3, 3)
+        assert plan.method == "hybrid"
+
+    def test_estimate_deadline_clips_samples(self, profile):
+        plan = plan_query(
+            profile, "estimate", 3, 3, deadline=0.1, samples=10**6,
+            samples_per_second=1000.0,
+        )
+        assert plan.method == "zigzag++"
+        assert plan.params["samples"] < 10**6
+        assert plan.degraded
+
+    def test_forced_method_honoured(self, profile):
+        plan = plan_query(profile, "count", 3, 3, method="zigzag")
+        assert plan.method == "zigzag"
+        with pytest.raises(ValueError):
+            plan_query(profile, "count", 3, 3, method="nope")
+        with pytest.raises(ValueError):
+            plan_query(profile, "count", 2, 2, method="stars")
+
+    def test_validation(self, profile):
+        with pytest.raises(ValueError):
+            plan_query(profile, "guess", 2, 2)
+        with pytest.raises(ValueError):
+            plan_query(profile, "count", 0, 2)
+        with pytest.raises(ValueError):
+            plan_query(profile, "count", 2, 2, deadline=0.0)
+
+
+class TestExecutor:
+    def test_served_counts_match_count_single(self, rng):
+        with make_executor() as ex:
+            for _ in range(5):
+                g = random_bigraph(rng, 7, 7, density=0.6)
+                name = ex.register(g).name
+                for p, q in ((2, 2), (2, 3), (3, 3)):
+                    served = ex.execute(Query(name, "count", p, q))
+                    assert served["exact"]
+                    assert served["value"] == count_single(g, p, q)
+
+    def test_cache_hit_skips_the_engine(self, graph):
+        with make_executor() as ex:
+            name = ex.register(graph).name
+            first = ex.execute(Query(name, "count", 2, 2))
+            runs = counter(ex, "service.engine_runs")
+            second = ex.execute(Query(name, "count", 2, 2))
+            assert second["cached"] is True
+            assert second["value"] == first["value"]
+            assert counter(ex, "service.engine_runs") == runs
+            assert counter(ex, "service.cache.hits") == 1
+
+    def test_same_content_different_name_shares_cache(self, graph):
+        with make_executor() as ex:
+            ex.register(graph, name="a")
+            ex.register(graph, name="b")
+            ex.execute(Query("a", "count", 2, 2))
+            runs = counter(ex, "service.engine_runs")
+            result = ex.execute(Query("b", "count", 2, 2))
+            assert result["cached"] is True
+            assert counter(ex, "service.engine_runs") == runs
+
+    def test_unknown_graph(self):
+        with make_executor() as ex:
+            with pytest.raises(UnknownGraph):
+                ex.execute(Query("ghost", "count", 2, 2))
+
+    def test_drop_forgets_the_graph(self, graph):
+        with make_executor() as ex:
+            name = ex.register(graph).name
+            assert ex.drop(name)
+            assert not ex.drop(name)
+            with pytest.raises(UnknownGraph):
+                ex.execute(Query(name, "count", 2, 2))
+
+    def test_coalescing_single_engine_run(self, graph):
+        release = threading.Event()
+        entered = threading.Event()
+        with make_executor(threads=1, max_queue=8) as ex:
+            name = ex.register(graph).name
+            real = ex._execute_plan
+
+            def gated(plan, query, registered):
+                entered.set()
+                assert release.wait(timeout=10)
+                return real(plan, query, registered)
+
+            ex._execute_plan = gated
+            q = Query(name, "count", 2, 2)
+            first = ex.submit(q)
+            assert entered.wait(timeout=10)
+            # While the first run is held in flight, identical queries
+            # coalesce onto the same future: no queue slot, no new run.
+            others = [ex.submit(q) for _ in range(4)]
+            assert all(f is first for f in others)
+            release.set()
+            results = [f.result(timeout=10) for f in [first, *others]]
+            assert len({id(r) for r in results}) == 1
+            assert counter(ex, "service.coalesced") == 4
+            assert counter(ex, "service.engine_runs") == 1
+
+    def test_full_queue_rejects(self, graph):
+        release = threading.Event()
+        entered = threading.Event()
+        with make_executor(threads=1, max_queue=1) as ex:
+            name = ex.register(graph).name
+
+            def blocked(plan, query, registered):
+                entered.set()
+                assert release.wait(timeout=10)
+                return 0, {}
+
+            ex._execute_plan = blocked
+            # First query occupies the worker; second fills the queue.
+            ex.submit(Query(name, "count", 2, 2))
+            assert entered.wait(timeout=10)
+            ex.submit(Query(name, "count", 2, 3))
+            with pytest.raises(QueryRejected):
+                ex.submit(Query(name, "count", 3, 3))
+            assert counter(ex, "service.rejected") == 1
+            release.set()
+
+    def test_tight_deadline_degrades_not_errors(self):
+        g = complete_bigraph(9, 9)
+        with make_executor() as ex:
+            name = ex.register(g).name
+            result = ex.execute(Query(name, "count", 3, 3, deadline=0.001))
+            assert result["degraded"] is True
+            assert result["exact"] is False
+            assert result["method"] != "epivoter"
+            assert counter(ex, "service.degraded") == 1
+
+    def test_budget_trip_falls_back_to_estimator(self):
+        g = complete_bigraph(9, 9)
+        # An absurd nodes_per_second makes the planner predict an easy
+        # exact run, but the armed budgets trip at runtime: the executor
+        # must switch to the fallback plan, not surface the exception.
+        with make_executor(nodes_per_second=1e12) as ex:
+            name = ex.register(g).name
+            result = ex.execute(Query(name, "count", 3, 3, deadline=1e-7))
+            assert result["degraded"] is True
+            assert result["method"] != "epivoter"
+            assert counter(ex, "service.budget_exceeded") == 1
+
+    def test_stars_cell_is_exact(self, graph):
+        with make_executor() as ex:
+            name = ex.register(graph).name
+            result = ex.execute(Query(name, "count", 1, 2))
+            assert result["exact"] and result["method"] == "stars"
+            assert result["value"] == count_single(graph, 1, 2)
+
+    def test_estimate_deterministic_with_seed(self, graph):
+        with make_executor() as ex:
+            name = ex.register(graph).name
+            a = ex.execute(Query(name, "estimate", 2, 2, samples=500, seed=11))
+            ex.cache.clear()
+            b = ex.execute(Query(name, "estimate", 2, 2, samples=500, seed=11))
+            assert b["cached"] is False
+            assert a["value"] == b["value"]
+
+    def test_pooled_registration_counts_exactly(self, graph):
+        with make_executor(engine_workers=2) as ex:
+            registered = ex.register(graph)
+            assert registered.pool is not None
+            result = ex.execute(Query(registered.name, "count", 2, 2))
+            assert result["value"] == count_single(graph, 2, 2)
+
+    def test_shutdown_saves_cache(self, graph, tmp_path):
+        path = str(tmp_path / "cache.json")
+        obs = MetricsRegistry()
+        ex = make_executor(obs=obs, cache=ResultCache(obs=obs, path=path))
+        name = ex.register(graph).name
+        value = ex.execute(Query(name, "count", 2, 2))["value"]
+        ex.shutdown()
+        # A fresh executor over the same cache file serves from cache.
+        obs2 = MetricsRegistry()
+        with make_executor(
+            obs=obs2, cache=ResultCache(obs=obs2, path=path)
+        ) as ex2:
+            name2 = ex2.register(graph).name
+            result = ex2.execute(Query(name2, "count", 2, 2))
+            assert result["cached"] is True
+            assert result["value"] == value
+            assert counter(ex2, "service.engine_runs") == 0

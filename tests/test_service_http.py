@@ -1,0 +1,245 @@
+"""End-to-end tests over the HTTP serving layer (stdlib client only).
+
+One server fixture per test class: the graph registers once over HTTP,
+then every query goes through real sockets — the same path the CI smoke
+job exercises against a live ``repro-biclique serve`` process.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.epivoter import count_single
+from repro.graph.bigraph import BipartiteGraph
+from repro.obs import MetricsRegistry
+from repro.service.executor import ServiceExecutor
+from repro.service.server import create_server
+
+
+@pytest.fixture
+def service():
+    """A live server on an ephemeral port, plus its executor and registry."""
+    obs = MetricsRegistry()
+    # The pessimistic nodes_per_second makes the planner treat the tiny
+    # test graphs like expensive ones: a millisecond deadline then
+    # degrades deterministically instead of depending on machine speed.
+    executor = ServiceExecutor(
+        max_queue=16, threads=2, engine_workers=1, obs=obs,
+        nodes_per_second=50.0,
+    )
+    server = create_server("127.0.0.1", 0, executor, obs=obs)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    try:
+        yield f"http://{host}:{port}", executor, obs
+    finally:
+        server.shutdown()
+        server.server_close()
+        executor.shutdown(save_cache=False)
+
+
+def post(base: str, path: str, body: dict) -> tuple[int, dict]:
+    request = urllib.request.Request(
+        base + path,
+        data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def get(base: str, path: str) -> tuple[int, dict]:
+    try:
+        with urllib.request.urlopen(base + path, timeout=60) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def counters(obs: MetricsRegistry) -> dict:
+    return obs.snapshot()["counters"]
+
+
+@pytest.fixture
+def graph():
+    import random
+
+    r = random.Random(42)
+    edges = [(u, v) for u in range(8) for v in range(8) if r.random() < 0.6]
+    return BipartiteGraph(8, 8, edges)
+
+
+class TestEndToEnd:
+    def test_register_query_cache_and_degrade(self, service, graph):
+        """The acceptance scenario from the issue, over real sockets."""
+        base, _executor, obs = service
+
+        # Register the graph exactly once.
+        edges = [[u, v] for u, v in graph.edges()]
+        status, body = post(
+            base,
+            "/v1/graphs",
+            {
+                "name": "g",
+                "n_left": graph.n_left,
+                "n_right": graph.n_right,
+                "edges": edges,
+            },
+        )
+        assert status == 200
+        assert body["graph"] == "g"
+        # Registration canonicalises to the degree ordering first, so the
+        # advertised fingerprint is that of the ordered graph.
+        ordered = graph.degree_ordered()[0]
+        assert body["fingerprint"] == ordered.content_fingerprint()
+
+        # Three distinct queries: exact answers equal count_single.
+        pairs = [(2, 2), (2, 3), (3, 3)]
+        for p, q in pairs:
+            status, body = post(base, "/v1/count", {"graph": "g", "p": p, "q": q})
+            assert status == 200
+            assert body["exact"] is True
+            assert body["cached"] is False
+            assert body["value"] == count_single(graph, p, q)
+        runs_before = counters(obs)["service.engine_runs"]
+
+        # Two duplicates: served from cache, the engines never run again.
+        for p, q in [(2, 2), (3, 3)]:
+            status, body = post(base, "/v1/count", {"graph": "g", "p": p, "q": q})
+            assert status == 200
+            assert body["cached"] is True
+            assert body["value"] == count_single(graph, p, q)
+        after = counters(obs)
+        assert after["service.cache.hits"] >= 2
+        assert after["service.engine_runs"] == runs_before
+
+        # A 1 ms deadline degrades to an estimator instead of erroring.
+        status, body = post(
+            base, "/v1/count", {"graph": "g", "p": 3, "q": 3, "deadline_ms": 1}
+        )
+        assert status == 200
+        assert body["degraded"] is True
+        assert body["exact"] is False
+        assert body["method"] != "epivoter"
+        assert "reason" in body
+
+    def test_estimate_and_health_and_metrics(self, service, graph):
+        base, executor, _obs = service
+        executor.register(graph, name="g")
+
+        status, body = get(base, "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["graphs"] == ["g"]
+
+        status, body = post(
+            base,
+            "/v1/estimate",
+            {"graph": "g", "p": 2, "q": 2, "samples": 500, "seed": 5},
+        )
+        assert status == 200
+        assert body["exact"] is False or body["method"] == "stars"
+        assert isinstance(body["value"], (int, float))
+
+        status, body = get(base, "/metrics")
+        assert status == 200
+        assert body["counters"]["service.requests"] >= 1
+        assert "cache" in body and "size" in body["cache"]
+
+    def test_error_mapping(self, service):
+        base, _executor, _obs = service
+        # 404: unknown graph and unknown route.
+        status, body = post(base, "/v1/count", {"graph": "ghost", "p": 2, "q": 2})
+        assert status == 404 and "error" in body
+        status, body = post(base, "/v1/nope", {"x": 1})
+        assert status == 404
+        status, body = get(base, "/nope")
+        assert status == 404
+        # 400: malformed bodies and parameters.
+        status, body = post(base, "/v1/count", {"graph": "ghost"})
+        assert status == 400
+        status, body = post(base, "/v1/graphs", {})
+        assert status == 400
+        status, body = post(
+            base, "/v1/graphs", {"dataset": "DBLP", "edges": [[0, 0]]}
+        )
+        assert status == 400
+        request = urllib.request.Request(
+            base + "/v1/count", data=b"not json at all"
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=60) as response:
+                status = response.status
+        except urllib.error.HTTPError as error:
+            status = error.code
+        assert status == 400
+
+    def test_register_via_edge_list_and_dataset(self, service):
+        base, _executor, _obs = service
+        status, body = post(
+            base, "/v1/graphs", {"edge_list": "0 0\n0 1\n1 0\n1 1\n", "name": "k22"}
+        )
+        assert status == 200 and body["num_edges"] == 4
+        status, body = post(base, "/v1/count", {"graph": "k22", "p": 2, "q": 2})
+        assert status == 200 and body["value"] == 1
+        # A bad method name is the client's fault: 400, not 500.
+        status, body = post(
+            base, "/v1/count", {"graph": "k22", "p": 2, "q": 2, "method": "nope"}
+        )
+        assert status == 400
+
+    def test_queue_full_maps_to_429(self, service, graph):
+        base, executor, _obs = service
+        executor.register(graph, name="g")
+        release = threading.Event()
+        entered = threading.Event()
+
+        def blocked(plan, query, registered):
+            entered.set()
+            assert release.wait(timeout=10)
+            return 0, {}
+
+        executor._execute_plan = blocked
+        try:
+            # Saturate the single effective queue slot path: one request
+            # holds each worker thread, the rest fill the queue, and the
+            # overflow request must come back 429 with retryable: true.
+            statuses = []
+            threads = []
+
+            def fire(p):
+                status, body = post(
+                    base, "/v1/count", {"graph": "g", "p": p, "q": 2}
+                )
+                statuses.append((status, body))
+
+            # 2 worker threads + 16 queue slots + overflow.
+            for p in range(2, 2 + 19):
+                t = threading.Thread(target=fire, args=(p,))
+                t.start()
+                threads.append(t)
+            assert entered.wait(timeout=10)
+            # Wait for the rejections to come back before releasing.
+            for _ in range(200):
+                if any(status == 429 for status, _ in statuses):
+                    break
+                time.sleep(0.05)
+            release.set()
+            for t in threads:
+                t.join(timeout=30)
+            codes = [status for status, _ in statuses]
+            assert 429 in codes
+            rejected = next(body for status, body in statuses if status == 429)
+            assert rejected["retryable"] is True
+        finally:
+            release.set()
