@@ -1,0 +1,159 @@
+"""Micro-benchmark: sparse-matrix kernels vs the loop/tree engines.
+
+Two comparisons, both on the same seeded Chung–Lu graph:
+
+* **butterflies** — :func:`repro.graph.butterflies.butterfly_count`
+  (one ``A @ A.T`` product plus a histogram fold) against the retained
+  pure-Python wedge loop (``butterfly_count_reference``).  This is the
+  guarded number: CI asserts the matrix path stays >= 5x faster.
+* **small (p, q) counts** — :func:`repro.core.matrix.matrix_count_single`
+  against ``EPivoter.count_single`` at (2, 2), (2, 3), and (3, 3).
+  Recorded for the trajectory, not asserted: EPivoter's core reduction
+  makes its runtime shape-dependent in ways a single threshold would
+  flake on.
+
+Run directly (scipy required, no pytest)::
+
+    python benchmarks/bench_matrix.py --out BENCH_matrix.json
+
+Equality contracts run before any timing: the matrix results must be
+bit-identical to the reference loop and to EPivoter on the benchmark
+graph, or the benchmark aborts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.epivoter import EPivoter  # noqa: E402
+from repro.core.matrix import matrix_count_single  # noqa: E402
+from repro.graph.butterflies import (  # noqa: E402
+    butterfly_count,
+    butterfly_count_reference,
+)
+from repro.graph.generators import chung_lu_bipartite  # noqa: E402
+
+#: The benchmark graph: dense enough that pair overlaps are non-trivial
+#: (the wedge loop's cost is sum(d^2), exactly what the matrix product
+#: vectorises away), small enough that the EPivoter comparison runs in
+#: seconds.
+GRAPH_PARAMS = dict(n_left=400, n_right=400, num_edges=6000, seed=0xB1C)
+
+SMALL_CELLS = ((2, 2), (2, 3), (3, 3))
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run(repeats: int = 3) -> dict:
+    graph = chung_lu_bipartite(**GRAPH_PARAMS)
+
+    # Equality contracts first: timing a wrong kernel is worthless.
+    matrix_total = butterfly_count(graph)
+    loop_total = butterfly_count_reference(graph)
+    assert matrix_total == loop_total, (
+        f"butterfly mismatch: matrix {matrix_total} vs loop {loop_total}"
+    )
+    engine = EPivoter(graph)
+    for p, q in SMALL_CELLS:
+        matrix_value = matrix_count_single(graph, p, q)
+        epivoter_value = engine.count_single(p, q)
+        assert matrix_value == epivoter_value, (
+            f"({p}, {q}) mismatch: matrix {matrix_value} vs "
+            f"EPivoter {epivoter_value}"
+        )
+
+    matrix_seconds = _best_of(lambda: butterfly_count(graph), repeats)
+    loop_seconds = _best_of(lambda: butterfly_count_reference(graph), repeats)
+    butterfly = {
+        "count": matrix_total,
+        "matrix_seconds": matrix_seconds,
+        "loop_seconds": loop_seconds,
+        "speedup": loop_seconds / matrix_seconds,
+    }
+
+    cells = []
+    for p, q in SMALL_CELLS:
+        m_seconds = _best_of(lambda: matrix_count_single(graph, p, q), repeats)
+        e_seconds = _best_of(lambda: engine.count_single(p, q), repeats)
+        cells.append(
+            {
+                "p": p,
+                "q": q,
+                "count": matrix_count_single(graph, p, q),
+                "matrix_seconds": m_seconds,
+                "epivoter_seconds": e_seconds,
+                "speedup": e_seconds / m_seconds,
+            }
+        )
+
+    return {
+        "schema": "repro-bench-matrix/1",
+        "title": "matrix kernels vs loop butterfly count and EPivoter",
+        "graph": GRAPH_PARAMS,
+        "repeats": repeats,
+        "butterfly": butterfly,
+        "cells": cells,
+        "created_unix": time.time(),
+    }
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path("BENCH_matrix.json"),
+        help="where to write the JSON report (default: ./BENCH_matrix.json)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=5.0,
+        help="fail if the matrix-vs-loop butterfly speedup falls below this",
+    )
+    args = parser.parse_args(argv)
+
+    document = run()
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+    b = document["butterfly"]
+    print(
+        f"butterflies  loop {b['loop_seconds']*1000:8.2f}ms"
+        f"  matrix {b['matrix_seconds']*1000:8.2f}ms"
+        f"  speedup {b['speedup']:7.2f}x"
+    )
+    for cell in document["cells"]:
+        print(
+            f"({cell['p']},{cell['q']}) count  epivoter"
+            f" {cell['epivoter_seconds']*1000:8.2f}ms"
+            f"  matrix {cell['matrix_seconds']*1000:8.2f}ms"
+            f"  speedup {cell['speedup']:7.2f}x"
+        )
+    print(f"wrote {args.out}")
+
+    if b["speedup"] < args.min_speedup:
+        print(
+            f"FAIL: butterfly matrix speedup {b['speedup']:.2f}x"
+            f" < {args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.baselines.bclist import EnumerationBudgetExceeded, bc_enumerate
 from repro.graph.bigraph import BipartiteGraph
-from repro.graph.butterflies import butterflies_per_edge
+from repro.graph.butterflies import butterflies_per_edge_array
 from repro.utils.rng import as_generator
 
 __all__ = ["psa_count", "priority_sample_edges", "EnumerationBudgetExceeded"]
@@ -48,8 +48,9 @@ def priority_sample_edges(
     edges = list(graph.edges())
     if not edges:
         return [], {}
-    butterfly_weights = butterflies_per_edge(graph)
-    weights = np.array([1.0 + butterfly_weights[e] for e in edges])
+    # graph.edges() iterates in edge-id order, so the per-edge array
+    # lines up with `edges` without a dict round-trip.
+    weights = 1.0 + butterflies_per_edge_array(graph).astype(np.float64)
     uniforms = rng.random(len(edges))
     priorities = weights / uniforms
     if k >= len(edges):

@@ -2,7 +2,9 @@
 
 Subcommands mirror the library's main entry points:
 
-* ``count``     — exact counting (EPivoter), all pairs or a single pair;
+* ``count``     — exact counting, all pairs or a single pair: EPivoter by
+  default, or ``--method matrix`` for the closed-form sparse-matrix
+  engine on small shapes (p, q <= 3);
 * ``estimate``  — sampling estimates (ZigZag / ZigZag++ / hybrid);
 * ``maximal``   — maximal biclique enumeration (EPMBCE);
 * ``hcc``       — higher-order clustering coefficient profile;
@@ -152,12 +154,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    count = sub.add_parser("count", help="exact counting with EPivoter")
+    count = sub.add_parser("count", help="exact counting (EPivoter or matrix)")
     _add_graph_arguments(count)
     count.add_argument("-p", type=int, default=None, help="count only (p, q)")
     count.add_argument("-q", type=int, default=None)
     count.add_argument("--max-p", type=int, default=10)
     count.add_argument("--max-q", type=int, default=10)
+    count.add_argument(
+        "--method", choices=["epivoter", "matrix"], default="epivoter",
+        help="exact engine: the EPivoter tree walk, or the closed-form "
+        "sparse-matrix engine (min(p, q) <= 2 or (3, 3) only)",
+    )
     count.add_argument("--pivot", choices=["product", "exact"], default="product")
     count.add_argument(
         "--workers", type=int, default=None,
@@ -365,10 +372,47 @@ def main(argv: "list[str] | None" = None) -> int:
     counts_payload: "dict | None" = None
     with timed("compute", phases):
         if args.command == "count":
-            engine = EPivoter(graph, pivot=args.pivot)
             if (args.p is None) != (args.q is None):
                 raise SystemExit("-p and -q must be given together")
-            if args.p is not None:
+            if args.method == "matrix":
+                from repro.core.matrix import (
+                    MATRIX_MAX_P,
+                    MATRIX_MAX_Q,
+                    matrix_available,
+                    matrix_count_all,
+                    matrix_count_single,
+                    matrix_supported,
+                )
+
+                if not matrix_available():
+                    raise SystemExit(
+                        "--method matrix requires scipy; use --method epivoter"
+                    )
+                if args.p is not None:
+                    if not matrix_supported(args.p, args.q):
+                        raise SystemExit(
+                            "--method matrix supports min(p, q) <= 2 or (3, 3); "
+                            f"({args.p}, {args.q}) needs --method epivoter"
+                        )
+                    value = matrix_count_single(graph, args.p, args.q, obs=obs)
+                    counts_payload = {
+                        "kind": "single", "p": args.p, "q": args.q, "value": value,
+                    }
+                    print(f"C({args.p},{args.q}) = {value}", file=out)
+                else:
+                    if args.max_p > MATRIX_MAX_P or args.max_q > MATRIX_MAX_Q:
+                        raise SystemExit(
+                            "--method matrix fills at most "
+                            f"({MATRIX_MAX_P}, {MATRIX_MAX_Q}); pass "
+                            "--max-p/--max-q <= 3 or use --method epivoter"
+                        )
+                    counts = matrix_count_all(
+                        graph, args.max_p, args.max_q, obs=obs
+                    )
+                    counts_payload = counts_to_dict(counts)
+                    _print_counts(counts, args.max_p, args.max_q, out)
+            elif args.p is not None:
+                engine = EPivoter(graph, pivot=args.pivot)
                 value = engine.count_single(
                     args.p, args.q, workers=args.workers, obs=obs,
                     heartbeat=heartbeat,
@@ -378,6 +422,7 @@ def main(argv: "list[str] | None" = None) -> int:
                 }
                 print(f"C({args.p},{args.q}) = {value}", file=out)
             else:
+                engine = EPivoter(graph, pivot=args.pivot)
                 counts = engine.count_all(
                     args.max_p, args.max_q, workers=args.workers, obs=obs,
                     heartbeat=heartbeat,

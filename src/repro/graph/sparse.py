@@ -1,0 +1,143 @@
+"""Sparse-matrix views of the CSR graph core (the scipy bridge).
+
+The :class:`~repro.graph.bigraph.BipartiteGraph` already *is* a pair of
+CSR matrices — four flat int64 buffers.  This module wraps those buffers
+as :mod:`scipy.sparse` matrices **without iterating edges**: the
+biadjacency matrix ``A`` is built straight from ``csr_buffers()`` via
+``np.frombuffer`` (zero-copy into numpy), and the co-neighborhood *pair
+matrix* ``M = A @ A.T`` (``M[u, u'] = |N(u) ∩ N(u')|``) falls out of one
+sparse product.  Closed-form small-(p, q) counts are binomial sums over
+``M``'s entries — see :mod:`repro.core.matrix` and
+:mod:`repro.graph.butterflies` for the formulas.
+
+Everything here degrades gracefully: scipy is an optional accelerator,
+and callers check :func:`sparse_available` before taking the fast path
+(the pure-Python reference implementations remain the fallback).
+
+Exactness contract: matrix products stay in int64 (entries are bounded
+by max degree, far from overflow), and :func:`binomial_sum` folds the
+entries through a ``bincount`` histogram so each binomial coefficient is
+evaluated once per *distinct* value as an exact Python integer — the
+result is always an exact ``int``, never a float.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.graph.bigraph import LEFT, RIGHT
+from repro.utils.combinatorics import binomial
+
+try:  # optional accelerator: every caller has a pure-Python fallback
+    import numpy as np
+    import scipy.sparse as sp
+except ImportError:  # pragma: no cover - the test env ships both
+    np = None
+    sp = None
+
+if TYPE_CHECKING:
+    from repro.graph.bigraph import BipartiteGraph
+
+__all__ = [
+    "sparse_available",
+    "as_int64",
+    "biadjacency",
+    "pair_matrix",
+    "pair_work",
+    "binomial_sum",
+]
+
+
+def sparse_available() -> bool:
+    """True iff the scipy/numpy fast paths can run in this environment."""
+    return sp is not None
+
+
+def as_int64(buffer) -> "np.ndarray":
+    """Wrap a CSR buffer (``array('q')`` / ``memoryview``) zero-copy."""
+    if len(buffer) == 0:
+        return np.empty(0, dtype=np.int64)
+    return np.frombuffer(buffer, dtype=np.int64)
+
+
+def biadjacency(graph: "BipartiteGraph") -> "sp.csr_matrix":
+    """The ``n_left x n_right`` biadjacency matrix ``A`` with int64 ones.
+
+    Built directly from the graph's left CSR buffers — no edge
+    iteration, no re-sorting, no validation.  Row ``u`` of ``A`` is
+    ``N(u)`` and the nonzero order coincides with the edge-id space, so
+    ``A.data[k]`` corresponds to ``graph.edge_at(k)`` whenever the data
+    array is aligned with ``A.indices`` (it is, by construction).
+    """
+    if sp is None:
+        raise RuntimeError("scipy is not available; use the reference paths")
+    indptr_l, indices_l, _, _ = graph.csr_buffers()
+    return sp.csr_matrix(
+        (
+            np.ones(graph.num_edges, dtype=np.int64),
+            as_int64(indices_l),
+            as_int64(indptr_l),
+        ),
+        shape=(graph.n_left, graph.n_right),
+    )
+
+
+def pair_matrix(graph: "BipartiteGraph", side: int = LEFT) -> "sp.csr_matrix":
+    """The co-neighborhood pair matrix of one side, diagonal included.
+
+    ``side=LEFT`` returns ``M = A @ A.T`` (``n_left x n_left``) with
+    ``M[u, u'] = |N(u) ∩ N(u')|`` and ``M[u, u] = d(u)``; ``side=RIGHT``
+    returns the transpose-side twin ``A.T @ A`` over right-vertex pairs.
+    Entries are int64 intersection sizes — exact by construction.
+    """
+    if side == LEFT:
+        adjacency = biadjacency(graph)
+        result = adjacency @ adjacency.T
+    elif side == RIGHT:
+        adjacency = biadjacency(graph.swap_sides())
+        result = adjacency @ adjacency.T
+    else:
+        raise ValueError("side must be LEFT (0) or RIGHT (1)")
+    result.sort_indices()
+    return result
+
+
+def pair_work(graph: "BipartiteGraph", side: int = LEFT) -> int:
+    """Multiply-add cost of building :func:`pair_matrix` for ``side``.
+
+    ``M = A @ A.T`` touches each right vertex's neighbor list once per
+    neighbor, so the work (and an upper bound on ``M``'s stored entry
+    count) is ``sum_v d(v)^2`` over the *opposite* side's degrees.  Pure
+    Python over the cached degree lists — usable even without scipy,
+    which is what lets the service planner price the fast path from a
+    :class:`~repro.service.planner.GraphProfile`.
+    """
+    if side == LEFT:
+        degrees = graph.degrees_right()
+    elif side == RIGHT:
+        degrees = graph.degrees_left()
+    else:
+        raise ValueError("side must be LEFT (0) or RIGHT (1)")
+    return sum(d * d for d in degrees)
+
+
+def binomial_sum(values: "np.ndarray", k: int) -> int:
+    """Exact ``sum(C(v, k) for v in values)`` as a Python integer.
+
+    ``values`` is an int64 array of small non-negative integers (pair
+    matrix entries, bounded by max degree).  The sum runs over a
+    ``bincount`` histogram: one exact :func:`math.comb` per *distinct*
+    value, multiplied by its multiplicity as Python ints — no int64
+    overflow is possible no matter how large the binomials get.
+    """
+    if values.size == 0:
+        return 0
+    relevant = values[values >= k]
+    if relevant.size == 0:
+        return 0
+    histogram = np.bincount(relevant)
+    return sum(
+        int(multiplicity) * binomial(value, k)
+        for value, multiplicity in enumerate(histogram)
+        if multiplicity
+    )

@@ -26,6 +26,8 @@ import threading
 from collections import OrderedDict
 from typing import TYPE_CHECKING
 
+from repro.service.fingerprint import freeze_value
+
 if TYPE_CHECKING:
     from repro.obs.registry import MetricsRegistry
 
@@ -42,14 +44,19 @@ def key_to_json(key: tuple) -> str:
 
 
 def key_from_json(text: str) -> tuple:
-    """Rebuild a cache-key tuple from :func:`key_to_json` output."""
+    """Rebuild a cache-key tuple from :func:`key_to_json` output.
+
+    JSON turns the frozen tuple values of
+    :func:`repro.service.fingerprint.cache_key` into lists; freezing
+    them again restores a hashable key equal to the original.
+    """
     fingerprint, kind, p, q, items = json.loads(text)
     return (
         fingerprint,
         kind,
         p,
         q,
-        tuple((name, value) for name, value in items),
+        tuple((name, freeze_value(value)) for name, value in items),
     )
 
 
@@ -176,11 +183,15 @@ class ResultCache:
                         kind,
                         p,
                         q,
-                        tuple((name, item) for name, item in items),
+                        # Param values persisted as JSON arrays (e.g. a
+                        # list-valued parameter) must be re-frozen into
+                        # tuples or the key is unhashable and put() blows
+                        # up — which used to abort the whole load.
+                        tuple((name, freeze_value(item)) for name, item in items),
                     )
-                except (ValueError, TypeError):
+                    self.put(key, value)
+                except (ValueError, TypeError, KeyError):
                     continue
-                self.put(key, value)
                 loaded += 1
         return loaded
 

@@ -39,8 +39,10 @@ from repro.core.adaptive import adaptive_count
 from repro.core.counts import BicliqueCounts
 from repro.core.epivoter import CountBudgetExceeded, EPivoter
 from repro.core.hybrid import hybrid_count_single
+from repro.core.matrix import matrix_count_single
 from repro.core.zigzag import star_counts, zigzag_count_single, zigzagpp_count_single
 from repro.graph.bigraph import BipartiteGraph
+from repro.obs.registry import NULL_REGISTRY
 from repro.service.cache import ResultCache
 from repro.service.fingerprint import cache_key, graph_fingerprint
 from repro.service.planner import GraphProfile, QueryPlan, plan_query
@@ -366,9 +368,13 @@ class ServiceExecutor:
         engine run (e.g. to hold a request in flight deterministically).
         """
         self._incr("service.engine_runs")
+        self._incr(f"service.engine_runs.{plan.method}")
         graph = registered.graph
         p, q = query.p, query.q
         params = plan.params
+        if plan.method == "matrix":
+            obs = self._obs if self._obs is not None else NULL_REGISTRY
+            return matrix_count_single(graph, p, q, obs=obs), {}
         if plan.method == "epivoter":
             value = registered.engine.count_single(
                 p,

@@ -23,12 +23,31 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:
     from repro.graph.bigraph import BipartiteGraph
 
-__all__ = ["graph_fingerprint", "cache_key"]
+__all__ = ["graph_fingerprint", "cache_key", "freeze_value"]
 
 
 def graph_fingerprint(graph: "BipartiteGraph") -> str:
     """The stable content digest of ``graph`` (64 hex chars, cached)."""
     return graph.content_fingerprint()
+
+
+def freeze_value(value):
+    """Deep-convert ``value`` into a hashable, equality-stable form.
+
+    Lists/tuples become tuples (recursively) and dicts become sorted
+    ``(key, value)`` tuples, so any JSON-shaped parameter value can sit
+    inside a cache-key tuple.  JSON round-trips turn tuples into lists;
+    freezing on both the write path (:func:`cache_key`) and the read
+    path (:func:`repro.service.cache.key_from_json`) makes the reloaded
+    key equal — and hashable — again.
+    """
+    if isinstance(value, (list, tuple)):
+        return tuple(freeze_value(item) for item in value)
+    if isinstance(value, dict):
+        return tuple(
+            sorted((str(name), freeze_value(item)) for name, item in value.items())
+        )
+    return value
 
 
 def cache_key(
@@ -42,12 +61,14 @@ def cache_key(
 
     ``params`` is flattened to sorted ``(name, value)`` pairs; ``None``
     values are dropped so an omitted parameter and an explicit default
-    produce the same key.  The tuple is hashable (dict keys) and
-    JSON-round-trippable (disk persistence re-reads keys via
+    produce the same key.  Values pass through :func:`freeze_value`, so
+    list- or dict-shaped parameters hash like their JSON round-trip.
+    The tuple is hashable (dict keys) and JSON-round-trippable (disk
+    persistence re-reads keys via
     :func:`repro.service.cache.key_to_json` / ``key_from_json``).
     """
     items = tuple(
-        (name, params[name])
+        (name, freeze_value(params[name]))
         for name in sorted(params or {})
         if params[name] is not None
     )

@@ -9,11 +9,12 @@ trade-off per request:
 request                  condition                                   plan
 ======================  ==========================================  ===========
 ``count`` / ``estimate`` ``min(p, q) == 1``                          ``stars`` — star counts are a closed form over the degree histogram, exact and effectively free
+``count`` / ``estimate`` small shape (``min(p, q) <= 2`` or (3, 3)), pair matrix affordable  ``matrix`` — closed-form sparse products (:mod:`repro.core.matrix`), exact; guarded by ``pair_work`` vs ``_MATRIX_MAX_PAIR_WORK`` and the deadline, falling through to EPivoter/estimators otherwise (for ``estimate``, an accuracy budget still wins: ``adaptive`` comes first)
 ``count``                no deadline, or predicted exact time fits   ``epivoter`` with ``node_budget`` / ``time_budget`` armed from the deadline, estimator fallback attached
 ``count``                deadline too tight for exact                ``zigzag++`` sized to the deadline, ``degraded=True``
 ``estimate``             accuracy budget (``delta`` / ``epsilon``)   ``adaptive`` with ``time_budget`` = the deadline
 ``estimate``             no accuracy budget, exact sparse pass fits  ``hybrid`` (exact sparse region + sampled dense region)
-``estimate``             otherwise                                   ``zigzag++``, samples clipped to the deadline (clipping below the request marks ``degraded=True``)
+``estimate``             otherwise                                   ``zigzag++``, samples clipped to the deadline (clipping below the request — or below the documented default — marks ``degraded=True``)
 ======================  ==========================================  ===========
 
 Cost inputs come from :class:`GraphProfile`, computed once at graph
@@ -65,6 +66,17 @@ _DEFAULT_SAMPLES = 20_000
 #: predicted to fit in this many seconds (the estimators cover the rest).
 _HYBRID_EXACT_SECONDS = 2.0
 
+#: Matrix-engine calibration: pair-matrix multiply-adds per second, the
+#: flat scipy setup floor (so millisecond deadlines deterministically
+#: reject the fast path), and the hard cap on ``pair_work`` beyond which
+#: ``M = A @ A.T`` is considered too dense to materialise.
+MATRIX_PAIRS_PER_SECOND = 2_000_000.0
+_MATRIX_MIN_SECONDS = 0.005
+_MATRIX_MAX_PAIR_WORK = 25_000_000
+#: The (3, 3) anchored pass re-reads the pair matrix per anchor; price
+#: it as a constant factor over the plain pair-matrix build.
+_MATRIX_33_WORK_FACTOR = 8.0
+
 
 @dataclass(frozen=True)
 class GraphProfile:
@@ -82,10 +94,16 @@ class GraphProfile:
     #: Summed first-level candidate-pair work over all root edges — the
     #: planner's proxy for EPivoter's traversal size.
     root_cost: int
+    #: ``sum(d^2)`` over the opposite side's degrees: the multiply-add
+    #: cost (and nnz bound) of the matrix engine's ``A @ A.T`` per side.
+    pair_work_left: int = 0
+    pair_work_right: int = 0
 
     @classmethod
     def from_graph(cls, graph: "BipartiteGraph") -> "GraphProfile":
         """Profile a **degree-ordered** graph (the executor orders first)."""
+        from repro.graph.bigraph import LEFT, RIGHT
+        from repro.graph.sparse import pair_work
         from repro.utils.parallel import root_edge_weight
 
         root_cost = sum(
@@ -98,6 +116,8 @@ class GraphProfile:
             max_degree_left=max(graph.degrees_left(), default=0),
             max_degree_right=max(graph.degrees_right(), default=0),
             root_cost=root_cost,
+            pair_work_left=pair_work(graph, LEFT),
+            pair_work_right=pair_work(graph, RIGHT),
         )
 
     def to_dict(self) -> dict:
@@ -108,6 +128,8 @@ class GraphProfile:
             "max_degree_left": self.max_degree_left,
             "max_degree_right": self.max_degree_right,
             "root_cost": self.root_cost,
+            "pair_work_left": self.pair_work_left,
+            "pair_work_right": self.pair_work_right,
         }
 
 
@@ -122,7 +144,7 @@ class QueryPlan:
     an exact run switches to when its runtime budgets trip.
     """
 
-    method: str  # "epivoter" | "stars" | "zigzag++" | "zigzag" | "hybrid" | "adaptive"
+    method: str  # "epivoter" | "matrix" | "stars" | "zigzag++" | "zigzag" | "hybrid" | "adaptive"
     params: dict = field(default_factory=dict)
     exact: bool = False
     degraded: bool = False
@@ -134,16 +156,66 @@ def _deadline_samples(
     deadline: "float | None",
     requested: "int | None",
     samples_per_second: float,
-) -> tuple[int, bool]:
-    """Sample budget for a deadline, and whether it undercuts the request."""
+) -> tuple[int, int, bool]:
+    """Sample budget for a deadline: ``(fit, want, undercut)``.
+
+    ``want`` is the requested budget, or ``_DEFAULT_SAMPLES`` when the
+    request left it to the service.  ``undercut`` is True whenever the
+    deadline clips the run below ``want`` — including below the
+    *default*: a caller who asked for nothing specific was still
+    promised the documented default, so delivering less is degradation
+    either way.
+    """
     want = requested if requested is not None else _DEFAULT_SAMPLES
     if deadline is None:
-        return want, False
+        return want, want, False
     fit = int(deadline * samples_per_second)
     fit = max(_MIN_SAMPLES, min(fit, _MAX_DEADLINE_SAMPLES))
     if fit < want:
-        return fit, requested is not None
-    return want, False
+        return fit, want, True
+    return want, want, False
+
+
+def _matrix_plan(
+    profile: GraphProfile,
+    p: int,
+    q: int,
+    deadline: "float | None",
+) -> "QueryPlan | None":
+    """A ``matrix`` plan for this shape, or None when it does not apply.
+
+    Applies when the shape has a closed form (``min(p, q) <= 2`` beyond
+    stars, or (3, 3)), scipy is importable, the pair matrix is
+    affordable (``pair_work`` under ``_MATRIX_MAX_PAIR_WORK`` — the
+    memory guard for a too-dense ``M``), and the predicted time fits the
+    deadline share.  Star shapes are left to the ``stars`` plan, which
+    needs no matrix at all.
+    """
+    from repro.core.matrix import matrix_available, matrix_supported
+
+    if min(p, q) == 1 or not matrix_supported(p, q) or not matrix_available():
+        return None
+    if p == 2 and q != 2:
+        work = profile.pair_work_left
+    elif q == 2 and p != 2:
+        work = profile.pair_work_right
+    else:  # (2, 2) and (3, 3) pick the cheaper side
+        work = min(profile.pair_work_left, profile.pair_work_right)
+    if p == 3 and q == 3:
+        work = int(work * _MATRIX_33_WORK_FACTOR)
+    if work > _MATRIX_MAX_PAIR_WORK:
+        return None
+    predicted = _MATRIX_MIN_SECONDS + work / MATRIX_PAIRS_PER_SECOND
+    if deadline is not None and predicted > deadline * _EXACT_DEADLINE_SHARE:
+        return None
+    return QueryPlan(
+        method="matrix",
+        exact=True,
+        reason=(
+            f"closed-form matrix engine for ({p}, {q}) "
+            f"(pair work {work}, predicted {predicted:.3f}s)"
+        ),
+    )
 
 
 def plan_query(
@@ -196,7 +268,13 @@ def plan_query(
     if kind == "estimate":
         return estimator_plan
 
-    # kind == "count": exact if the deadline (when any) plausibly allows.
+    # kind == "count": closed-form matrix engine ahead of the tree walk
+    # whenever the shape qualifies and M is affordable.
+    matrix_plan = _matrix_plan(profile, p, q, deadline)
+    if matrix_plan is not None:
+        return matrix_plan
+
+    # Otherwise exact if the deadline (when any) plausibly allows.
     predicted = profile.root_cost / nodes_per_second
     if deadline is not None and predicted > deadline * _EXACT_DEADLINE_SHARE:
         return replace(
@@ -272,7 +350,14 @@ def _estimator_plan(
             method="adaptive", params=params,
             reason="accuracy budget given: adaptive rounds to the Thm 4.11 bound",
         )
-    fit_samples, undercut = _deadline_samples(deadline, samples, samples_per_second)
+    # No accuracy budget: an exact closed form beats any estimator when
+    # the shape and the pair-matrix guard allow it.
+    matrix_plan = _matrix_plan(profile, p, q, deadline)
+    if matrix_plan is not None:
+        return matrix_plan
+    fit_samples, want_samples, undercut = _deadline_samples(
+        deadline, samples, samples_per_second
+    )
     params = {"samples": fit_samples}
     if seed is not None:
         params["seed"] = seed
@@ -290,9 +375,10 @@ def _estimator_plan(
         )
     reason = "ZigZag++ sampling"
     if undercut:
+        asked = "requested" if samples is not None else "default"
         reason = (
-            f"deadline fits {fit_samples} of the requested {samples} samples; "
-            "degraded ZigZag++"
+            f"deadline fits {fit_samples} of the {asked} {want_samples} "
+            "samples; degraded ZigZag++"
         )
     return QueryPlan(
         method="zigzag++", params=params, degraded=undercut, reason=reason,
@@ -323,6 +409,17 @@ def _forced_plan(
         if min(p, q) != 1:
             raise ValueError("method 'stars' requires min(p, q) == 1")
         return QueryPlan(method="stars", exact=True, reason="forced")
+    if method == "matrix":
+        from repro.core.matrix import matrix_available, matrix_supported
+
+        if not matrix_supported(p, q):
+            raise ValueError(
+                "method 'matrix' has closed forms only for "
+                f"min(p, q) <= 2 and (3, 3); got ({p}, {q})"
+            )
+        if not matrix_available():
+            raise ValueError("method 'matrix' requires scipy, which is unavailable")
+        return QueryPlan(method="matrix", exact=True, reason="forced")
     if method == "adaptive":
         params = {
             "delta": delta if delta is not None else 0.05,
@@ -335,13 +432,22 @@ def _forced_plan(
             params["time_budget"] = deadline
         return QueryPlan(method="adaptive", params=params, reason="forced")
     if method in ("zigzag", "zigzag++", "hybrid"):
-        fit_samples, undercut = _deadline_samples(
+        fit_samples, want_samples, undercut = _deadline_samples(
             deadline, samples, samples_per_second
         )
         params = {"samples": fit_samples}
         if seed is not None:
             params["seed"] = seed
+        # A forced run that clips its samples is still degraded — keep
+        # the undercut detail so responses and /metrics can explain it.
+        reason = "forced"
+        if undercut:
+            asked = "requested" if samples is not None else "default"
+            reason = (
+                f"forced; deadline fits {fit_samples} of the {asked} "
+                f"{want_samples} samples"
+            )
         return QueryPlan(
-            method=method, params=params, degraded=undercut, reason="forced",
+            method=method, params=params, degraded=undercut, reason=reason,
         )
     raise ValueError(f"unknown method {method!r}")

@@ -54,6 +54,11 @@ class TestCacheKey:
         key = cache_key("fp", "estimate", 4, 5, {"seed": 7, "deadline": 0.5})
         assert key_from_json(key_to_json(key)) == key
 
+    def test_list_valued_params_hashable_and_round_trip(self):
+        key = cache_key("fp", "count", 2, 2, {"regions": [1, [2, 3]], "seed": 1})
+        hash(key)  # deep-frozen: no TypeError
+        assert key_from_json(key_to_json(key)) == key
+
     def test_fingerprint_matches_graph_method(self, graph):
         assert graph_fingerprint(graph) == graph.content_fingerprint()
 
@@ -102,6 +107,29 @@ class TestResultCache:
         assert len(reloaded) == 1
         assert reloaded.get(key) == {"value": 1}
 
+    def test_list_valued_params_line_does_not_abort_load(self, tmp_path):
+        """Regression: a persisted key with a list-valued param used to
+        rebuild into an unhashable tuple, and the resulting TypeError from
+        ``put`` aborted the whole load — including every later good line."""
+        import json
+
+        path = tmp_path / "cache.json"
+        listy_raw = ["fp", "estimate", 2, 2, [["regions", [1, 2, 3]]]]
+        good_key = cache_key("fp", "count", 2, 2, {"seed": 3})
+        lines = [
+            json.dumps([listy_raw, {"value": 7}]),
+            json.dumps([json.loads(key_to_json(good_key)), {"value": 1}]),
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        reloaded = ResultCache(capacity=8, path=str(path))
+        # The good line after the list-valued one must still load...
+        assert reloaded.get(good_key) == {"value": 1}
+        # ...and the list-valued key is normalised to its frozen form,
+        # the same one cache_key would produce for a live query.
+        frozen = cache_key("fp", "estimate", 2, 2, {"regions": [1, 2, 3]})
+        assert reloaded.get(frozen) == {"value": 7}
+        assert len(reloaded) == 2
+
 
 class TestPlanner:
     @pytest.fixture
@@ -115,19 +143,49 @@ class TestPlanner:
             assert plan.method == "stars" and plan.exact
 
     def test_count_without_deadline_is_exact(self, profile):
-        plan = plan_query(profile, "count", 3, 3)
+        # (4, 4) has no matrix closed form, so the tree walk is chosen.
+        plan = plan_query(profile, "count", 4, 4)
         assert plan.method == "epivoter" and plan.exact and not plan.degraded
         assert plan.fallback is not None and plan.fallback.degraded
 
     def test_count_with_roomy_deadline_arms_budgets(self, profile):
-        plan = plan_query(profile, "count", 3, 3, deadline=3600.0)
+        plan = plan_query(profile, "count", 4, 4, deadline=3600.0)
         assert plan.method == "epivoter"
         assert plan.params["time_budget"] == 3600.0
         assert plan.params["node_budget"] > 0
 
+    def test_count_small_shape_routes_to_matrix(self, profile):
+        for p, q in ((2, 2), (2, 3), (3, 2), (3, 3), (2, 7)):
+            plan = plan_query(profile, "count", p, q)
+            assert plan.method == "matrix", (p, q)
+            assert plan.exact and not plan.degraded
+
+    def test_estimate_small_shape_routes_to_matrix(self, profile):
+        # An exact closed form trumps any estimator for qualifying shapes
+        # when no accuracy budget is given.
+        plan = plan_query(profile, "estimate", 2, 2, samples=500, seed=5)
+        assert plan.method == "matrix" and plan.exact
+
+    def test_matrix_guard_falls_back_to_epivoter(self, profile):
+        from dataclasses import replace as dc_replace
+
+        # A pair matrix priced beyond the density guard must not be
+        # materialised: the planner reverts to the tree walk.
+        dense = dc_replace(
+            profile, pair_work_left=10**9, pair_work_right=10**9
+        )
+        plan = plan_query(dense, "count", 2, 2)
+        assert plan.method == "epivoter"
+
+    def test_matrix_rejected_under_millisecond_deadline(self, profile):
+        # The flat scipy setup floor makes a 1 ms deadline reject the
+        # matrix path deterministically; the plan degrades instead.
+        plan = plan_query(profile, "count", 3, 3, deadline=0.001)
+        assert plan.method != "matrix"
+
     def test_count_with_tight_deadline_degrades(self, profile):
         plan = plan_query(profile, "count", 3, 3, deadline=1e-6)
-        assert plan.method != "epivoter"
+        assert plan.method not in ("epivoter", "matrix")
         assert plan.degraded and not plan.exact
 
     def test_estimate_with_accuracy_budget_is_adaptive(self, profile):
@@ -136,17 +194,30 @@ class TestPlanner:
         assert plan.params["time_budget"] == 2.0
 
     def test_estimate_small_graph_no_deadline_is_hybrid(self, profile):
-        plan = plan_query(profile, "estimate", 3, 3)
+        plan = plan_query(profile, "estimate", 4, 4)
         assert plan.method == "hybrid"
 
     def test_estimate_deadline_clips_samples(self, profile):
         plan = plan_query(
-            profile, "estimate", 3, 3, deadline=0.1, samples=10**6,
+            profile, "estimate", 4, 4, deadline=0.1, samples=10**6,
             samples_per_second=1000.0,
         )
         assert plan.method == "zigzag++"
         assert plan.params["samples"] < 10**6
         assert plan.degraded
+        assert "requested 1000000" in plan.reason
+
+    def test_deadline_clipping_default_samples_is_degraded(self, profile):
+        """Regression: clipping below the *default* sample budget used to
+        return ``degraded=False`` because no explicit request was made."""
+        plan = plan_query(
+            profile, "estimate", 4, 4, deadline=0.1,
+            samples_per_second=1000.0,
+        )
+        assert plan.method == "zigzag++"
+        assert plan.params["samples"] < 20_000
+        assert plan.degraded
+        assert "default 20000" in plan.reason
 
     def test_forced_method_honoured(self, profile):
         plan = plan_query(profile, "count", 3, 3, method="zigzag")
@@ -155,6 +226,23 @@ class TestPlanner:
             plan_query(profile, "count", 3, 3, method="nope")
         with pytest.raises(ValueError):
             plan_query(profile, "count", 2, 2, method="stars")
+
+    def test_forced_matrix(self, profile):
+        plan = plan_query(profile, "count", 3, 3, method="matrix")
+        assert plan.method == "matrix" and plan.exact
+        with pytest.raises(ValueError):
+            plan_query(profile, "count", 4, 4, method="matrix")
+
+    def test_forced_clipped_plan_keeps_undercut_reason(self, profile):
+        """Regression: a forced plan that clips its samples was marked
+        degraded but its reason was overwritten with just "forced"."""
+        plan = plan_query(
+            profile, "estimate", 4, 4, method="zigzag++", deadline=0.1,
+            samples=10**6, samples_per_second=1000.0,
+        )
+        assert plan.degraded
+        assert "forced" in plan.reason
+        assert "requested 1000000" in plan.reason
 
     def test_validation(self, profile):
         with pytest.raises(ValueError):
@@ -278,6 +366,20 @@ class TestExecutor:
             assert result["degraded"] is True
             assert result["method"] != "epivoter"
             assert counter(ex, "service.budget_exceeded") == 1
+
+    def test_small_shapes_served_by_matrix_engine(self, graph):
+        with make_executor() as ex:
+            name = ex.register(graph).name
+            result = ex.execute(Query(name, "count", 2, 2))
+            assert result["method"] == "matrix" and result["exact"]
+            assert result["value"] == count_single(graph, 2, 2)
+            assert counter(ex, "service.engine_runs.matrix") == 1
+            # Forcing the tree walk still works, and the per-method
+            # engine counters tell the two runs apart.
+            forced = ex.execute(Query(name, "count", 2, 2, method="epivoter"))
+            assert forced["method"] == "epivoter"
+            assert forced["value"] == result["value"]
+            assert counter(ex, "service.engine_runs.epivoter") == 1
 
     def test_stars_cell_is_exact(self, graph):
         with make_executor() as ex:
