@@ -41,6 +41,43 @@ def get(base: str, path: str) -> tuple[int, dict]:
         return response.status, json.loads(response.read())
 
 
+def get_text(base: str, path: str) -> tuple[int, str, str]:
+    with urllib.request.urlopen(base + path, timeout=60) as response:
+        return (
+            response.status,
+            response.read().decode(),
+            response.headers.get("Content-Type", ""),
+        )
+
+
+#: Prometheus exposition grammar: a ``# TYPE`` comment or one sample
+#: line ``name{labels} value`` (labels optional, numeric value).
+_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_TYPE_LINE = re.compile(rf"^# TYPE {_NAME} (counter|gauge|histogram)$")
+_SAMPLE_LINE = re.compile(
+    rf"^{_NAME}(\{{{_NAME}=\"(?:[^\"\\]|\\.)*\"(?:,{_NAME}=\"(?:[^\"\\]|\\.)*\")*\}})? "
+    r"-?[0-9][0-9eE+.\-]*$"
+)
+
+
+def check_prometheus(text: str) -> None:
+    """Every line must match the exposition grammar; buckets monotone."""
+    assert text.endswith("\n"), "exposition must end with a newline"
+    bucket_series: dict[str, list[int]] = {}
+    for line in text.strip("\n").split("\n"):
+        assert _TYPE_LINE.match(line) or _SAMPLE_LINE.match(line), (
+            f"bad exposition line: {line!r}"
+        )
+        if "_bucket" in line:
+            labels, value = line.rsplit(" ", 1)
+            series = re.sub(r'le="[^"]*",?', "", labels)
+            bucket_series.setdefault(series, []).append(int(value))
+    for series, values in bucket_series.items():
+        assert values == sorted(values), (
+            f"non-monotone cumulative buckets for {series}: {values}"
+        )
+
+
 def main() -> int:
     from tests.test_golden_counts import GOLDEN
 
@@ -64,6 +101,9 @@ def main() -> int:
         status, body = get(base, "/healthz")
         assert status == 200 and body["status"] == "ok", body
         assert body["graphs"] == [DATASET], body
+        assert body["uptime_seconds"] >= 0, body
+        assert body["registrations"][DATASET]["registered_unix"] > 0, body
+        print(f"healthz OK (version {body['version']})")
 
         # Exact counts through the full service path == golden values.
         for p, q in ((2, 2), (3, 3), (4, 4)):
@@ -102,6 +142,35 @@ def main() -> int:
         assert 0 < body["value"] < 10 * exact, body
         print(f"estimate(2,2) = {body['value']} vs exact {exact}")
 
+        # A traced query returns its span tree; the phase spans account
+        # for (cannot exceed) the reported request latency.
+        status, body = post(
+            base, "/v1/count",
+            {"graph": DATASET, "p": 4, "q": 2, "trace": True},
+        )
+        assert status == 200, body
+        trace = body["trace"]
+        assert trace["trace_id"] == body["trace_id"], body
+        children = trace["spans"]["children"]
+        names = [span["name"] for span in children]
+        assert "queue_wait" in names and "plan" in names, names
+        assert any(name.startswith("engine:") for name in names), names
+        plan_span = next(s for s in children if s["name"] == "plan")
+        assert plan_span["attributes"]["engine"] == body["method"], plan_span
+        total_ms = sum(s["duration_ms"] for s in children)
+        assert total_ms <= body["request_ms"] + 1.0, (total_ms, body["request_ms"])
+        print(
+            f"trace {body['trace_id']}: {len(children)} spans, "
+            f"{total_ms:.2f}ms of {body['request_ms']}ms accounted"
+        )
+
+        # The trace ring serves the listing and the detail document.
+        status, listing = get(base, "/v1/traces?slow=0")
+        assert status == 200 and listing["retained"] >= 1, listing
+        status, detail = get(base, f"/v1/traces/{body['trace_id']}")
+        assert status == 200 and detail["spans"]["children"], detail
+        print(f"trace ring holds {listing['retained']} traces")
+
         # Error mapping.
         status, _ = post(base, "/v1/count", {"graph": "ghost", "p": 2, "q": 2})
         assert status == 404, status
@@ -116,10 +185,29 @@ def main() -> int:
         assert counters["service.degraded"] >= 1, counters
         assert counters["service.engine_runs"] >= 4, counters
         assert body["cache"]["size"] >= 4, body["cache"]
+        assert body["cache"]["hits"] >= 1, body["cache"]
+        assert counters["service.http_status.2xx"] >= 1, counters
+        assert counters["service.http_status.4xx"] >= 2, counters
         print("metrics OK:", {
             name: value for name, value in sorted(counters.items())
             if name.startswith("service.")
         })
+
+        # Prometheus exposition: every line obeys the grammar, buckets
+        # are monotone, and the HTTP latency histogram saw our traffic.
+        status, text, content_type = get_text(base, "/metrics?format=prometheus")
+        assert status == 200, status
+        assert "version=0.0.4" in content_type, content_type
+        check_prometheus(text)
+        lines = text.strip("\n").split("\n")
+        count_lines = [
+            line for line in lines
+            if line.startswith("service_http_latency_seconds_count")
+        ]
+        assert count_lines, "no HTTP latency histogram in exposition"
+        assert any(int(l.rsplit(" ", 1)[1]) > 0 for l in count_lines), count_lines
+        assert "# TYPE service_http_latency_seconds histogram" in lines
+        print(f"prometheus exposition OK ({len(lines)} lines)")
         print("service smoke OK")
         return 0
     finally:

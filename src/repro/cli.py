@@ -277,6 +277,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON file to load the result cache from and save it to on exit",
     )
     serve.add_argument(
+        "--trace-ring", type=int, default=256,
+        help="finished request traces retained for GET /v1/traces",
+    )
+    serve.add_argument(
+        "--slow-log", default=None,
+        help="JSON-lines file receiving every traced request slower "
+        "than --slow-ms",
+    )
+    serve.add_argument(
+        "--slow-ms", type=float, default=500.0,
+        help="slow-query threshold in milliseconds (with --slow-log)",
+    )
+    serve.add_argument(
         "--verbose", action="store_true", help="log every HTTP request to stderr"
     )
     return parser
@@ -302,12 +315,23 @@ def _run_serve(args: argparse.Namespace) -> int:
     cache = ResultCache(
         capacity=args.cache_capacity, obs=obs, path=args.cache_file
     )
+    slow_log = None
+    if args.slow_log:
+        from repro.obs.trace import SlowQueryLog
+
+        slow_log = SlowQueryLog(args.slow_log, threshold_ms=args.slow_ms)
+        print(
+            f"slow-query log: {args.slow_log} (threshold {args.slow_ms:g} ms)",
+            file=sys.stderr,
+        )
     executor = ServiceExecutor(
         max_queue=args.queue_size,
         threads=args.threads,
         engine_workers=args.engine_workers,
         cache=cache,
         obs=obs,
+        trace_ring=args.trace_ring,
+        slow_log=slow_log,
     )
     if args.dataset or args.input:
         graph = _load_graph(args)
@@ -528,6 +552,13 @@ def main(argv: "list[str] | None" = None) -> int:
     if want_obs:
         obs.add_time("load", phases["load"])
         obs.add_time("compute", phases["compute"])
+        # The same phase durations also land in a labelled histogram so
+        # every run report carries a valid (if small) histograms section.
+        for phase_name in ("load", "compute"):
+            obs.observe(
+                "cli.phase_seconds", phases[phase_name],
+                labels={"phase": phase_name},
+            )
         report = RunReport.from_registry(
             obs,
             command=args.command,

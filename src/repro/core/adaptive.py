@@ -27,6 +27,7 @@ import numpy as np
 from repro.core.zigzag import _ZigZag, _ZigZagPP
 from repro.graph.bigraph import BipartiteGraph
 from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import NULL_TRACE, Trace
 from repro.utils.combinatorics import binomial
 from repro.utils.rng import as_generator
 
@@ -73,6 +74,7 @@ def adaptive_count(
     workers: "int | None" = None,
     batch: bool = True,
     time_budget: "float | None" = None,
+    trace: Trace = NULL_TRACE,
 ) -> AdaptiveEstimate:
     """Estimate the (p, q) count to relative error ``delta`` w.p. ``1-epsilon``.
 
@@ -134,11 +136,14 @@ def adaptive_count(
         if deadline is not None and time.monotonic() >= deadline:
             break  # best-so-far: satisfied stays False unless already met
         round_samples = min(round_samples, max_samples - total_drawn)
-        engine = engine_cls(
-            ordered, max(p, q), round_samples, rng, levels=[level], obs=obs,
-            workers=workers, batch=batch,
-        )
-        counts = engine.run()
+        with trace.span(
+            "round", index=len(rounds), samples=round_samples
+        ):
+            engine = engine_cls(
+                ordered, max(p, q), round_samples, rng, levels=[level], obs=obs,
+                workers=workers, batch=batch,
+            )
+            counts = engine.run()
         round_estimate = counts[p, q]
         weighted_sum += round_estimate * round_samples
         total_drawn += round_samples

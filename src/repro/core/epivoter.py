@@ -39,6 +39,7 @@ from repro.graph.bigraph import BipartiteGraph
 from repro.graph.core_decomposition import core_for_biclique
 from repro.graph.intersect import intersect_size, intersect_sorted
 from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import NULL_TRACE
 from repro.utils.combinatorics import binomial
 from repro.utils.parallel import (
     CHUNKS_PER_WORKER,
@@ -56,6 +57,7 @@ from repro.utils.parallel import (
 
 if TYPE_CHECKING:
     from repro.obs.progress import Heartbeat
+    from repro.obs.trace import Trace
 
 __all__ = [
     "EPivoter",
@@ -210,6 +212,7 @@ class EPivoter:
         node_budget: "int | None" = None,
         time_budget: "float | None" = None,
         pool: "object | None" = None,
+        trace: "Trace" = NULL_TRACE,
     ) -> int:
         """Count (p, q)-bicliques for one pair, with the §3.3 pruning.
 
@@ -243,14 +246,17 @@ class EPivoter:
         )
         engine = self
         if use_core:
-            core, _, _ = core_for_biclique(self.graph, p, q)
-            if track:
-                obs.gauge_max("epivoter.core_left", core.n_left)
-                obs.gauge_max("epivoter.core_right", core.n_right)
-                obs.gauge_max("epivoter.core_edges", core.num_edges)
-            if core.num_edges == 0:
-                return 0
-            engine = EPivoter(core, pivot=self.pivot)
+            with trace.span("core_reduce") as sp:
+                core, _, _ = core_for_biclique(self.graph, p, q)
+                if track:
+                    obs.gauge_max("epivoter.core_left", core.n_left)
+                    obs.gauge_max("epivoter.core_right", core.n_right)
+                    obs.gauge_max("epivoter.core_edges", core.num_edges)
+                if trace.enabled:
+                    sp.set("core_edges", core.num_edges)
+                if core.num_edges == 0:
+                    return 0
+                engine = EPivoter(core, pivot=self.pivot)
 
         n_workers = resolve_workers(workers)
         if pool is not None:
@@ -265,15 +271,18 @@ class EPivoter:
                     (engine.pivot, p, q, chunk, track, node_budget, time_budget)
                     for chunk in chunks
                 ]
-                parts = run_chunked(
-                    _count_single_chunk,
-                    payloads,
-                    n_workers,
-                    graph=engine.graph,
-                    obs=obs,
-                    pool=pool,
-                )
-                return sum(split_worker_results(parts, obs))
+                with trace.span(
+                    "traverse", workers=n_workers, chunks=len(chunks)
+                ):
+                    parts = run_chunked(
+                        _count_single_chunk,
+                        payloads,
+                        n_workers,
+                        graph=engine.graph,
+                        obs=obs,
+                        pool=pool,
+                    )
+                    return sum(split_worker_results(parts, obs))
 
         total = 0
 
@@ -285,14 +294,15 @@ class EPivoter:
                 * binomial(free_r, q - fixed_r)
             )
 
-        engine._run(
-            visit,
-            bounds=(p, q, p, q),
-            obs=obs,
-            heartbeat=heartbeat,
-            node_budget=node_budget,
-            deadline=deadline,
-        )
+        with trace.span("traverse", workers=1):
+            engine._run(
+                visit,
+                bounds=(p, q, p, q),
+                obs=obs,
+                heartbeat=heartbeat,
+                node_budget=node_budget,
+                deadline=deadline,
+            )
         return total
 
     def count_local(

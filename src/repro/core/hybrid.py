@@ -24,6 +24,7 @@ from repro.core.epivoter import EPivoter
 from repro.core.zigzag import zigzag_count_all, zigzagpp_count_all
 from repro.graph.bigraph import BipartiteGraph
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
+from repro.obs.trace import NULL_TRACE, Trace
 
 __all__ = [
     "partition_graph",
@@ -151,6 +152,7 @@ def hybrid_count_single(
     quantile: float = 0.9,
     workers: "int | None" = None,
     obs: "MetricsRegistry | None" = None,
+    trace: "Trace" = NULL_TRACE,
 ) -> float:
     """Hybrid estimate of one (p, q) count (the §5 remark).
 
@@ -164,13 +166,15 @@ def hybrid_count_single(
         raise ValueError("p and q must be positive")
     reg = obs if obs is not None else NULL_REGISTRY
     ordered = graph if graph.is_degree_ordered() else graph.degree_ordered()[0]
-    with reg.phase("hybrid.partition"):
+    with reg.phase("hybrid.partition"), trace.span("partition"):
         sparse, dense, _ = partition_graph(ordered, tau=tau, quantile=quantile)
     reg.gauge("hybrid.sparse_vertices", len(sparse))
     reg.gauge("hybrid.dense_vertices", len(dense))
     total = 0.0
     if sparse:
-        with reg.phase("hybrid.exact_sparse"):
+        with reg.phase("hybrid.exact_sparse"), trace.span(
+            "exact_sparse", vertices=len(sparse)
+        ):
             total += EPivoter(ordered).count_all(
                 p, q, left_region=sparse, workers=workers, obs=obs
             )[p, q]
@@ -179,7 +183,9 @@ def hybrid_count_single(
         from repro.core.zigzag import _ZigZag, _ZigZagPP, star_counts
         from repro.core.counts import BicliqueCounts
 
-        with reg.phase("hybrid.estimate_dense"):
+        with reg.phase("hybrid.estimate_dense"), trace.span(
+            "estimate_dense", vertices=len(dense)
+        ):
             if min(p, q) == 1:
                 star_part = BicliqueCounts(max(p, 2), max(q, 2))
                 star_counts(ordered, star_part, dense)

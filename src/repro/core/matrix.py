@@ -47,10 +47,11 @@ from repro.graph.sparse import (
     sparse_available,
 )
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
+from repro.obs.trace import NULL_TRACE
 from repro.utils.combinatorics import binomial, stars_side_counts
 
 if TYPE_CHECKING:
-    pass
+    from repro.obs.trace import Trace
 
 __all__ = [
     "matrix_available",
@@ -177,6 +178,7 @@ def matrix_count_single(
     p: int,
     q: int,
     obs: MetricsRegistry = NULL_REGISTRY,
+    trace: "Trace" = NULL_TRACE,
 ) -> int:
     """Exact number of (p, q)-bicliques for a supported shape.
 
@@ -186,7 +188,7 @@ def matrix_count_single(
     """
     _require(p, q)
     obs.incr("matrix.runs")
-    with obs.phase("matrix.count"):
+    with obs.phase("matrix.count"), trace.span("closed_form", shape=f"{p}x{q}"):
         if p == 1 and q == 1:
             return graph.num_edges
         if p == 1:

@@ -59,6 +59,7 @@ from repro.graph.bigraph import BipartiteGraph
 from repro.graph.intersect import common_neighborhood, is_subset_sorted
 from repro.graph.subgraph import LocalSubgraph, edge_neighborhood_graph, two_hop_graph
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
+from repro.obs.trace import NULL_TRACE, Trace
 from repro.utils.combinatorics import binomial
 from repro.utils.parallel import (
     GraphPool,
@@ -803,6 +804,7 @@ def zigzag_count_single(
     seed: "int | None | np.random.Generator" = None,
     workers: "int | None" = None,
     batch: bool = True,
+    trace: "Trace" = NULL_TRACE,
 ) -> float:
     """Estimate one (p, q) count with ZigZag, sampling only the needed level.
 
@@ -815,13 +817,15 @@ def zigzag_count_single(
     ordered = _prepare(graph)
     counts = BicliqueCounts(max(p, 2), max(q, 2))
     if min(p, q) == 1:
-        star_counts(ordered, counts)
-        return counts[p, q]
-    engine = _ZigZag(
-        ordered, max(p, q), samples, seed, levels=[min(p, q) - 1],
-        workers=workers, batch=batch,
-    )
-    return engine.run()[p, q]
+        with trace.span("stars"):
+            star_counts(ordered, counts)
+            return counts[p, q]
+    with trace.span("sampling", samples=samples):
+        engine = _ZigZag(
+            ordered, max(p, q), samples, seed, levels=[min(p, q) - 1],
+            workers=workers, batch=batch,
+        )
+        return engine.run()[p, q]
 
 
 def zigzagpp_count_single(
@@ -832,6 +836,7 @@ def zigzagpp_count_single(
     seed: "int | None | np.random.Generator" = None,
     workers: "int | None" = None,
     batch: bool = True,
+    trace: "Trace" = NULL_TRACE,
 ) -> float:
     """Estimate one (p, q) count with ZigZag++ (single sampled level)."""
     if min(p, q) < 1:
@@ -839,10 +844,12 @@ def zigzagpp_count_single(
     ordered = _prepare(graph)
     counts = BicliqueCounts(max(p, 2), max(q, 2))
     if min(p, q) == 1:
-        star_counts(ordered, counts)
-        return counts[p, q]
-    engine = _ZigZagPP(
-        ordered, max(p, q), samples, seed, levels=[min(p, q)],
-        workers=workers, batch=batch,
-    )
-    return engine.run()[p, q]
+        with trace.span("stars"):
+            star_counts(ordered, counts)
+            return counts[p, q]
+    with trace.span("sampling", samples=samples):
+        engine = _ZigZagPP(
+            ordered, max(p, q), samples, seed, levels=[min(p, q)],
+            workers=workers, batch=batch,
+        )
+        return engine.run()[p, q]

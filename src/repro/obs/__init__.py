@@ -1,4 +1,4 @@
-"""Engine-level observability: metrics, memory probes, run reports.
+"""Engine-level observability: metrics, traces, memory probes, reports.
 
 The paper's evaluation (§7) reasons in internal quantities — search-tree
 nodes expanded, prune hits, samples drawn, per-region partition cost —
@@ -6,22 +6,37 @@ and this package makes those quantities visible without touching any
 algorithmic result:
 
 * :class:`MetricsRegistry` — named counters, accumulating phase timers,
-  and gauges that the engines write into when one is passed;
+  gauges, and fixed-boundary :class:`Histogram` distributions the
+  engines and the service write into when one is passed;
 * :data:`NULL_REGISTRY` — the no-op twin every entry point defaults to,
   so instrumentation costs nothing when nobody is looking;
+* :class:`Trace` / :data:`NULL_TRACE` — request-scoped span trees for
+  the serving stack (queue wait vs. plan vs. engine vs. cache), with
+  the same no-op-twin contract;
+* :class:`TraceRing` / :class:`SlowQueryLog` — bounded retention and
+  structured slow-query logging of finished traces;
+* :func:`render_prometheus` — text exposition of a registry snapshot;
 * :class:`MemoryProbe` — ``tracemalloc`` peak plus best-effort RSS;
 * :class:`Heartbeat` — a rate-limited progress pulse for long
   enumerations;
 * :class:`RunReport` — one JSON document per run (counters, phase
-  timings, per-worker stats, memory, optional counts matrix), validated
-  by :func:`validate_report`.
+  timings, histograms, per-worker stats, memory, optional counts
+  matrix), validated by :func:`validate_report`.
 
 The package deliberately imports nothing from the rest of ``repro`` at
 module level, so every engine can depend on it without cycles.
 """
 
+from repro.obs.histogram import (
+    DEFAULT_LATENCY_BOUNDARIES,
+    NULL_HISTOGRAM,
+    Histogram,
+    NullHistogram,
+    log_boundaries,
+)
 from repro.obs.memory import MemoryProbe, peak_rss_bytes
 from repro.obs.progress import Heartbeat
+from repro.obs.prometheus import render_prometheus
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry, NullRegistry
 from repro.obs.report import (
     REPORT_SCHEMA,
@@ -30,11 +45,31 @@ from repro.obs.report import (
     counts_to_dict,
     validate_report,
 )
+from repro.obs.trace import (
+    NULL_TRACE,
+    NullTrace,
+    SlowQueryLog,
+    Span,
+    Trace,
+    TraceRing,
+)
 
 __all__ = [
     "MetricsRegistry",
     "NullRegistry",
     "NULL_REGISTRY",
+    "Histogram",
+    "NullHistogram",
+    "NULL_HISTOGRAM",
+    "DEFAULT_LATENCY_BOUNDARIES",
+    "log_boundaries",
+    "Trace",
+    "NullTrace",
+    "NULL_TRACE",
+    "Span",
+    "TraceRing",
+    "SlowQueryLog",
+    "render_prometheus",
     "MemoryProbe",
     "peak_rss_bytes",
     "Heartbeat",

@@ -1,0 +1,202 @@
+"""Fixed-boundary latency histograms with exact counts.
+
+A :class:`Histogram` is the request-scoped complement to the registry's
+cumulative timers: a timer says *how much* time a phase consumed in
+total, a histogram says *how that time was distributed* across requests
+— which is what p50/p95/p99 dashboards are made of.
+
+Design constraints, in the order they were chosen:
+
+* **fixed boundaries** — every histogram with the same boundary tuple
+  is mergeable by plain element-wise addition, exactly like the
+  registry's counters fold across workers; no rebinning, no precision
+  loss;
+* **exact integer counts** — the bucket vector is a census, not a
+  sketch, so merged shards equal the whole bit for bit (the property
+  the test suite pins);
+* **log-spaced defaults** — service latencies span five orders of
+  magnitude (a cache hit vs. a degraded EPivoter run), so the default
+  boundaries step geometrically from 100 µs to 100 s;
+* **quantiles at read time** — ``observe`` is two adds and a bisect;
+  p50/p95/p99 are derived only when a snapshot is taken.
+
+Bucket semantics follow the Prometheus convention: bucket ``i`` holds
+observations ``value <= boundaries[i]`` (cumulated at exposition time);
+one overflow slot counts everything above the last boundary.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+__all__ = [
+    "Histogram",
+    "NullHistogram",
+    "NULL_HISTOGRAM",
+    "DEFAULT_LATENCY_BOUNDARIES",
+    "log_boundaries",
+]
+
+
+def log_boundaries(
+    start: float, stop: float, per_decade: int = 4
+) -> tuple[float, ...]:
+    """Geometric bucket boundaries from ``start`` to ``stop`` inclusive.
+
+    ``per_decade`` boundaries per factor-of-ten; the values are rounded
+    to a short decimal form so exposition output stays readable and a
+    round-tripped boundary compares equal.
+    """
+    if start <= 0 or stop <= start:
+        raise ValueError("need 0 < start < stop")
+    if per_decade < 1:
+        raise ValueError("per_decade must be positive")
+    boundaries: list[float] = []
+    i = 0
+    while True:
+        value = float(f"{start * 10 ** (i / per_decade):.6g}")
+        if value > stop * 1.0000001:
+            break
+        boundaries.append(value)
+        i += 1
+    return tuple(boundaries)
+
+
+#: 100 µs … 100 s, four buckets per decade: wide enough for a cache hit
+#: and a budget-degraded exact run to land in distinct buckets.
+DEFAULT_LATENCY_BOUNDARIES = log_boundaries(1e-4, 100.0, per_decade=4)
+
+
+class Histogram:
+    """Exact counts over fixed boundaries; mergeable like a counter.
+
+    Not internally locked: the registry guards mutation with its own
+    lock, the same contract its counter dicts rely on.  Standalone use
+    from a single thread needs no lock at all.
+    """
+
+    __slots__ = ("boundaries", "counts", "sum", "count")
+
+    def __init__(self, boundaries: "tuple[float, ...] | None" = None):
+        bounds = tuple(
+            boundaries if boundaries is not None else DEFAULT_LATENCY_BOUNDARIES
+        )
+        if not bounds:
+            raise ValueError("at least one boundary is required")
+        if any(b >= a for b, a in zip(bounds, bounds[1:])):
+            raise ValueError("boundaries must be strictly increasing")
+        self.boundaries = bounds
+        #: Per-interval counts; slot ``len(boundaries)`` is the overflow.
+        self.counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    # ------------------------------------------------------------------
+
+    def observe(self, value: float) -> None:
+        """Record one observation (``value <= boundaries[i]`` semantics)."""
+        self.counts[bisect_left(self.boundaries, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold ``other`` into this histogram (identical boundaries only)."""
+        if self.boundaries != other.boundaries:
+            raise ValueError("cannot merge histograms with different boundaries")
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.sum += other.sum
+        self.count += other.count
+        return self
+
+    # ------------------------------------------------------------------
+
+    def percentile(self, fraction: float) -> float:
+        """The ``fraction`` quantile, linearly interpolated in its bucket.
+
+        The estimate interpolates between the bucket's edges (the first
+        bucket's lower edge is 0); observations in the overflow bucket
+        pin the answer to the last boundary — the histogram cannot see
+        further.  An empty histogram reports 0.0.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = fraction * self.count
+        cumulative = 0
+        for i, c in enumerate(self.counts):
+            if c == 0:
+                continue
+            if cumulative + c >= target:
+                if i >= len(self.boundaries):
+                    return self.boundaries[-1]
+                lower = 0.0 if i == 0 else self.boundaries[i - 1]
+                upper = self.boundaries[i]
+                within = (target - cumulative) / c
+                return lower + (upper - lower) * within
+            cumulative += c
+        return self.boundaries[-1]
+
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe state; :meth:`from_dict` round-trips it exactly."""
+        return {
+            "boundaries": list(self.boundaries),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Histogram":
+        hist = cls(tuple(data["boundaries"]))
+        counts = list(data["counts"])
+        if len(counts) != len(hist.counts):
+            raise ValueError(
+                f"counts length {len(counts)} does not match "
+                f"{len(hist.boundaries)} boundaries (+1 overflow)"
+            )
+        hist.counts = [int(c) for c in counts]
+        hist.sum = float(data["sum"])
+        hist.count = int(data["count"])
+        return hist
+
+    def snapshot_dict(self) -> dict:
+        """:meth:`to_dict` plus the derived p50/p95/p99."""
+        return {
+            **self.to_dict(),
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+        }
+
+    def copy(self) -> "Histogram":
+        clone = Histogram(self.boundaries)
+        clone.counts = list(self.counts)
+        clone.sum = self.sum
+        clone.count = self.count
+        return clone
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram(count={self.count}, sum={self.sum:.6f}, "
+            f"buckets={len(self.boundaries)})"
+        )
+
+
+class NullHistogram(Histogram):
+    """The no-op twin :class:`~repro.obs.registry.NullRegistry` hands out."""
+
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        return self
+
+
+#: Shared inert instance; safe because observe/merge never mutate it.
+NULL_HISTOGRAM = NullHistogram()

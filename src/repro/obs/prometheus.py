@@ -1,0 +1,125 @@
+"""Prometheus text-exposition rendering of a registry snapshot.
+
+``GET /metrics?format=prometheus`` turns the whole metrics registry —
+counters, phase timers, gauges, and histograms — into the Prometheus
+text format (version 0.0.4), so the serving stack can be scraped by any
+standard collector without a client-library dependency:
+
+* counters       → ``# TYPE name counter`` + one sample;
+* phase timers   → counters named ``<name>_seconds_total`` (they are
+  cumulative seconds, which is exactly what a Prometheus counter is);
+* gauges         → ``# TYPE name gauge``;
+* histograms     → the ``_bucket``/``_sum``/``_count`` convention with
+  cumulative ``le`` buckets ending in ``le="+Inf"``.
+
+Registry names are dotted (``service.http_requests``); Prometheus
+metric names admit ``[a-zA-Z_:][a-zA-Z0-9_:]*``, so every invalid
+character maps to ``_``.  Label values are escaped per the exposition
+grammar (backslash, double quote, newline).
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["render_prometheus", "CONTENT_TYPE", "metric_name"]
+
+#: The content type scrapers expect for text exposition.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def metric_name(name: str) -> str:
+    """A registry name mapped into the Prometheus metric-name alphabet."""
+    sanitized = _INVALID.sub("_", name)
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace('"', r"\"")
+        .replace("\n", r"\n")
+    )
+
+
+def _labels(pairs: dict) -> str:
+    """``{k="v",...}`` or the empty string for no labels."""
+    if not pairs:
+        return ""
+    inner = ",".join(
+        f'{metric_name(str(key))}="{_escape_label(value)}"'
+        for key, value in sorted(pairs.items())
+    )
+    return "{" + inner + "}"
+
+
+def _fmt(value: "int | float") -> str:
+    if isinstance(value, bool):  # bools are ints; never emit True/False
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return format(float(value), ".10g")
+
+
+def render_prometheus(
+    snapshot: dict, extra_gauges: "dict[str, int | float] | None" = None
+) -> str:
+    """Render a ``MetricsRegistry.snapshot()`` as exposition text.
+
+    ``extra_gauges`` lets the server fold in point-in-time numbers that
+    live outside the registry (cache size, queue depth).  Output always
+    ends with a newline, as the format requires.
+    """
+    lines: list[str] = []
+
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        metric = metric_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_fmt(value)}")
+
+    for name, value in sorted(snapshot.get("timers", {}).items()):
+        metric = metric_name(name) + "_seconds_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_fmt(float(value))}")
+
+    gauges = dict(snapshot.get("gauges", {}))
+    if extra_gauges:
+        gauges.update(extra_gauges)
+    for name, value in sorted(gauges.items()):
+        metric = metric_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(value)}")
+
+    for name, series_list in sorted(snapshot.get("histograms", {}).items()):
+        metric = metric_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        for series in series_list:
+            labels = dict(series.get("labels", {}))
+            boundaries = series["boundaries"]
+            counts = series["counts"]
+            cumulative = 0
+            for boundary, count in zip(boundaries, counts):
+                cumulative += count
+                lines.append(
+                    f"{metric}_bucket"
+                    f"{_labels({**labels, 'le': _fmt(float(boundary))})}"
+                    f" {cumulative}"
+                )
+            cumulative += counts[len(boundaries)]
+            lines.append(
+                f"{metric}_bucket{_labels({**labels, 'le': '+Inf'})}"
+                f" {cumulative}"
+            )
+            lines.append(
+                f"{metric}_sum{_labels(labels)} {_fmt(float(series['sum']))}"
+            )
+            lines.append(
+                f"{metric}_count{_labels(labels)} {series['count']}"
+            )
+
+    return "\n".join(lines) + "\n"

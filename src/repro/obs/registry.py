@@ -1,7 +1,7 @@
-"""The metrics registry: named counters, phase timers, and gauges.
+"""The metrics registry: named counters, phase timers, gauges, histograms.
 
 Engines receive a registry through an optional ``obs`` argument and
-write three kinds of metric into it:
+write four kinds of metric into it:
 
 * **counters** — monotone integers (`nodes expanded`, `prune hits`,
   `samples drawn`); hot loops accumulate into local variables and flush
@@ -10,7 +10,10 @@ write three kinds of metric into it:
 * **timers** — accumulating wall-clock phases (``with obs.phase("load")``);
   repeated phases *add up* rather than overwrite;
 * **gauges** — point-in-time values where only the latest or largest
-  matters (`max stack depth`, `partition sizes`, `peak memory`).
+  matters (`max stack depth`, `partition sizes`, `peak memory`);
+* **histograms** — fixed-boundary latency distributions
+  (:mod:`repro.obs.histogram`), optionally labelled (per route, per
+  engine), from which p50/p95/p99 are derived at snapshot time.
 
 :class:`NullRegistry` is the no-op twin: every method does nothing and
 ``enabled`` is False, which the engines use to skip even the local
@@ -25,11 +28,13 @@ import time
 from contextlib import contextmanager
 from typing import Iterator
 
+from repro.obs.histogram import NULL_HISTOGRAM, Histogram
+
 __all__ = ["MetricsRegistry", "NullRegistry", "NULL_REGISTRY"]
 
 
 class MetricsRegistry:
-    """Collects counters, accumulating timers, gauges, and worker stats.
+    """Collects counters, timers, gauges, histograms, and worker stats.
 
     Mutations are guarded by a lock, so one registry can be shared by the
     service layer's request threads.  The cost is negligible for the
@@ -40,12 +45,26 @@ class MetricsRegistry:
     #: Engines consult this before doing per-node bookkeeping.
     enabled = True
 
-    def __init__(self) -> None:
+    #: Per-worker detail dicts retained for inspection; a long-lived
+    #: ``serve`` process runs engines forever, so retention must be
+    #: bounded.  Counter/gauge totals are folded on arrival regardless —
+    #: dropping an old detail dict loses nothing from the aggregates.
+    max_worker_stats = 256
+
+    def __init__(self, max_worker_stats: "int | None" = None) -> None:
         self.counters: dict[str, "int | float"] = {}
         self.timers: dict[str, float] = {}
         self.gauges: dict[str, "int | float"] = {}
-        #: Per-worker stat dicts recorded by the parallel layer.
+        #: Most recent per-worker stat dicts (capped; see above).
         self.workers: list[dict] = []
+        #: Total workers ever recorded, including dropped detail dicts.
+        self.workers_seen = 0
+        if max_worker_stats is not None:
+            if max_worker_stats < 1:
+                raise ValueError("max_worker_stats must be positive")
+            self.max_worker_stats = max_worker_stats
+        #: name -> {sorted label items tuple -> Histogram}
+        self.histograms: dict[str, dict[tuple, Histogram]] = {}
         self._lock = threading.Lock()
 
     # Counters ----------------------------------------------------------
@@ -88,33 +107,107 @@ class MetricsRegistry:
             if value > self.gauges.get(name, value - 1):
                 self.gauges[name] = value
 
+    # Histograms --------------------------------------------------------
+
+    def histogram(
+        self,
+        name: str,
+        labels: "dict | None" = None,
+        boundaries: "tuple[float, ...] | None" = None,
+    ) -> Histogram:
+        """Get or create the histogram series ``name`` with ``labels``.
+
+        All series of one name share bucket boundaries (the first
+        creation wins), which keeps them mergeable and lets the
+        Prometheus view emit them as one metric family.
+        """
+        with self._lock:
+            return self._histogram_locked(name, labels, boundaries)
+
+    def _histogram_locked(
+        self,
+        name: str,
+        labels: "dict | None",
+        boundaries: "tuple[float, ...] | None",
+    ) -> Histogram:
+        key = tuple(sorted((labels or {}).items()))
+        series = self.histograms.get(name)
+        if series is None:
+            series = self.histograms[name] = {}
+        hist = series.get(key)
+        if hist is None:
+            if series:  # keep the family's boundaries consistent
+                boundaries = next(iter(series.values())).boundaries
+            hist = series[key] = Histogram(boundaries)
+        return hist
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        labels: "dict | None" = None,
+        boundaries: "tuple[float, ...] | None" = None,
+    ) -> None:
+        """Record one observation into histogram ``name`` / ``labels``."""
+        with self._lock:
+            self._histogram_locked(name, labels, boundaries).observe(value)
+
     # Worker stats ------------------------------------------------------
 
     def record_worker(self, stats: dict) -> None:
         """Record one worker's stat dict and fold it into the globals.
 
-        ``stats["counters"]`` adds into the registry's counters and
-        ``stats["gauges"]`` raises its high-water marks, so after every
+        ``stats["counters"]`` adds into the registry's counters,
+        ``stats["gauges"]`` raises its high-water marks, and
+        ``stats["histograms"]`` (name -> :meth:`Histogram.to_dict`)
+        merges into the unlabelled histogram series, so after every
         worker reports, the merged totals equal what a serial run would
         have counted (the fan-out partitions the search tree).
+
+        Append and fold happen under one lock acquisition: a concurrent
+        :meth:`snapshot` sees either none or all of a worker's
+        contribution, never a worker dict whose counters are not folded
+        yet.  Only the most recent :attr:`max_worker_stats` detail dicts
+        are retained; the folded totals keep everything.
         """
         with self._lock:
+            self.workers_seen += 1
             self.workers.append(stats)
-        for name, value in stats.get("counters", {}).items():
-            self.incr(name, value)
-        for name, value in stats.get("gauges", {}).items():
-            self.gauge_max(name, value)
+            if len(self.workers) > self.max_worker_stats:
+                del self.workers[: len(self.workers) - self.max_worker_stats]
+            for name, value in stats.get("counters", {}).items():
+                self.counters[name] = self.counters.get(name, 0) + value
+            for name, value in stats.get("gauges", {}).items():
+                if value > self.gauges.get(name, value - 1):
+                    self.gauges[name] = value
+            for name, data in stats.get("histograms", {}).items():
+                shard = Histogram.from_dict(data)
+                self._histogram_locked(
+                    name, None, shard.boundaries
+                ).merge(shard)
 
     # Export ------------------------------------------------------------
 
     def snapshot(self) -> dict:
-        """A JSON-serialisable copy of everything collected so far."""
+        """A JSON-serialisable copy of everything collected so far.
+
+        Histogram series carry their labels, bucket vectors, and the
+        p50/p95/p99 derived at this moment.
+        """
         with self._lock:
             return {
                 "counters": dict(self.counters),
                 "timers": dict(self.timers),
                 "gauges": dict(self.gauges),
                 "workers": [dict(worker) for worker in self.workers],
+                "workers_seen": self.workers_seen,
+                "histograms": {
+                    name: [
+                        {"labels": dict(key), **hist.snapshot_dict()}
+                        for key, hist in sorted(series.items())
+                    ]
+                    for name, series in self.histograms.items()
+                },
             }
 
 
@@ -143,6 +236,23 @@ class NullRegistry(MetricsRegistry):
         pass
 
     def gauge_max(self, name: str, value: "int | float") -> None:
+        pass
+
+    def histogram(
+        self,
+        name: str,
+        labels: "dict | None" = None,
+        boundaries: "tuple[float, ...] | None" = None,
+    ) -> Histogram:
+        return NULL_HISTOGRAM
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        labels: "dict | None" = None,
+        boundaries: "tuple[float, ...] | None" = None,
+    ) -> None:
         pass
 
     def record_worker(self, stats: dict) -> None:

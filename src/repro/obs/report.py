@@ -30,7 +30,9 @@ __all__ = [
 ]
 
 #: Bump the trailing version on any incompatible report change.
-REPORT_SCHEMA = "repro-run-report/1"
+#: ``/2`` added the ``histograms`` section (fixed-boundary latency
+#: distributions; see :mod:`repro.obs.histogram`).
+REPORT_SCHEMA = "repro-run-report/2"
 
 #: Gauges the registry files under this prefix are lifted into the
 #: report's ``memory`` section.
@@ -70,6 +72,9 @@ class RunReport:
     gauges: dict = field(default_factory=dict)
     workers: list = field(default_factory=list)
     memory: dict = field(default_factory=dict)
+    #: name -> list of labelled series (:meth:`Histogram.snapshot_dict`
+    #: plus a ``labels`` object), exactly as the registry snapshots them.
+    histograms: dict = field(default_factory=dict)
     #: Either a matrix dict (:func:`counts_to_dict`) or a single-cell
     #: ``{"kind": "single", "p": ..., "q": ..., "value": ...}``.
     counts: "dict | None" = None
@@ -105,6 +110,7 @@ class RunReport:
             gauges=gauges,
             workers=snapshot["workers"],
             memory=memory,
+            histograms=snapshot.get("histograms", {}),
         )
 
     def to_dict(self) -> dict:
@@ -135,12 +141,52 @@ def _check_mapping(errors: list, data: dict, key: str, value_types: tuple) -> No
             errors.append(f"'{key}.{name}' must be numeric, got {value!r}")
 
 
+def _check_histograms(errors: list, data: dict) -> None:
+    """The ``histograms`` section: name -> list of consistent series."""
+    section = data.get("histograms")
+    if section is None:
+        return  # optional: an un-instrumented run has no distributions
+    if not isinstance(section, dict):
+        errors.append("'histograms' must be an object")
+        return
+    for name, series_list in section.items():
+        if not isinstance(series_list, list):
+            errors.append(f"'histograms.{name}' must be a list of series")
+            continue
+        for index, series in enumerate(series_list):
+            where = f"histograms.{name}[{index}]"
+            if not isinstance(series, dict):
+                errors.append(f"'{where}' must be an object")
+                continue
+            boundaries = series.get("boundaries")
+            counts = series.get("counts")
+            if not isinstance(boundaries, list) or not boundaries:
+                errors.append(f"'{where}.boundaries' must be a non-empty list")
+                continue
+            if not isinstance(counts, list) or len(counts) != len(boundaries) + 1:
+                errors.append(
+                    f"'{where}.counts' must have len(boundaries) + 1 entries"
+                )
+                continue
+            if any(
+                not isinstance(c, int) or isinstance(c, bool) or c < 0
+                for c in counts
+            ):
+                errors.append(f"'{where}.counts' must be non-negative integers")
+            if not isinstance(series.get("sum"), (int, float)):
+                errors.append(f"'{where}.sum' must be numeric")
+            if series.get("count") != sum(c for c in counts if isinstance(c, int)):
+                errors.append(f"'{where}.count' must equal the bucket total")
+
+
 def validate_report(data: object) -> dict:
     """Validate a parsed report document; return it or raise ValueError.
 
     Checks the schema tag, section shapes, numeric metric values, the
-    mandatory ``load``/``compute`` phase timers, and per-worker entries
-    (each needs a numeric ``wall_time``).  Collects every problem before
+    mandatory ``load``/``compute`` phase timers, per-worker entries
+    (each needs a numeric ``wall_time``), and histogram series
+    consistency (bucket vector length, non-negative integer counts,
+    ``count`` equal to the bucket total).  Collects every problem before
     raising so CI logs show the full list.
     """
     errors: list[str] = []
@@ -160,6 +206,7 @@ def validate_report(data: object) -> dict:
     _check_mapping(errors, data, "timers", (int, float))
     _check_mapping(errors, data, "gauges", (int, float))
     _check_mapping(errors, data, "memory", (int, float))
+    _check_histograms(errors, data)
     timers = data.get("timers")
     if isinstance(timers, dict):
         for phase in ("load", "compute"):

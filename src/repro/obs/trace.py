@@ -1,0 +1,313 @@
+"""Request-scoped tracing: one span tree per service query.
+
+The metrics registry answers fleet questions ("how many engine runs,
+how much total compute time"); a :class:`Trace` answers the per-request
+question "where did *this* query's time go" — queue wait vs. plan vs.
+engine vs. cache — as a tree of named spans with wall-clock durations
+and key/value attributes (chosen engine, plan reason, degradation
+cause).
+
+The contract mirrors PR 2's registry design:
+
+* :class:`Trace` — the live object threaded through the executor and
+  engines; ``with trace.span("plan") as sp: sp.set("engine", m)``
+  nests spans under whichever span is currently open;
+* :class:`NullTrace` / :data:`NULL_TRACE` — the no-op twin every
+  library entry point defaults to, so an untraced run takes the exact
+  code path it took before this module existed;
+* :class:`TraceRing` — a bounded in-memory ring of finished traces the
+  server exposes at ``GET /v1/traces``; old traces fall off the end;
+* :class:`SlowQueryLog` — JSON-lines structured log of any trace whose
+  duration crosses a threshold, for offline digestion.
+
+A trace is written by one thread at a time (the HTTP handler until the
+query is enqueued, then the executor worker, then the handler again —
+each phase strictly after the previous), but the hand-off itself means
+two threads touch the object over its lifetime, so the span stack is
+lock-guarded.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import uuid
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = [
+    "Span",
+    "Trace",
+    "NullTrace",
+    "NULL_TRACE",
+    "TraceRing",
+    "SlowQueryLog",
+]
+
+
+class Span:
+    """One named, timed section of a trace, with attributes and children."""
+
+    __slots__ = ("name", "offset", "duration", "attributes", "children")
+
+    def __init__(
+        self, name: str, offset: float, attributes: "dict | None" = None
+    ):
+        self.name = name
+        #: Seconds since the trace started.
+        self.offset = offset
+        #: Seconds; None while the span is still open.
+        self.duration: "float | None" = None
+        self.attributes: dict = dict(attributes) if attributes else {}
+        self.children: "list[Span]" = []
+
+    def set(self, key: str, value) -> "Span":
+        """Attach one attribute (JSON-safe values only, by convention)."""
+        self.attributes[key] = value
+        return self
+
+    def to_dict(self) -> dict:
+        data = {
+            "name": self.name,
+            "offset_ms": round(self.offset * 1000.0, 3),
+            "duration_ms": (
+                round(self.duration * 1000.0, 3)
+                if self.duration is not None
+                else None
+            ),
+        }
+        if self.attributes:
+            data["attributes"] = dict(self.attributes)
+        if self.children:
+            data["children"] = [child.to_dict() for child in self.children]
+        return data
+
+
+class Trace:
+    """A span tree for one request; every service query gets one."""
+
+    #: Engines consult this before building attribute values.
+    enabled = True
+
+    def __init__(self, name: str = "request", trace_id: "str | None" = None):
+        self.trace_id = trace_id if trace_id is not None else uuid.uuid4().hex[:16]
+        self.name = name
+        self.started_unix = time.time()
+        self._t0 = time.perf_counter()
+        self.root = Span(name, 0.0)
+        #: Total seconds, set by :meth:`finish`.
+        self.duration: "float | None" = None
+        self._stack: "list[Span]" = [self.root]
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **attributes) -> Iterator[Span]:
+        """Open a child span under the currently open span.
+
+        Exceptions propagate; the span still records its duration and is
+        marked ``error`` with the exception type, so a failed engine run
+        shows up in the tree instead of vanishing.
+        """
+        t0 = time.perf_counter()
+        span = Span(name, t0 - self._t0, attributes)
+        with self._lock:
+            self._stack[-1].children.append(span)
+            self._stack.append(span)
+        try:
+            yield span
+        except BaseException as exc:
+            span.set("error", type(exc).__name__)
+            raise
+        finally:
+            span.duration = time.perf_counter() - t0
+            with self._lock:
+                if self._stack and self._stack[-1] is span:
+                    self._stack.pop()
+                elif span in self._stack:  # defensive: mismatched nesting
+                    self._stack.remove(span)
+
+    def add_span(self, name: str, duration: float, **attributes) -> Span:
+        """Attach an already-measured span (e.g. queue wait across threads).
+
+        The span is placed as ending *now*: its offset is current time
+        minus ``duration``.
+        """
+        now = time.perf_counter() - self._t0
+        span = Span(name, max(0.0, now - duration), attributes)
+        span.duration = duration
+        with self._lock:
+            self._stack[-1].children.append(span)
+        return span
+
+    def set(self, key: str, value) -> "Trace":
+        """Attach an attribute to the root span."""
+        self.root.set(key, value)
+        return self
+
+    def finish(self) -> "Trace":
+        """Close the root span; idempotent (first call wins)."""
+        if self.duration is None:
+            self.duration = time.perf_counter() - self._t0
+            self.root.duration = self.duration
+        return self
+
+    # ------------------------------------------------------------------
+
+    @property
+    def duration_ms(self) -> float:
+        if self.duration is not None:
+            return self.duration * 1000.0
+        return (time.perf_counter() - self._t0) * 1000.0
+
+    def to_dict(self) -> dict:
+        """The JSON document served under ``"trace"`` and ``/v1/traces``."""
+        if self.duration is None:
+            self.finish()
+        return {
+            "trace_id": self.trace_id,
+            "name": self.name,
+            "started_unix": self.started_unix,
+            "duration_ms": round(self.duration * 1000.0, 3),
+            "spans": self.root.to_dict(),
+        }
+
+
+class _NullSpan(Span):
+    """Shared inert span; ``set`` drops the attribute on the floor."""
+
+    __slots__ = ()
+
+    def set(self, key: str, value) -> "Span":
+        return self
+
+
+_NULL_SPAN = _NullSpan("null", 0.0)
+
+
+class NullTrace(Trace):
+    """A trace that records nothing; the default for library callers.
+
+    ``enabled`` is False so callers can skip building expensive
+    attribute values; every method is a no-op over shared inert state,
+    so the singleton is safe to pass everywhere concurrently.
+    """
+
+    enabled = False
+
+    @contextmanager
+    def span(self, name: str, **attributes) -> Iterator[Span]:
+        yield _NULL_SPAN
+
+    def add_span(self, name: str, duration: float, **attributes) -> Span:
+        return _NULL_SPAN
+
+    def set(self, key: str, value) -> "Trace":
+        return self
+
+    def finish(self) -> "Trace":
+        return self
+
+    def to_dict(self) -> dict:
+        return {}
+
+
+#: Shared no-op instance; holds no per-request state.
+NULL_TRACE = NullTrace("null")
+
+
+class TraceRing:
+    """A bounded ring of finished traces, queryable by id or slowness.
+
+    ``capacity`` bounds memory: adding the ``capacity + 1``-th trace
+    evicts the oldest.  Lookups are linear over the ring, which is fine
+    for the bounded sizes this is meant for (hundreds, not millions).
+    """
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._traces: "list[Trace]" = []
+        self._lock = threading.Lock()
+
+    def add(self, trace: Trace) -> None:
+        """Retain a finished trace (evicting the oldest at capacity)."""
+        if not trace.enabled:
+            return
+        trace.finish()
+        with self._lock:
+            self._traces.append(trace)
+            if len(self._traces) > self.capacity:
+                del self._traces[: len(self._traces) - self.capacity]
+
+    def get(self, trace_id: str) -> "dict | None":
+        """The trace document for ``trace_id``, or None if evicted/unknown."""
+        with self._lock:
+            for trace in reversed(self._traces):
+                if trace.trace_id == trace_id:
+                    return trace.to_dict()
+        return None
+
+    def list(self, slow_ms: float = 0.0, limit: int = 50) -> "list[dict]":
+        """Traces at least ``slow_ms`` long, slowest first, capped at ``limit``."""
+        with self._lock:
+            candidates = [
+                trace
+                for trace in self._traces
+                if trace.duration_ms >= slow_ms
+            ]
+        candidates.sort(key=lambda t: t.duration_ms, reverse=True)
+        return [trace.to_dict() for trace in candidates[: max(0, limit)]]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+
+class SlowQueryLog:
+    """JSON-lines log of requests slower than a threshold.
+
+    Each line is one self-contained document: the request identity the
+    caller passes as ``extra`` (graph, p, q, method, …) plus the full
+    span tree, so a slow query can be dissected offline without the
+    ring buffer still holding it.  Appends are lock-serialised and the
+    file is opened per write — a dead process never holds the log
+    hostage, and external rotation just works.
+    """
+
+    def __init__(self, path: str, threshold_ms: float = 500.0):
+        if threshold_ms < 0:
+            raise ValueError("threshold_ms must be non-negative")
+        self.path = path
+        self.threshold_ms = threshold_ms
+        self._lock = threading.Lock()
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+
+    def maybe_record(self, trace: Trace, extra: "dict | None" = None) -> bool:
+        """Write ``trace`` if it crossed the threshold; returns whether it did."""
+        if not trace.enabled:
+            return False
+        trace.finish()
+        duration_ms = trace.duration * 1000.0
+        if duration_ms < self.threshold_ms:
+            return False
+        record = {
+            "ts": trace.started_unix,
+            "trace_id": trace.trace_id,
+            "duration_ms": round(duration_ms, 3),
+            "threshold_ms": self.threshold_ms,
+        }
+        if extra:
+            record.update(extra)
+        record["trace"] = trace.to_dict()
+        line = json.dumps(record)
+        with self._lock:
+            with open(self.path, "a") as handle:
+                handle.write(line)
+                handle.write("\n")
+        return True

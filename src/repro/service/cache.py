@@ -83,6 +83,11 @@ class ResultCache:
         self._obs = obs
         self._lock = threading.Lock()
         self._entries: "OrderedDict[tuple, dict]" = OrderedDict()
+        # Local tallies mirror the registry counters so the cache can
+        # report its own hit rate even when no registry is attached.
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
         if path is not None and os.path.exists(path):
             self.load(path)
 
@@ -96,6 +101,9 @@ class ResultCache:
             entry = self._entries.get(key)
             if entry is not None:
                 self._entries.move_to_end(key)
+                self._hits += 1
+            else:
+                self._misses += 1
         self._count("service.cache.hits" if entry is not None else "service.cache.misses")
         return entry
 
@@ -110,6 +118,7 @@ class ResultCache:
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 evicted += 1
+            self._evictions += evicted
             size = len(self._entries)
         if evicted:
             self._count("service.cache.evictions", evicted)
@@ -131,7 +140,13 @@ class ResultCache:
     def stats(self) -> dict:
         """Point-in-time cache numbers for ``/metrics`` and ``/healthz``."""
         with self._lock:
-            return {"size": len(self._entries), "capacity": self.capacity}
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+            }
 
     # ------------------------------------------------------------------
     # Persistence

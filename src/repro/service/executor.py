@@ -43,6 +43,7 @@ from repro.core.matrix import matrix_count_single
 from repro.core.zigzag import star_counts, zigzag_count_single, zigzagpp_count_single
 from repro.graph.bigraph import BipartiteGraph
 from repro.obs.registry import NULL_REGISTRY
+from repro.obs.trace import NULL_TRACE, TraceRing
 from repro.service.cache import ResultCache
 from repro.service.fingerprint import cache_key, graph_fingerprint
 from repro.service.planner import GraphProfile, QueryPlan, plan_query
@@ -50,6 +51,7 @@ from repro.utils.parallel import GraphPool, resolve_workers
 
 if TYPE_CHECKING:
     from repro.obs.registry import MetricsRegistry
+    from repro.obs.trace import SlowQueryLog, Trace
 
 __all__ = [
     "Query",
@@ -111,11 +113,15 @@ class RegisteredGraph:
     profile: GraphProfile
     engine: EPivoter
     pool: "GraphPool | None" = None
+    #: Wall-clock registration time, surfaced at ``/healthz`` so
+    #: dashboards can tell a fresh restart from a long-running instance.
+    registered_unix: float = 0.0
 
     def describe(self) -> dict:
         return {
             "graph": self.name,
             "fingerprint": self.fingerprint,
+            "registered_unix": self.registered_unix,
             **self.profile.to_dict(),
         }
 
@@ -141,7 +147,15 @@ class ServiceExecutor:
     cache:
         The result cache (default: a fresh 1024-entry LRU).
     obs:
-        Metrics registry receiving ``service.*`` counters and timers.
+        Metrics registry receiving ``service.*`` counters, timers, and
+        latency histograms (queue wait, per-engine compute).
+    trace_ring:
+        Capacity of the in-memory ring of finished request traces
+        served at ``GET /v1/traces`` (the trace of every traced request
+        is retained until it falls off the end).
+    slow_log:
+        An optional :class:`~repro.obs.trace.SlowQueryLog`; any traced
+        request slower than its threshold is appended as one JSON line.
     """
 
     def __init__(
@@ -153,12 +167,17 @@ class ServiceExecutor:
         obs: "MetricsRegistry | None" = None,
         nodes_per_second: "float | None" = None,
         samples_per_second: "float | None" = None,
+        trace_ring: int = 256,
+        slow_log: "SlowQueryLog | None" = None,
     ):
         if max_queue < 1:
             raise ValueError("max_queue must be positive")
         if threads < 1:
             raise ValueError("threads must be positive")
         self._obs = obs
+        self.traces = TraceRing(trace_ring)
+        self.slow_log = slow_log
+        self.started_unix = time.time()
         self.cache = cache if cache is not None else ResultCache(obs=obs)
         self.engine_workers = resolve_workers(engine_workers)
         self._planner_overrides = {}
@@ -212,6 +231,7 @@ class ServiceExecutor:
             profile=profile,
             engine=engine,
             pool=pool,
+            registered_unix=time.time(),
         )
         with self._lock:
             previous = self._graphs.get(name)
@@ -239,24 +259,34 @@ class ServiceExecutor:
     # Query path
     # ------------------------------------------------------------------
 
-    def submit(self, query: Query) -> Future:
+    def submit(self, query: Query, trace: "Trace" = NULL_TRACE) -> Future:
         """Enqueue ``query``; the future resolves to the response dict.
 
         Resolution order: cache hit (immediate), coalesce onto an
         identical in-flight query, or enqueue — and raise
         :class:`QueryRejected` when the admission queue is full.
+
+        ``trace`` (default: the no-op twin) receives the request's span
+        tree: ``admission`` and ``cache_lookup`` here on the caller's
+        thread, ``queue_wait``/``plan``/``engine:*``/``merge`` on the
+        worker thread that picks the query up.
         """
         if self._closed:
             raise RuntimeError("executor is shut down")
-        with self._lock:
-            registered = self._graphs.get(query.graph_id)
-        if registered is None:
-            raise UnknownGraph(query.graph_id)
-        key = cache_key(
-            registered.fingerprint, query.kind, query.p, query.q, query.params()
-        )
-        self._incr("service.requests")
-        cached = self.cache.get(key)
+        with trace.span("admission") as sp:
+            with self._lock:
+                registered = self._graphs.get(query.graph_id)
+            if registered is None:
+                sp.set("rejected", "unknown_graph")
+                raise UnknownGraph(query.graph_id)
+            key = cache_key(
+                registered.fingerprint, query.kind, query.p, query.q,
+                query.params(),
+            )
+            self._incr("service.requests")
+        with trace.span("cache_lookup") as sp:
+            cached = self.cache.get(key)
+            sp.set("hit", cached is not None)
         if cached is not None:
             future: Future = Future()
             future.set_result({**cached, "cached": True})
@@ -265,10 +295,15 @@ class ServiceExecutor:
             inflight = self._inflight.get(key)
             if inflight is not None:
                 self._incr("service.coalesced")
+                # The waiter rides an engine run it did not start; its
+                # own tree records the attachment, not the run.
+                trace.set("coalesced", True)
                 return inflight
             future = Future()
             try:
-                self._queue.put_nowait((key, query, registered, future))
+                self._queue.put_nowait(
+                    (key, query, registered, future, trace, time.perf_counter())
+                )
             except queue.Full:
                 self._incr("service.rejected")
                 raise QueryRejected(
@@ -278,9 +313,40 @@ class ServiceExecutor:
             self._gauge("service.queue_depth", self._queue.qsize())
         return future
 
-    def execute(self, query: Query, timeout: "float | None" = None) -> dict:
-        """Submit and wait — the synchronous convenience the server uses."""
-        return self.submit(query).result(timeout=timeout)
+    def execute(
+        self,
+        query: Query,
+        timeout: "float | None" = None,
+        trace: "Trace" = NULL_TRACE,
+    ) -> dict:
+        """Submit and wait — the synchronous convenience the server uses.
+
+        When a real ``trace`` is passed it is finished here, retained in
+        the :attr:`traces` ring, and — if a slow log is configured and
+        the request crossed its threshold — appended there, whether the
+        request succeeded or raised.
+        """
+        result: "dict | None" = None
+        try:
+            result = self.submit(query, trace=trace).result(timeout=timeout)
+            return result
+        finally:
+            if trace.enabled:
+                trace.finish()
+                self.traces.add(trace)
+                if self.slow_log is not None:
+                    extra = {
+                        "graph": query.graph_id,
+                        "kind": query.kind,
+                        "p": query.p,
+                        "q": query.q,
+                    }
+                    if result is not None:
+                        for field_name in ("method", "degraded", "cached"):
+                            if field_name in result:
+                                extra[field_name] = result[field_name]
+                    if self.slow_log.maybe_record(trace, extra=extra):
+                        self._incr("service.slow_queries")
 
     # ------------------------------------------------------------------
     # Worker side
@@ -292,10 +358,13 @@ class ServiceExecutor:
             if item is _SHUTDOWN:
                 self._queue.task_done()
                 return
-            key, query, registered, future = item
+            key, query, registered, future, trace, enqueued = item
             self._gauge("service.queue_depth", self._queue.qsize())
+            wait = time.perf_counter() - enqueued
+            trace.add_span("queue_wait", wait)
+            self._observe("service.queue_wait_seconds", wait)
             try:
-                result = self._run_query(query, registered)
+                result = self._run_query(query, registered, trace)
             except Exception as exc:  # noqa: BLE001 - delivered to the waiter
                 future.set_exception(exc)
             else:
@@ -306,25 +375,39 @@ class ServiceExecutor:
                     self._inflight.pop(key, None)
                 self._queue.task_done()
 
-    def _run_query(self, query: Query, registered: RegisteredGraph) -> dict:
-        plan = plan_query(
-            registered.profile,
-            query.kind,
-            query.p,
-            query.q,
-            method=query.method,
-            deadline=query.deadline,
-            delta=query.delta,
-            epsilon=query.epsilon,
-            samples=query.samples,
-            seed=query.seed,
-            **self._planner_overrides,
-        )
+    def _run_query(
+        self,
+        query: Query,
+        registered: RegisteredGraph,
+        trace: "Trace" = NULL_TRACE,
+    ) -> dict:
+        with trace.span("plan") as sp:
+            plan = plan_query(
+                registered.profile,
+                query.kind,
+                query.p,
+                query.q,
+                method=query.method,
+                deadline=query.deadline,
+                delta=query.delta,
+                epsilon=query.epsilon,
+                samples=query.samples,
+                seed=query.seed,
+                **self._planner_overrides,
+            )
+            if trace.enabled:
+                sp.set("engine", plan.method)
+                sp.set("reason", plan.reason)
+                sp.set("exact", plan.exact)
+                if plan.degraded:
+                    sp.set("degraded", True)
+                if plan.predicted_seconds is not None:
+                    sp.set("predicted_seconds", round(plan.predicted_seconds, 6))
         start = time.perf_counter()
         degraded = plan.degraded
         method = plan.method
         try:
-            value, extra = self._execute_plan(plan, query, registered)
+            value, extra = self._timed_plan(plan, query, registered, trace)
         except CountBudgetExceeded:
             if plan.fallback is None:
                 raise
@@ -332,7 +415,10 @@ class ServiceExecutor:
             fallback = plan.fallback
             method = fallback.method
             degraded = True
-            value, extra = self._execute_plan(fallback, query, registered)
+            value, extra = self._timed_plan(
+                fallback, query, registered, trace,
+                degradation_reason="budget_exceeded",
+            )
             plan = fallback
         elapsed = time.perf_counter() - start
         # A plan can also degrade from inside its run (an adaptive round
@@ -342,30 +428,60 @@ class ServiceExecutor:
         if degraded:
             self._incr("service.degraded")
         self._add_time(f"service.compute.{query.kind}", elapsed)
-        response = {
-            "graph": registered.name,
-            "fingerprint": registered.fingerprint,
-            "kind": query.kind,
-            "p": query.p,
-            "q": query.q,
-            "value": value,
-            "exact": plan.exact,
-            "method": method,
-            "degraded": degraded,
-            "reason": plan.reason,
-            "elapsed_ms": round(elapsed * 1000.0, 3),
-            "cached": False,
-        }
-        response.update(extra)
+        with trace.span("merge") as sp:
+            response = {
+                "graph": registered.name,
+                "fingerprint": registered.fingerprint,
+                "kind": query.kind,
+                "p": query.p,
+                "q": query.q,
+                "value": value,
+                "exact": plan.exact,
+                "method": method,
+                "degraded": degraded,
+                "reason": plan.reason,
+                "elapsed_ms": round(elapsed * 1000.0, 3),
+                "cached": False,
+            }
+            response.update(extra)
         return response
 
+    def _timed_plan(
+        self,
+        plan: QueryPlan,
+        query: Query,
+        registered: RegisteredGraph,
+        trace: "Trace",
+        degradation_reason: "str | None" = None,
+    ) -> "tuple[int | float, dict]":
+        """One engine run inside its ``engine:<method>`` span + histogram."""
+        start = time.perf_counter()
+        try:
+            with trace.span(f"engine:{plan.method}") as sp:
+                if trace.enabled and degradation_reason is not None:
+                    sp.set("degradation_reason", degradation_reason)
+                return self._execute_plan(plan, query, registered, trace=trace)
+        finally:
+            self._observe(
+                "service.engine_seconds",
+                time.perf_counter() - start,
+                labels={"engine": plan.method},
+            )
+
     def _execute_plan(
-        self, plan: QueryPlan, query: Query, registered: RegisteredGraph
+        self,
+        plan: QueryPlan,
+        query: Query,
+        registered: RegisteredGraph,
+        trace: "Trace" = NULL_TRACE,
     ) -> "tuple[int | float, dict]":
         """Run one plan; returns ``(value, extra response fields)``.
 
         Separated from the dispatch/fallback logic so tests can stub the
         engine run (e.g. to hold a request in flight deterministically).
+        ``trace`` flows into the engines so their internal phases (core
+        reduction, traversal, sampling rounds) nest under the
+        ``engine:<method>`` span.
         """
         self._incr("service.engine_runs")
         self._incr(f"service.engine_runs.{plan.method}")
@@ -374,7 +490,7 @@ class ServiceExecutor:
         params = plan.params
         if plan.method == "matrix":
             obs = self._obs if self._obs is not None else NULL_REGISTRY
-            return matrix_count_single(graph, p, q, obs=obs), {}
+            return matrix_count_single(graph, p, q, obs=obs, trace=trace), {}
         if plan.method == "epivoter":
             value = registered.engine.count_single(
                 p,
@@ -385,12 +501,14 @@ class ServiceExecutor:
                 obs=self._obs,
                 node_budget=params.get("node_budget"),
                 time_budget=params.get("time_budget"),
+                trace=trace,
             )
             return value, {}
         if plan.method == "stars":
-            counts = BicliqueCounts(max(p, 2), max(q, 2))
-            star_counts(graph, counts)
-            return counts[p, q], {}
+            with trace.span("stars"):
+                counts = BicliqueCounts(max(p, 2), max(q, 2))
+                star_counts(graph, counts)
+                return counts[p, q], {}
         if plan.method == "adaptive":
             result = adaptive_count(
                 graph,
@@ -402,6 +520,7 @@ class ServiceExecutor:
                 seed=params.get("seed"),
                 time_budget=params.get("time_budget"),
                 obs=self._obs,
+                trace=trace,
             )
             lo, hi = result.interval
             return result.estimate, {
@@ -418,6 +537,7 @@ class ServiceExecutor:
                 samples=params.get("samples", 20_000),
                 seed=params.get("seed"),
                 obs=self._obs,
+                trace=trace,
             )
             return value, {"samples": params.get("samples")}
         if plan.method in ("zigzag", "zigzag++"):
@@ -430,6 +550,7 @@ class ServiceExecutor:
                 graph, p, q,
                 samples=params.get("samples", 20_000),
                 seed=params.get("seed"),
+                trace=trace,
             )
             return value, {"samples": params.get("samples")}
         raise ValueError(f"unexecutable plan method {plan.method!r}")
@@ -473,3 +594,7 @@ class ServiceExecutor:
     def _add_time(self, name: str, seconds: float) -> None:
         if self._obs is not None and self._obs.enabled:
             self._obs.add_time(name, seconds)
+
+    def _observe(self, name: str, seconds: float, labels: "dict | None" = None) -> None:
+        if self._obs is not None and self._obs.enabled:
+            self._obs.observe(name, seconds, labels=labels)

@@ -150,6 +150,11 @@ class QueryPlan:
     degraded: bool = False
     reason: str = ""
     fallback: "QueryPlan | None" = None
+    #: The planner's runtime prediction for this engine, in seconds
+    #: (None where no cost model applies, e.g. stars / forced plans).
+    #: Recorded on the request trace's ``plan`` span so a mispredicted
+    #: plan can be diagnosed from the trace alone.
+    predicted_seconds: "float | None" = None
 
 
 def _deadline_samples(
@@ -215,6 +220,7 @@ def _matrix_plan(
             f"closed-form matrix engine for ({p}, {q}) "
             f"(pair work {work}, predicted {predicted:.3f}s)"
         ),
+        predicted_seconds=predicted,
     )
 
 
@@ -285,6 +291,9 @@ def plan_query(
                 f"(predicted {predicted:.3f}s); degraded to "
                 f"{estimator_plan.method}"
             ),
+            # The rejected exact prediction: the number that explains
+            # *why* this plan degraded, surfaced on the trace.
+            predicted_seconds=predicted,
         )
     return _exact_plan(
         p, q, deadline, predicted, nodes_per_second, estimator_plan
@@ -314,7 +323,7 @@ def _exact_plan(
     )
     return QueryPlan(
         method="epivoter", params=params, exact=True, reason=reason,
-        fallback=fb,
+        fallback=fb, predicted_seconds=predicted,
     )
 
 

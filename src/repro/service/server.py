@@ -16,19 +16,33 @@ framework, no new dependencies.  Endpoints:
     ``method``, ``deadline_ms``, ``delta``, ``epsilon``, ``samples``,
     ``seed``.  ``/v1/count`` asks for an exact answer (the planner may
     degrade under a deadline and say so via ``degraded: true``);
-    ``/v1/estimate`` accepts an estimator from the start.
+    ``/v1/estimate`` accepts an estimator from the start.  Every query
+    response carries its ``trace_id`` and end-to-end ``request_ms``;
+    with ``"trace": true`` in the body the full span tree comes back
+    under ``"trace"``.
 
 ``GET /healthz``
-    Liveness plus resident graph names and queue depth.
+    Liveness: resident graph names, queue depth, ``uptime_seconds``,
+    the package ``version``, and per-graph registration records.
 
 ``GET /metrics``
     The full metrics registry snapshot plus cache stats — counters,
-    timers, gauges, per-worker stats.
+    timers, gauges, histograms, per-worker stats.  With
+    ``?format=prometheus`` the same registry renders in the Prometheus
+    text exposition format (histograms as ``_bucket``/``_sum``/
+    ``_count`` families) for scraping.
+
+``GET /v1/traces`` / ``GET /v1/traces/<id>``
+    The retained trace ring: the listing accepts ``?slow=MS`` (only
+    traces at least that slow, slowest first) and ``?limit=N``; the
+    detail route returns one span tree by trace id.
 
 Errors are JSON too: 400 (malformed request), 404 (unknown graph or
 route), 429 (admission control; ``retryable: true``), 500 (engine
-failure).  Request latency lands in ``service.http.<route>`` timers and
-``service.http_requests`` counters.
+failure).  Every response — errors and 404s included — lands in the
+``service.http_latency_seconds`` histogram (labelled by normalised
+route), the ``service.http.<route>`` timers, and the
+``service.http_status.{2xx,4xx,5xx}`` class counters.
 """
 
 from __future__ import annotations
@@ -37,9 +51,14 @@ import json
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import TYPE_CHECKING
+from urllib.parse import parse_qs, urlsplit
 
+from repro import __version__
 from repro.graph.bigraph import BipartiteGraph
 from repro.graph.io import parse_edge_list
+from repro.obs.prometheus import CONTENT_TYPE as _PROM_CONTENT_TYPE
+from repro.obs.prometheus import render_prometheus
+from repro.obs.trace import Trace
 from repro.service.executor import Query, QueryRejected, ServiceExecutor, UnknownGraph
 
 if TYPE_CHECKING:
@@ -50,6 +69,26 @@ __all__ = ["BicliqueServiceServer", "create_server", "serve_forever"]
 #: Request bodies larger than this are rejected outright (64 MiB covers
 #: multi-million-edge JSON edge lists while bounding memory per request).
 _MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Known route labels; anything else is folded into "unknown" so a
+#: scanner probing random paths cannot blow up metric cardinality.
+_ROUTE_LABELS = {
+    "/healthz": "healthz",
+    "/metrics": "metrics",
+    "/v1/graphs": "v1_graphs",
+    "/v1/count": "v1_count",
+    "/v1/estimate": "v1_estimate",
+    "/v1/traces": "v1_traces",
+}
+
+
+def _route_label(path: str) -> str:
+    label = _ROUTE_LABELS.get(path)
+    if label is not None:
+        return label
+    if path.startswith("/v1/traces/"):
+        return "v1_traces"
+    return "unknown"
 
 
 class BicliqueServiceServer(ThreadingHTTPServer):
@@ -86,8 +125,12 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _respond(self, status: int, payload: dict) -> None:
         body = json.dumps(payload).encode()
+        self._send_bytes(status, body, "application/json")
+
+    def _send_bytes(self, status: int, body: bytes, content_type: str) -> None:
+        self._last_status = status
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -108,48 +151,61 @@ class _Handler(BaseHTTPRequestHandler):
         return body
 
     def _observe(self, route: str, elapsed: float) -> None:
+        """Record one finished response: counters, timer, histogram.
+
+        ``route`` is the normalised label (bounded cardinality), and the
+        status class comes from the response actually sent, so error and
+        404 paths are counted exactly like successes.
+        """
         obs = self.server.obs
-        if obs is not None and obs.enabled:
-            obs.incr("service.http_requests")
-            obs.incr(f"service.http_requests.{route.strip('/').replace('/', '_')}")
-            obs.add_time(f"service.http.{route.strip('/').replace('/', '_')}", elapsed)
+        if obs is None or not obs.enabled:
+            return
+        status = getattr(self, "_last_status", 0)
+        obs.incr("service.http_requests")
+        obs.incr(f"service.http_requests.{route}")
+        obs.incr(f"service.http_status.{status // 100}xx")
+        obs.add_time(f"service.http.{route}", elapsed)
+        obs.observe(
+            "service.http_latency_seconds", elapsed, labels={"route": route}
+        )
 
     # -- routes --------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
         start = time.perf_counter()
-        executor = self.server.executor
-        if self.path == "/healthz":
-            self._respond(
-                200,
-                {
-                    "status": "ok",
-                    "graphs": sorted(executor.graphs()),
-                    "queue_depth": executor.queue_depth(),
-                },
-            )
-        elif self.path == "/metrics":
-            obs = self.server.obs
-            snapshot = obs.snapshot() if obs is not None else {}
-            snapshot["cache"] = executor.cache.stats()
-            snapshot["queue_depth"] = executor.queue_depth()
-            self._respond(200, snapshot)
-        else:
-            self._respond(404, {"error": f"unknown route {self.path}"})
-            return
-        self._observe(self.path, time.perf_counter() - start)
+        parts = urlsplit(self.path)
+        path = parts.path
+        route = _route_label(path)
+        try:
+            if path == "/healthz":
+                self._healthz()
+            elif path == "/metrics":
+                self._metrics(parse_qs(parts.query))
+            elif path == "/v1/traces":
+                self._trace_list(parse_qs(parts.query))
+            elif path.startswith("/v1/traces/"):
+                self._trace_detail(path[len("/v1/traces/"):])
+            else:
+                self._respond(404, {"error": f"unknown route {path}"})
+        except _BadRequest as exc:
+            self._respond(400, {"error": str(exc)})
+        except Exception as exc:  # noqa: BLE001 - must answer the client
+            self._respond(500, {"error": f"{type(exc).__name__}: {exc}"})
+        finally:
+            self._observe(route, time.perf_counter() - start)
 
     def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
         start = time.perf_counter()
-        route = self.path
+        route_path = urlsplit(self.path).path
+        route = _route_label(route_path)
         try:
             body = self._json_body()
-            if route == "/v1/graphs":
+            if route_path == "/v1/graphs":
                 payload = self._register(body)
-            elif route in ("/v1/count", "/v1/estimate"):
-                payload = self._query(body, kind=route.rsplit("/", 1)[1])
+            elif route_path in ("/v1/count", "/v1/estimate"):
+                payload = self._query(body, kind=route_path.rsplit("/", 1)[1])
             else:
-                self._respond(404, {"error": f"unknown route {route}"})
+                self._respond(404, {"error": f"unknown route {route_path}"})
                 return
         except _BadRequest as exc:
             self._respond(400, {"error": str(exc)})
@@ -164,9 +220,91 @@ class _Handler(BaseHTTPRequestHandler):
             self._respond(500, {"error": f"{type(exc).__name__}: {exc}"})
         else:
             self._respond(200, payload)
-        self._observe(route, time.perf_counter() - start)
+        finally:
+            self._observe(route, time.perf_counter() - start)
 
     # -- endpoint bodies ----------------------------------------------
+
+    def _healthz(self) -> None:
+        executor = self.server.executor
+        graphs = executor.graphs()
+        self._respond(
+            200,
+            {
+                "status": "ok",
+                "graphs": sorted(graphs),
+                "queue_depth": executor.queue_depth(),
+                "uptime_seconds": round(
+                    time.time() - executor.started_unix, 3
+                ),
+                "version": __version__,
+                "registrations": {
+                    name: {
+                        "fingerprint": registered.fingerprint,
+                        "registered_unix": registered.registered_unix,
+                    }
+                    for name, registered in graphs.items()
+                },
+            },
+        )
+
+    def _metrics(self, params: dict) -> None:
+        executor = self.server.executor
+        obs = self.server.obs
+        fmt = (params.get("format") or ["json"])[0]
+        if fmt == "prometheus":
+            snapshot = obs.snapshot() if obs is not None else {}
+            extra = {
+                "service_queue_depth": executor.queue_depth(),
+                "service_trace_ring_size": len(executor.traces),
+            }
+            for key, value in executor.cache.stats().items():
+                if isinstance(value, (int, float)) and not isinstance(
+                    value, bool
+                ):
+                    extra[f"service_cache_{key}"] = value
+            text = render_prometheus(snapshot, extra_gauges=extra)
+            self._send_bytes(200, text.encode(), _PROM_CONTENT_TYPE)
+            return
+        if fmt != "json":
+            raise _BadRequest(f"unknown metrics format {fmt!r}")
+        snapshot = obs.snapshot() if obs is not None else {}
+        snapshot["cache"] = executor.cache.stats()
+        snapshot["queue_depth"] = executor.queue_depth()
+        self._respond(200, snapshot)
+
+    def _trace_list(self, params: dict) -> None:
+        try:
+            slow_ms = float((params.get("slow") or [0.0])[0])
+            limit = int((params.get("limit") or [50])[0])
+        except ValueError as exc:
+            raise _BadRequest(f"bad trace query parameter: {exc}") from None
+        documents = self.server.executor.traces.list(slow_ms=slow_ms, limit=limit)
+        self._respond(
+            200,
+            {
+                "traces": [
+                    {
+                        key: doc[key]
+                        for key in (
+                            "trace_id", "name", "started_unix", "duration_ms",
+                        )
+                    }
+                    for doc in documents
+                ],
+                "retained": len(self.server.executor.traces),
+            },
+        )
+
+    def _trace_detail(self, trace_id: str) -> None:
+        document = self.server.executor.traces.get(trace_id)
+        if document is None:
+            self._respond(
+                404,
+                {"error": f"no retained trace {trace_id!r} (ring may have evicted it)"},
+            )
+            return
+        self._respond(200, document)
 
     def _register(self, body: dict) -> dict:
         executor = self.server.executor
@@ -213,6 +351,7 @@ class _Handler(BaseHTTPRequestHandler):
         graph_id = body.get("graph")
         if not isinstance(graph_id, str):
             raise _BadRequest("'graph' (a registered name) is required")
+        want_trace = bool(body.get("trace", False))
         deadline_ms = body.get("deadline_ms")
         try:
             query = Query(
@@ -231,12 +370,23 @@ class _Handler(BaseHTTPRequestHandler):
             )
         except (ValueError, TypeError) as exc:
             raise _BadRequest(f"bad query parameter: {exc}") from None
+        trace = Trace(kind)
         try:
-            return self.server.executor.execute(query)
+            result = self.server.executor.execute(query, trace=trace)
         except ValueError as exc:
             # Planner/engine validation (bad method name, p/q out of a
             # method's domain) is the client's fault, not a 500.
             raise _BadRequest(str(exc)) from None
+        # The executor may hand the same dict to coalesced waiters and
+        # the cache, so attach the per-request fields to a copy.
+        payload = {
+            **result,
+            "trace_id": trace.trace_id,
+            "request_ms": round(trace.duration_ms, 3),
+        }
+        if want_trace:
+            payload["trace"] = trace.to_dict()
+        return payload
 
 
 def _opt_float(body: dict, key: str) -> "float | None":

@@ -1,0 +1,158 @@
+"""Fixed-boundary histograms: buckets, quantiles, the merge property."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BOUNDARIES,
+    NULL_HISTOGRAM,
+    Histogram,
+    MetricsRegistry,
+    log_boundaries,
+)
+
+
+class TestBoundaries:
+    def test_log_boundaries_geometric(self):
+        bounds = log_boundaries(1e-4, 100.0, per_decade=4)
+        assert bounds[0] == pytest.approx(1e-4)
+        assert bounds[-1] == pytest.approx(100.0)
+        # Four per decade over six decades inclusive.
+        assert len(bounds) == 25
+        for lo, hi in zip(bounds, bounds[1:]):
+            assert hi / lo == pytest.approx(10 ** 0.25, rel=1e-3)
+
+    def test_log_boundaries_validation(self):
+        with pytest.raises(ValueError):
+            log_boundaries(0.0, 1.0)
+        with pytest.raises(ValueError):
+            log_boundaries(1.0, 1.0)
+        with pytest.raises(ValueError):
+            log_boundaries(1.0, 10.0, per_decade=0)
+
+    def test_default_boundaries_are_the_log_scheme(self):
+        assert DEFAULT_LATENCY_BOUNDARIES == log_boundaries(1e-4, 100.0, 4)
+
+    def test_histogram_rejects_bad_boundaries(self):
+        with pytest.raises(ValueError):
+            Histogram(())
+        with pytest.raises(ValueError):
+            Histogram((1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram((2.0, 1.0))
+
+
+class TestObserve:
+    def test_le_bucket_semantics(self):
+        hist = Histogram((1.0, 10.0, 100.0))
+        hist.observe(1.0)  # on a boundary -> that bucket (le semantics)
+        hist.observe(0.5)
+        hist.observe(5.0)
+        hist.observe(1000.0)  # overflow slot
+        assert hist.counts == [2, 1, 0, 1]
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(1006.5)
+
+    def test_percentiles_interpolate(self):
+        hist = Histogram((1.0, 2.0, 4.0))
+        for _ in range(100):
+            hist.observe(1.5)  # all land in the (1, 2] bucket
+        # Interpolation stays inside the occupied bucket's edges.
+        assert 1.0 <= hist.percentile(0.5) <= 2.0
+        assert 1.0 <= hist.percentile(0.99) <= 2.0
+
+    def test_percentile_overflow_pins_to_last_boundary(self):
+        hist = Histogram((1.0, 2.0))
+        hist.observe(50.0)
+        assert hist.percentile(0.5) == 2.0
+
+    def test_empty_percentile_is_zero(self):
+        assert Histogram((1.0,)).percentile(0.95) == 0.0
+
+    def test_percentile_validates_fraction(self):
+        with pytest.raises(ValueError):
+            Histogram((1.0,)).percentile(1.5)
+
+
+class TestMerge:
+    def test_sharded_equals_whole(self):
+        """Merging worker shards reproduces the serial histogram exactly."""
+        rng = random.Random(7)
+        values = [rng.lognormvariate(-5, 2) for _ in range(5000)]
+        whole = Histogram()
+        for v in values:
+            whole.observe(v)
+        shards = [Histogram() for _ in range(7)]
+        for i, v in enumerate(values):
+            shards[i % 7].observe(v)
+        merged = Histogram()
+        for shard in shards:
+            merged.merge(shard)
+        assert merged.counts == whole.counts
+        assert merged.count == whole.count
+        assert merged.sum == pytest.approx(whole.sum)
+        for f in (0.5, 0.95, 0.99):
+            assert merged.percentile(f) == whole.percentile(f)
+
+    def test_merge_rejects_mismatched_boundaries(self):
+        with pytest.raises(ValueError):
+            Histogram((1.0, 2.0)).merge(Histogram((1.0, 3.0)))
+
+    def test_merge_through_json_round_trip(self):
+        hist = Histogram((0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(5.0)
+        clone = Histogram.from_dict(json.loads(json.dumps(hist.to_dict())))
+        assert clone.counts == hist.counts
+        assert clone.boundaries == hist.boundaries
+        merged = Histogram((0.1, 1.0)).merge(clone)
+        assert merged.counts == hist.counts
+
+    def test_from_dict_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            Histogram.from_dict({"boundaries": [1.0], "counts": [1], "sum": 0, "count": 1})
+
+
+class TestRegistryIntegration:
+    def test_observe_creates_labelled_series(self):
+        reg = MetricsRegistry()
+        reg.observe("http.latency", 0.01, labels={"route": "a"})
+        reg.observe("http.latency", 0.02, labels={"route": "a"})
+        reg.observe("http.latency", 0.5, labels={"route": "b"})
+        snap = reg.snapshot()
+        series = snap["histograms"]["http.latency"]
+        assert len(series) == 2
+        by_route = {s["labels"]["route"]: s for s in series}
+        assert by_route["a"]["count"] == 2
+        assert by_route["b"]["count"] == 1
+        assert "p95" in by_route["a"]
+
+    def test_family_boundaries_first_creation_wins(self):
+        reg = MetricsRegistry()
+        reg.observe("x", 1.0, labels={"k": "a"}, boundaries=(1.0, 2.0))
+        # A different boundaries argument is ignored for the same family.
+        reg.observe("x", 1.0, labels={"k": "b"}, boundaries=(5.0, 6.0))
+        a = reg.histogram("x", labels={"k": "a"})
+        b = reg.histogram("x", labels={"k": "b"})
+        assert a.boundaries == b.boundaries == (1.0, 2.0)
+
+    def test_record_worker_merges_histogram_shards(self):
+        reg = MetricsRegistry()
+        shard = Histogram((1.0, 2.0))
+        shard.observe(0.5)
+        shard.observe(1.5)
+        reg.record_worker({"wall_time": 0.1, "histograms": {"w": shard.to_dict()}})
+        reg.record_worker({"wall_time": 0.1, "histograms": {"w": shard.to_dict()}})
+        merged = reg.histogram("w")
+        assert merged.count == 4
+        assert merged.counts == [2, 2, 0]
+
+    def test_null_histogram_inert(self):
+        NULL_HISTOGRAM.observe(1.0)
+        NULL_HISTOGRAM.merge(NULL_HISTOGRAM)
+        assert NULL_HISTOGRAM.count == 0
+        assert sum(NULL_HISTOGRAM.counts) == 0

@@ -100,6 +100,55 @@ class TestMetricsRegistry:
         assert reg.counters["nodes"] == 1
         assert reg.workers == []
 
+    def test_worker_retention_bounded_totals_kept(self):
+        reg = MetricsRegistry(max_worker_stats=4)
+        for i in range(10):
+            reg.record_worker(
+                {"worker": i, "wall_time": 0.1, "counters": {"nodes": 1}}
+            )
+        # Detail dicts are capped at the most recent 4; the folded
+        # counter and the lifetime tally keep everything.
+        assert [w["worker"] for w in reg.workers] == [6, 7, 8, 9]
+        assert reg.counters["nodes"] == 10
+        assert reg.workers_seen == 10
+        assert reg.snapshot()["workers_seen"] == 10
+        with pytest.raises(ValueError):
+            MetricsRegistry(max_worker_stats=0)
+
+    def test_record_worker_atomic_under_concurrent_snapshots(self):
+        """A snapshot never sees a worker dict whose counters aren't folded."""
+        import threading
+
+        reg = MetricsRegistry(max_worker_stats=10_000)
+        rounds = 300
+        bad: list = []
+        done = threading.Event()
+
+        def snapshotter():
+            while not done.is_set():
+                snap = reg.snapshot()
+                if snap["counters"].get("nodes", 0) < len(snap["workers"]):
+                    bad.append(snap)
+
+        thread = threading.Thread(target=snapshotter)
+        thread.start()
+        for i in range(rounds):
+            reg.record_worker(
+                {"worker": i, "wall_time": 0.0, "counters": {"nodes": 1}}
+            )
+        done.set()
+        thread.join()
+        assert not bad
+        assert reg.counters["nodes"] == rounds
+
+    def test_snapshot_includes_histogram_section(self):
+        reg = MetricsRegistry()
+        reg.observe("lat", 0.01)
+        snap = reg.snapshot()
+        (series,) = snap["histograms"]["lat"]
+        assert series["labels"] == {}
+        assert series["count"] == 1
+
 
 class TestNullRegistry:
     def test_disabled_and_inert(self):

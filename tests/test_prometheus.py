@@ -1,0 +1,156 @@
+"""Prometheus text exposition: grammar, goldens, bucket monotonicity."""
+
+from __future__ import annotations
+
+import re
+
+from repro.obs import Histogram, MetricsRegistry, render_prometheus
+from repro.obs.prometheus import CONTENT_TYPE, metric_name
+
+NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+#: One exposition line: ``name{labels} value`` (labels optional; values
+#: are numbers — ``+Inf`` only ever appears as an ``le`` label value).
+SAMPLE = re.compile(
+    rf"^{NAME}(\{{{NAME}=\"(?:[^\"\\]|\\.)*\"(?:,{NAME}=\"(?:[^\"\\]|\\.)*\")*\}})? "
+    r"-?[0-9][0-9eE+.\-]*$"
+)
+TYPE_LINE = re.compile(rf"^# TYPE ({NAME}) (counter|gauge|histogram)$")
+
+
+def check_exposition(text: str) -> dict:
+    """Validate every line; return {metric name: type} for assertions."""
+    assert text.endswith("\n"), "exposition must end with a newline"
+    types: dict[str, str] = {}
+    for line in text.strip("\n").split("\n"):
+        type_match = TYPE_LINE.match(line)
+        if type_match:
+            name, kind = type_match.groups()
+            assert name not in types, f"duplicate TYPE for {name}"
+            types[name] = kind
+            continue
+        assert SAMPLE.match(line), f"bad exposition line: {line!r}"
+    return types
+
+
+class TestMetricName:
+    def test_sanitizes_dots(self):
+        assert metric_name("service.http_requests") == "service_http_requests"
+
+    def test_leading_digit_prefixed(self):
+        assert metric_name("42x") == "_42x"
+
+    def test_valid_name_unchanged(self):
+        assert metric_name("abc_def:ghi") == "abc_def:ghi"
+
+
+class TestRender:
+    def _registry(self) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        reg.incr("service.requests", 7)
+        reg.add_time("compute", 1.25)
+        reg.gauge("service.queue_depth", 3)
+        for v in (0.0005, 0.002, 0.002, 5.0):
+            reg.observe(
+                "service.http_latency_seconds", v,
+                labels={"route": "v1_count"}, boundaries=(0.001, 0.01, 1.0),
+            )
+        return reg
+
+    def test_golden_exposition(self):
+        text = render_prometheus(self._registry().snapshot())
+        lines = text.strip("\n").split("\n")
+        assert "# TYPE service_requests counter" in lines
+        assert "service_requests 7" in lines
+        assert "# TYPE compute_seconds_total counter" in lines
+        assert "compute_seconds_total 1.25" in lines
+        assert "# TYPE service_queue_depth gauge" in lines
+        assert "service_queue_depth 3" in lines
+        assert "# TYPE service_http_latency_seconds histogram" in lines
+        assert (
+            'service_http_latency_seconds_bucket{le="0.001",route="v1_count"} 1'
+            in lines
+        )
+        assert (
+            'service_http_latency_seconds_bucket{le="0.01",route="v1_count"} 3'
+            in lines
+        )
+        assert (
+            'service_http_latency_seconds_bucket{le="1",route="v1_count"} 3'
+            in lines
+        )
+        assert (
+            'service_http_latency_seconds_bucket{le="+Inf",route="v1_count"} 4'
+            in lines
+        )
+        assert 'service_http_latency_seconds_count{route="v1_count"} 4' in lines
+
+    def test_every_line_matches_grammar(self):
+        types = check_exposition(render_prometheus(self._registry().snapshot()))
+        assert types["service_requests"] == "counter"
+        assert types["compute_seconds_total"] == "counter"
+        assert types["service_queue_depth"] == "gauge"
+        assert types["service_http_latency_seconds"] == "histogram"
+
+    def test_bucket_monotonicity(self):
+        text = render_prometheus(self._registry().snapshot())
+        values = []
+        for line in text.split("\n"):
+            if line.startswith("service_http_latency_seconds_bucket"):
+                values.append(int(line.rsplit(" ", 1)[1]))
+        assert values == sorted(values)
+        assert values, "histogram emitted no buckets"
+        # +Inf equals the series count.
+        assert values[-1] == 4
+
+    def test_extra_gauges_folded_in(self):
+        text = render_prometheus(
+            MetricsRegistry().snapshot(),
+            extra_gauges={"service_cache_size": 12},
+        )
+        assert "# TYPE service_cache_size gauge" in text
+        assert "service_cache_size 12" in text
+        check_exposition(text)
+
+    def test_label_escaping(self):
+        reg = MetricsRegistry()
+        reg.observe("h", 1.0, labels={"k": 'a"b\\c\nd'}, boundaries=(1.0,))
+        text = render_prometheus(reg.snapshot())
+        assert r'k="a\"b\\c\nd"' in text
+
+    def test_bool_gauge_renders_numeric(self):
+        reg = MetricsRegistry()
+        reg.gauge("flag", True)
+        text = render_prometheus(reg.snapshot())
+        assert "flag 1" in text.split("\n")
+        check_exposition(text)
+
+    def test_empty_snapshot_renders(self):
+        assert render_prometheus({}) == "\n"
+
+    def test_merged_shards_render_identically(self):
+        """Two worker shards merged == one serial histogram, in exposition."""
+        serial = MetricsRegistry()
+        sharded = MetricsRegistry()
+        values = [0.01, 0.2, 3.0, 0.0007]
+        for v in values:
+            serial.observe("lat", v)
+        half = Histogram()
+        for v in values[:2]:
+            half.observe(v)
+        other = Histogram()
+        for v in values[2:]:
+            other.observe(v)
+        sharded.record_worker({"wall_time": 0, "histograms": {"lat": half.to_dict()}})
+        sharded.record_worker({"wall_time": 0, "histograms": {"lat": other.to_dict()}})
+
+        def hist_lines(reg):
+            return [
+                line
+                for line in render_prometheus(reg.snapshot()).split("\n")
+                if line.startswith("lat")
+            ]
+
+        assert hist_lines(serial) == hist_lines(sharded)
+
+    def test_content_type_constant(self):
+        assert "version=0.0.4" in CONTENT_TYPE

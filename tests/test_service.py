@@ -305,7 +305,7 @@ class TestExecutor:
             name = ex.register(graph).name
             real = ex._execute_plan
 
-            def gated(plan, query, registered):
+            def gated(plan, query, registered, trace=None):
                 entered.set()
                 assert release.wait(timeout=10)
                 return real(plan, query, registered)
@@ -330,7 +330,7 @@ class TestExecutor:
         with make_executor(threads=1, max_queue=1) as ex:
             name = ex.register(graph).name
 
-            def blocked(plan, query, registered):
+            def blocked(plan, query, registered, trace=None):
                 entered.set()
                 assert release.wait(timeout=10)
                 return 0, {}
@@ -421,3 +421,113 @@ class TestExecutor:
             assert result["cached"] is True
             assert result["value"] == value
             assert counter(ex2, "service.engine_runs") == 0
+
+
+class TestExecutorTracing:
+    def test_span_tree_covers_the_request(self, graph):
+        from repro.obs import Trace
+
+        with make_executor() as ex:
+            name = ex.register(graph).name
+            trace = Trace("count")
+            result = ex.execute(Query(name, "count", 2, 2), trace=trace)
+            assert result["value"] == count_single(graph, 2, 2)
+
+        doc = trace.to_dict()
+        root = doc["spans"]
+        names = [span["name"] for span in root["children"]]
+        assert names[:3] == ["admission", "cache_lookup", "queue_wait"]
+        assert "plan" in names and "merge" in names
+        engine_spans = [n for n in names if n.startswith("engine:")]
+        assert len(engine_spans) == 1
+        # The plan span names the chosen engine and its reason.
+        plan_span = next(s for s in root["children"] if s["name"] == "plan")
+        assert plan_span["attributes"]["engine"] == result["method"]
+        assert plan_span["attributes"]["reason"] == result["reason"]
+        # Phase durations account for the request end to end: the spans
+        # are sequential, so their sum cannot exceed the root duration
+        # and the gaps between them are only scheduling jitter.
+        total = sum(s["duration_ms"] for s in root["children"])
+        assert total <= root["duration_ms"] + 0.5
+        assert total >= 0.5 * plan_span["duration_ms"]
+
+    def test_trace_retained_in_ring(self, graph):
+        from repro.obs import Trace
+
+        with make_executor() as ex:
+            name = ex.register(graph).name
+            trace = Trace("count")
+            ex.execute(Query(name, "count", 2, 2), trace=trace)
+            assert len(ex.traces) == 1
+            assert ex.traces.get(trace.trace_id)["trace_id"] == trace.trace_id
+            # Untraced requests leave the ring alone.
+            ex.cache.clear()
+            ex.execute(Query(name, "count", 2, 3))
+            assert len(ex.traces) == 1
+
+    def test_engine_latency_histogram_recorded(self, graph):
+        with make_executor() as ex:
+            name = ex.register(graph).name
+            result = ex.execute(Query(name, "count", 2, 2))
+            snap = ex._obs.snapshot()
+            series = snap["histograms"]["service.engine_seconds"]
+            engines = {s["labels"]["engine"] for s in series}
+            assert result["method"] in engines
+            assert sum(s["count"] for s in series) == 1
+            assert "service.queue_wait_seconds" in snap["histograms"]
+
+    def test_slow_log_records_via_executor(self, graph, tmp_path):
+        import json
+
+        from repro.obs import SlowQueryLog, Trace
+
+        path = tmp_path / "slow.jsonl"
+        with make_executor(
+            slow_log=SlowQueryLog(str(path), threshold_ms=0.0)
+        ) as ex:
+            name = ex.register(graph).name
+            trace = Trace("count")
+            ex.execute(Query(name, "count", 2, 2), trace=trace)
+        record = json.loads(path.read_text().strip().splitlines()[0])
+        assert record["trace_id"] == trace.trace_id
+        assert record["graph"] == name
+        assert record["p"] == 2 and record["q"] == 2
+        assert "method" in record
+        assert counter(ex, "service.slow_queries") == 1
+
+    def test_null_trace_default_records_nothing(self, graph):
+        from repro.obs.trace import NULL_TRACE
+
+        with make_executor() as ex:
+            name = ex.register(graph).name
+            ex.execute(Query(name, "count", 2, 2))
+            assert len(ex.traces) == 0
+            assert NULL_TRACE.root.children == []
+
+    def test_fallback_engine_span_carries_degradation_reason(self):
+        from repro.obs import Trace
+
+        g = complete_bigraph(9, 9)
+        with make_executor() as ex:
+            name = ex.register(g).name
+            trace = Trace("count")
+            result = ex.execute(
+                Query(name, "count", 4, 4, deadline=0.000001), trace=trace
+            )
+            assert result["degraded"] is True
+        root = trace.to_dict()["spans"]
+        engine_spans = [
+            s for s in root["children"] if s["name"].startswith("engine:")
+        ]
+        assert engine_spans, "no engine span recorded"
+        # Either the planner degraded upfront (single span, plan says
+        # degraded) or the exact run blew its budget mid-flight (second
+        # span carries the degradation reason).
+        plan_span = next(s for s in root["children"] if s["name"] == "plan")
+        if len(engine_spans) > 1:
+            assert (
+                engine_spans[-1]["attributes"]["degradation_reason"]
+                == "budget_exceeded"
+            )
+        else:
+            assert plan_span["attributes"].get("degraded") is True

@@ -70,6 +70,16 @@ def counters(obs: MetricsRegistry) -> dict:
     return obs.snapshot()["counters"]
 
 
+def graph_payload(graph: BipartiteGraph, name: str) -> dict:
+    """The /v1/graphs registration body for an in-memory graph."""
+    return {
+        "name": name,
+        "n_left": graph.n_left,
+        "n_right": graph.n_right,
+        "edges": [[u, v] for u, v in graph.edges()],
+    }
+
+
 @pytest.fixture
 def graph():
     import random
@@ -206,7 +216,7 @@ class TestEndToEnd:
         release = threading.Event()
         entered = threading.Event()
 
-        def blocked(plan, query, registered):
+        def blocked(plan, query, registered, trace=None):
             entered.set()
             assert release.wait(timeout=10)
             return 0, {}
@@ -245,3 +255,179 @@ class TestEndToEnd:
             assert rejected["retryable"] is True
         finally:
             release.set()
+
+
+def get_text(base: str, path: str) -> tuple[int, str, str]:
+    """GET returning (status, body text, content type) for non-JSON routes."""
+    try:
+        with urllib.request.urlopen(base + path, timeout=60) as response:
+            return (
+                response.status,
+                response.read().decode(),
+                response.headers.get("Content-Type", ""),
+            )
+    except urllib.error.HTTPError as error:
+        return error.code, error.read().decode(), ""
+
+
+class TestObservabilityEndpoints:
+    def test_query_response_carries_trace_id_and_request_ms(
+        self, service, graph
+    ):
+        base, _executor, _obs = service
+        post(base, "/v1/graphs", graph_payload(graph, "g"))
+        status, body = post(base, "/v1/count", {"graph": "g", "p": 2, "q": 2})
+        assert status == 200
+        assert len(body["trace_id"]) == 16
+        assert body["request_ms"] > 0
+        assert "trace" not in body  # only on request
+
+    def test_trace_true_returns_span_tree_summing_to_request(
+        self, service, graph
+    ):
+        base, _executor, _obs = service
+        post(base, "/v1/graphs", graph_payload(graph, "g"))
+        status, body = post(
+            base, "/v1/count", {"graph": "g", "p": 2, "q": 2, "trace": True}
+        )
+        assert status == 200
+        doc = body["trace"]
+        assert doc["trace_id"] == body["trace_id"]
+        root = doc["spans"]
+        names = [span["name"] for span in root["children"]]
+        assert "admission" in names and "queue_wait" in names
+        plan = next(s for s in root["children"] if s["name"] == "plan")
+        assert plan["attributes"]["engine"] == body["method"]
+        assert plan["attributes"]["reason"] == body["reason"]
+        assert any(n.startswith("engine:") for n in names)
+        # The sequential phase spans account for the reported latency.
+        total = sum(s["duration_ms"] for s in root["children"])
+        assert total <= body["request_ms"] + 0.5
+        assert doc["duration_ms"] <= body["request_ms"] + 0.5
+
+    def test_traces_listing_and_detail(self, service, graph):
+        base, _executor, _obs = service
+        post(base, "/v1/graphs", graph_payload(graph, "g"))
+        _, body = post(
+            base, "/v1/count", {"graph": "g", "p": 2, "q": 2, "trace": True}
+        )
+        status, listing = get(base, "/v1/traces?slow=0")
+        assert status == 200
+        ids = [t["trace_id"] for t in listing["traces"]]
+        assert body["trace_id"] in ids
+        assert listing["retained"] >= 1
+        status, detail = get(base, f"/v1/traces/{body['trace_id']}")
+        assert status == 200
+        assert detail["spans"]["children"]
+        status, _ = get(base, "/v1/traces/deadbeefdeadbeef")
+        assert status == 404
+        status, _ = get(base, "/v1/traces?slow=banana")
+        assert status == 400
+
+    def test_untraced_queries_fill_the_ring_too(self, service, graph):
+        # Every HTTP query gets a trace id; the ring retains them all.
+        base, executor, _obs = service
+        post(base, "/v1/graphs", graph_payload(graph, "g"))
+        post(base, "/v1/count", {"graph": "g", "p": 2, "q": 2})
+        assert len(executor.traces) == 1
+
+    def test_prometheus_exposition(self, service, graph):
+        base, _executor, _obs = service
+        post(base, "/v1/graphs", graph_payload(graph, "g"))
+        post(base, "/v1/count", {"graph": "g", "p": 2, "q": 2})
+        status, text, content_type = get_text(
+            base, "/metrics?format=prometheus"
+        )
+        assert status == 200
+        assert "version=0.0.4" in content_type
+        assert text.endswith("\n")
+        lines = text.strip("\n").split("\n")
+        assert any(
+            line.startswith("service_http_latency_seconds_bucket") for line in lines
+        )
+        count_lines = [
+            line
+            for line in lines
+            if line.startswith("service_http_latency_seconds_count")
+        ]
+        assert count_lines and all(
+            int(line.rsplit(" ", 1)[1]) > 0 for line in count_lines
+        )
+        # Cumulative buckets are monotone per series (strip the le
+        # label to group one route's buckets together).
+        import re
+
+        by_series: dict = {}
+        for line in lines:
+            if line.startswith("service_http_latency_seconds_bucket"):
+                labels, value = line.rsplit(" ", 1)
+                series = re.sub(r'le="[^"]*",?', "", labels)
+                by_series.setdefault(series, []).append(int(value))
+        assert by_series
+        for values in by_series.values():
+            assert values == sorted(values)
+        status, _ = get(base, "/metrics?format=xml")
+        assert status == 400
+
+    def test_404_and_status_class_counters(self, service):
+        base, _executor, obs = service
+        before = counters(obs).get("service.http_requests", 0)
+        status, _ = get(base, "/no/such/route")
+        assert status == 404
+        after = counters(obs)
+        assert after["service.http_requests"] == before + 1
+        assert after["service.http_requests.unknown"] >= 1
+        assert after["service.http_status.4xx"] >= 1
+        snap = obs.snapshot()
+        routes = {
+            s["labels"]["route"]
+            for s in snap["histograms"]["service.http_latency_seconds"]
+        }
+        assert "unknown" in routes
+
+    def test_healthz_uptime_version_registrations(self, service, graph):
+        base, _executor, _obs = service
+        post(base, "/v1/graphs", graph_payload(graph, "g"))
+        status, body = get(base, "/healthz")
+        assert status == 200
+        assert body["graphs"] == ["g"]
+        assert body["uptime_seconds"] >= 0
+        from repro import __version__
+
+        assert body["version"] == __version__
+        registration = body["registrations"]["g"]
+        assert registration["registered_unix"] > 0
+        assert len(registration["fingerprint"]) == 64
+
+    def test_metrics_scrape_during_concurrent_queries(self, service, graph):
+        """Hammering /metrics while queries run never errors or corrupts."""
+        base, _executor, _obs = service
+        post(base, "/v1/graphs", graph_payload(graph, "g"))
+        errors: list = []
+        done = threading.Event()
+
+        def scraper():
+            while not done.is_set():
+                status, _body = get(base, "/metrics")
+                if status != 200:
+                    errors.append(("json", status))
+                status, text, _ct = get_text(base, "/metrics?format=prometheus")
+                if status != 200 or not text.endswith("\n"):
+                    errors.append(("prom", status))
+
+        threads = [threading.Thread(target=scraper) for _ in range(3)]
+        for t in threads:
+            t.start()
+        try:
+            for p, q in [(2, 2), (2, 3), (3, 2), (1, 2), (3, 3)]:
+                status, _ = post(
+                    base,
+                    "/v1/count",
+                    {"graph": "g", "p": p, "q": q, "trace": True},
+                )
+                assert status == 200
+        finally:
+            done.set()
+            for t in threads:
+                t.join()
+        assert not errors

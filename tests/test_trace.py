@@ -1,0 +1,156 @@
+"""Request-scoped traces: span nesting, the no-op twin, ring, slow log."""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.obs import NULL_TRACE, NullTrace, SlowQueryLog, Trace, TraceRing
+
+
+class TestTrace:
+    def test_span_nesting(self):
+        trace = Trace("request")
+        with trace.span("outer") as outer:
+            outer.set("k", "v")
+            with trace.span("inner"):
+                pass
+        trace.finish()
+        doc = trace.to_dict()
+        root = doc["spans"]
+        assert root["name"] == "request"
+        (outer_doc,) = root["children"]
+        assert outer_doc["name"] == "outer"
+        assert outer_doc["attributes"] == {"k": "v"}
+        (inner_doc,) = outer_doc["children"]
+        assert inner_doc["name"] == "inner"
+        assert json.dumps(doc)  # JSON-safe end to end
+
+    def test_span_durations_nest_within_parent(self):
+        trace = Trace()
+        with trace.span("parent"):
+            with trace.span("child"):
+                time.sleep(0.01)
+        trace.finish()
+        root = trace.to_dict()["spans"]
+        parent = root["children"][0]
+        child = parent["children"][0]
+        assert child["duration_ms"] <= parent["duration_ms"]
+        assert parent["duration_ms"] <= root["duration_ms"]
+        assert child["duration_ms"] >= 9.0
+
+    def test_exception_marks_span_and_propagates(self):
+        trace = Trace()
+        with pytest.raises(RuntimeError):
+            with trace.span("failing"):
+                raise RuntimeError("boom")
+        span = trace.to_dict()["spans"]["children"][0]
+        assert span["attributes"]["error"] == "RuntimeError"
+        assert span["duration_ms"] is not None
+
+    def test_add_span_places_ending_now(self):
+        trace = Trace()
+        trace.add_span("queue_wait", 0.005, depth=3)
+        span = trace.to_dict()["spans"]["children"][0]
+        assert span["duration_ms"] == pytest.approx(5.0)
+        assert span["attributes"] == {"depth": 3}
+
+    def test_finish_idempotent(self):
+        trace = Trace()
+        first = trace.finish().duration
+        time.sleep(0.005)
+        assert trace.finish().duration == first
+
+    def test_trace_ids_unique(self):
+        assert Trace().trace_id != Trace().trace_id
+
+
+class TestNullTrace:
+    def test_disabled_and_inert(self):
+        assert NULL_TRACE.enabled is False
+        with NULL_TRACE.span("anything", key="value") as span:
+            span.set("dropped", True)
+        NULL_TRACE.add_span("x", 1.0)
+        NULL_TRACE.set("k", "v")
+        NULL_TRACE.finish()
+        assert NULL_TRACE.to_dict() == {}
+        assert NULL_TRACE.root.children == []
+        assert NULL_TRACE.root.attributes == {}
+
+    def test_fresh_null_trace_also_inert(self):
+        trace = NullTrace("n")
+        with trace.span("a"):
+            pass
+        assert trace.root.children == []
+
+
+class TestTraceRing:
+    def _finished(self, name: str, duration: float) -> Trace:
+        trace = Trace(name)
+        trace.duration = duration
+        trace.root.duration = duration
+        return trace
+
+    def test_eviction_drops_oldest(self):
+        ring = TraceRing(capacity=3)
+        traces = [self._finished(f"t{i}", 0.01) for i in range(5)]
+        for trace in traces:
+            ring.add(trace)
+        assert len(ring) == 3
+        assert ring.get(traces[0].trace_id) is None
+        assert ring.get(traces[1].trace_id) is None
+        for kept in traces[2:]:
+            assert ring.get(kept.trace_id)["trace_id"] == kept.trace_id
+
+    def test_ignores_disabled_traces(self):
+        ring = TraceRing(4)
+        ring.add(NULL_TRACE)
+        assert len(ring) == 0
+
+    def test_list_filters_and_sorts_slowest_first(self):
+        ring = TraceRing(16)
+        for ms in (5, 50, 500):
+            ring.add(self._finished(f"{ms}ms", ms / 1000.0))
+        slow = ring.list(slow_ms=10.0)
+        assert [doc["name"] for doc in slow] == ["500ms", "50ms"]
+        assert len(ring.list(slow_ms=0.0, limit=2)) == 2
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            TraceRing(0)
+
+
+class TestSlowQueryLog:
+    def test_threshold_filters(self, tmp_path):
+        path = tmp_path / "slow.jsonl"
+        log = SlowQueryLog(str(path), threshold_ms=50.0)
+        fast = Trace("fast")
+        fast.duration = 0.001
+        assert log.maybe_record(fast) is False
+        slow = Trace("slow")
+        slow.duration = 0.2
+        assert log.maybe_record(slow, extra={"graph": "g", "p": 2, "q": 2})
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert record["trace_id"] == slow.trace_id
+        assert record["graph"] == "g"
+        assert record["duration_ms"] == pytest.approx(200.0)
+        assert record["trace"]["spans"]["name"] == "slow"
+
+    def test_null_trace_never_recorded(self, tmp_path):
+        log = SlowQueryLog(str(tmp_path / "slow.jsonl"), threshold_ms=0.0)
+        assert log.maybe_record(NULL_TRACE) is False
+
+    def test_creates_parent_directories(self, tmp_path):
+        log = SlowQueryLog(str(tmp_path / "nested" / "dir" / "slow.jsonl"))
+        trace = Trace()
+        trace.duration = 10.0
+        log.threshold_ms = 0.0
+        assert log.maybe_record(trace)
+
+    def test_threshold_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            SlowQueryLog(str(tmp_path / "x"), threshold_ms=-1.0)
