@@ -26,7 +26,19 @@ also be fanned out over worker processes: pass ``workers=N`` to any entry
 point and the partial results are merged exactly (integer cells stay
 Python integers).
 
-Counts are exact Python integers.
+Two traversal engines expand the same tree (see ``mode`` on
+:class:`EPivoter`):
+
+* the **scalar** engine — the explicit-stack, node-at-a-time loop in
+  :meth:`EPivoter._run_scalar`, the correctness twin every other path is
+  tested against;
+* the **frontier** engine (:mod:`repro.core.frontier`) — a
+  level-synchronous rewrite that expands whole batches of tree nodes
+  with vectorised numpy kernels, bit-identical to the scalar engine in
+  counts, traversal counters, and budget behaviour, several times
+  faster on real graphs.
+
+Counts are exact Python integers in both engines.
 """
 
 from __future__ import annotations
@@ -96,6 +108,11 @@ LeafVisitor = Callable[[list[int], list[int], list[int], list[int], int, int], N
 # failed or targeted call can never poison a later one.
 Bounds = "tuple[int, int, int, int] | None"
 
+#: ``mode="auto"`` picks the frontier engine only when the graph is big
+#: enough for batching to amortise the numpy call overhead; below this
+#: many edges the scalar loop wins outright.
+_FRONTIER_AUTO_MIN_EDGES = 64
+
 
 class EPivoter:
     """Reusable EPivoter engine bound to one degree-ordered graph.
@@ -110,6 +127,16 @@ class EPivoter:
         ``d_{G'}(u) * d_{G'}(v)``, a cheap surrogate for the paper's exact
         ``|N(e, G')|``; ``"exact"`` computes the paper's criterion.
         Correctness does not depend on the choice, only tree size.
+    mode:
+        Which traversal engine expands the tree.  ``"frontier"`` forces
+        the level-synchronous vectorised engine
+        (:mod:`repro.core.frontier`; requires numpy and the product
+        pivot), ``"scalar"`` forces the node-at-a-time loop, and
+        ``"auto"`` (default) picks the frontier engine for global counts
+        on graphs with at least ``64`` edges and the scalar engine
+        otherwise.  Both engines expand the identical tree and produce
+        bit-identical counts; local (per-vertex) counting always runs
+        the scalar set-level traversal, which needs vertex identities.
 
     All counting entry points accept ``workers``: ``None``/``1`` run
     serially in-process, ``N > 1`` fan the root edges out over ``N``
@@ -117,17 +144,61 @@ class EPivoter:
     serial ones cell-for-cell.
     """
 
-    def __init__(self, graph: BipartiteGraph, pivot: str = "product"):
+    def __init__(
+        self, graph: BipartiteGraph, pivot: str = "product", mode: str = "auto"
+    ):
         if pivot not in ("product", "exact"):
             raise ValueError("pivot must be 'product' or 'exact'")
+        if mode not in ("auto", "frontier", "scalar"):
+            raise ValueError("mode must be 'auto', 'frontier', or 'scalar'")
+        if mode == "frontier":
+            if pivot != "product":
+                raise ValueError(
+                    "frontier mode implements the 'product' pivot rule only"
+                )
+            from repro.core.frontier import NUMPY_AVAILABLE
+
+            if not NUMPY_AVAILABLE:  # pragma: no cover - broken installs
+                raise RuntimeError("frontier mode requires numpy")
         self.pivot = pivot
+        self.mode = mode
         if graph.is_degree_ordered():
             self.graph = graph
         else:
             self.graph, _, _ = graph.degree_ordered()
-        g = self.graph
-        self._adj_left = [set(g.neighbors_left(u)) for u in range(g.n_left)]
-        self._adj_right = [set(g.neighbors_right(v)) for v in range(g.n_right)]
+        self._adj_left_cache: "list[set[int]] | None" = None
+        self._adj_right_cache: "list[set[int]] | None" = None
+        self._frontier_graph = None
+
+    # Adjacency sets are the scalar engine's working representation;
+    # built lazily so frontier-only engines skip the O(n + m) set build.
+    @property
+    def _adj_left(self) -> "list[set[int]]":
+        if self._adj_left_cache is None:
+            g = self.graph
+            self._adj_left_cache = [
+                set(g.neighbors_left(u)) for u in range(g.n_left)
+            ]
+        return self._adj_left_cache
+
+    @property
+    def _adj_right(self) -> "list[set[int]]":
+        if self._adj_right_cache is None:
+            g = self.graph
+            self._adj_right_cache = [
+                set(g.neighbors_right(v)) for v in range(g.n_right)
+            ]
+        return self._adj_right_cache
+
+    def _use_frontier(self) -> bool:
+        """Whether size-level traversals run the frontier engine."""
+        if self.mode == "scalar" or self.pivot != "product":
+            return False
+        if self.mode == "frontier":
+            return True
+        from repro.core.frontier import NUMPY_AVAILABLE
+
+        return NUMPY_AVAILABLE and self.graph.num_edges >= _FRONTIER_AUTO_MIN_EDGES
 
     # ------------------------------------------------------------------
     # Public entry points
@@ -165,9 +236,9 @@ class EPivoter:
         runs only).
         """
         if max_p is None:
-            max_p = max((len(s) for s in self._adj_right), default=1)
+            max_p = max(self.graph.degrees_right(), default=1)
         if max_q is None:
-            max_q = max((len(s) for s in self._adj_left), default=1)
+            max_q = max(self.graph.degrees_left(), default=1)
         max_p = max(1, max_p)
         max_q = max(1, max_q)
         bounds = (max_p, max_q, 1, 1)
@@ -183,7 +254,8 @@ class EPivoter:
                     obs.gauge_max("parallel.workers", n_workers)
                     obs.gauge_max("parallel.chunks", len(chunks))
                 payloads = [
-                    (self.pivot, max_p, max_q, chunk, track) for chunk in chunks
+                    (self.pivot, self.mode, max_p, max_q, chunk, track)
+                    for chunk in chunks
                 ]
                 parts = run_chunked(
                     _count_all_chunk, payloads, n_workers, graph=self.graph,
@@ -256,7 +328,7 @@ class EPivoter:
                     sp.set("core_edges", core.num_edges)
                 if core.num_edges == 0:
                     return 0
-                engine = EPivoter(core, pivot=self.pivot)
+                engine = EPivoter(core, pivot=self.pivot, mode=self.mode)
 
         n_workers = resolve_workers(workers)
         if pool is not None:
@@ -268,7 +340,8 @@ class EPivoter:
                     obs.gauge_max("parallel.workers", n_workers)
                     obs.gauge_max("parallel.chunks", len(chunks))
                 payloads = [
-                    (engine.pivot, p, q, chunk, track, node_budget, time_budget)
+                    (engine.pivot, engine.mode, p, q, chunk, track,
+                     node_budget, time_budget)
                     for chunk in chunks
                 ]
                 with trace.span(
@@ -284,16 +357,7 @@ class EPivoter:
                     )
                     return sum(split_worker_results(parts, obs))
 
-        total = 0
-
-        def visit(free_l: int, fixed_l: int, free_r: int, fixed_r: int, multiplier: int) -> None:
-            nonlocal total
-            total += (
-                multiplier
-                * binomial(free_l, p - fixed_l)
-                * binomial(free_r, q - fixed_r)
-            )
-
+        visit, box = _single_cell_visitor(p, q)
         with trace.span("traverse", workers=1):
             engine._run(
                 visit,
@@ -302,8 +366,9 @@ class EPivoter:
                 heartbeat=heartbeat,
                 node_budget=node_budget,
                 deadline=deadline,
+                trace=trace,
             )
-        return total
+        return box[0]
 
     def count_local(
         self,
@@ -311,6 +376,8 @@ class EPivoter:
         q: int,
         workers: "int | None" = None,
         obs: "MetricsRegistry | None" = None,
+        node_budget: "int | None" = None,
+        time_budget: "float | None" = None,
     ) -> tuple[list[int], list[int]]:
         """Per-vertex (p, q)-biclique counts (Section 6).
 
@@ -318,7 +385,10 @@ class EPivoter:
         ordered) labelling: ``left_counts[u]`` is the number of (p, q)-
         bicliques containing left vertex ``u``.
         """
-        result = self.count_local_many([(p, q)], workers=workers, obs=obs)
+        result = self.count_local_many(
+            [(p, q)], workers=workers, obs=obs,
+            node_budget=node_budget, time_budget=time_budget,
+        )
         return result[(p, q)]
 
     def count_local_many(
@@ -326,18 +396,28 @@ class EPivoter:
         pairs: "list[tuple[int, int]]",
         workers: "int | None" = None,
         obs: "MetricsRegistry | None" = None,
+        node_budget: "int | None" = None,
+        time_budget: "float | None" = None,
     ) -> dict[tuple[int, int], tuple[list[int], list[int]]]:
         """Per-vertex counts for several (p, q) pairs in one traversal.
 
         The enumeration tree does not depend on (p, q), so a whole
         clustering-coefficient profile costs a single EPivoter pass.
         Size pruning is applied with the loosest bounds across the pairs.
+
+        ``node_budget`` / ``time_budget`` bound the traversal exactly
+        like :meth:`count_single`'s budgets do, so the service layer can
+        bound local-count fan-outs too; exceeding either raises
+        :class:`CountBudgetExceeded` (per chunk on parallel runs).
         """
         if not pairs:
             raise ValueError("pairs must be non-empty")
         if any(p < 1 or q < 1 for p, q in pairs):
             raise ValueError("p and q must be positive")
         track = obs is not None and obs.enabled
+        deadline = (
+            time.monotonic() + time_budget if time_budget is not None else None
+        )
 
         n_workers = resolve_workers(workers)
         if n_workers > 1:
@@ -347,7 +427,9 @@ class EPivoter:
                     obs.gauge_max("parallel.workers", n_workers)
                     obs.gauge_max("parallel.chunks", len(chunks))
                 payloads = [
-                    (self.pivot, tuple(pairs), chunk, track) for chunk in chunks
+                    (self.pivot, self.mode, tuple(pairs), chunk, track,
+                     node_budget, time_budget)
+                    for chunk in chunks
                 ]
                 parts = run_chunked(
                     _count_local_chunk,
@@ -363,7 +445,8 @@ class EPivoter:
             pair: ([0] * g.n_left, [0] * g.n_right) for pair in pairs
         }
         self._run_sets(
-            _local_leaf_visitor(result), bounds=_pairs_bounds(pairs), obs=obs
+            _local_leaf_visitor(result), bounds=_pairs_bounds(pairs), obs=obs,
+            node_budget=node_budget, deadline=deadline,
         )
         return result
 
@@ -384,6 +467,63 @@ class EPivoter:
         return chunk_root_edges(g, roots, n_workers * CHUNKS_PER_WORKER)
 
     def _run(
+        self,
+        visit: "Callable[[int, int, int, int, int], None]",
+        left_region: "set[int] | None" = None,
+        bounds: Bounds = None,
+        roots: "list[tuple[int, int]] | None" = None,
+        obs: "MetricsRegistry | None" = None,
+        heartbeat: "Heartbeat | None" = None,
+        node_budget: "int | None" = None,
+        deadline: "float | None" = None,
+        trace=None,
+    ) -> None:
+        """Dispatch one traversal to the frontier or scalar engine.
+
+        Both engines expand the *same* enumeration tree and call
+        ``visit`` with the same leaf descriptions (frontier batches and
+        deduplicates them, but the multiset of contributions is
+        identical), so counts are bit-identical either way.  ``trace``
+        is only consumed by the frontier engine (``frontier_expand``
+        spans); the scalar walk has no per-level structure to time.
+        """
+        if self._use_frontier():
+            from repro.core import frontier
+
+            g = self.graph
+            if roots is None:
+                roots = g.edges()
+            root_list = [
+                (u, v)
+                for u, v in roots
+                if left_region is None or u in left_region
+            ]
+            if self._frontier_graph is None:
+                self._frontier_graph = frontier.FrontierGraph(g)
+            frontier.run_frontier(
+                self._frontier_graph,
+                root_list,
+                visit,
+                bounds=bounds,
+                obs=obs,
+                heartbeat=heartbeat,
+                node_budget=node_budget,
+                deadline=deadline,
+                trace=trace,
+            )
+            return
+        self._run_scalar(
+            visit,
+            left_region=left_region,
+            bounds=bounds,
+            roots=roots,
+            obs=obs,
+            heartbeat=heartbeat,
+            node_budget=node_budget,
+            deadline=deadline,
+        )
+
+    def _run_scalar(
         self,
         visit: "Callable[[int, int, int, int, int], None]",
         left_region: "set[int] | None" = None,
@@ -472,7 +612,7 @@ class EPivoter:
                         )
                 if heartbeat is not None:
                     heartbeat.tick()
-                cand_l, cand_r, p_l, h_l, p_r, h_r = stack.pop()
+                cand_l, cand_r, p_l, h_l, p_r, h_r = stack.pop()  # scalar-pop-ok: correctness twin
                 if max_p is not None:
                     if h_l > max_p or h_r > max_q:
                         prune_size += 1
@@ -490,7 +630,10 @@ class EPivoter:
                 deg_l: dict[int, int] = {}
                 deg_r: dict[int, int] = {}
                 for x in cand_l:
-                    hits = adj_left[x] & cand_r_set
+                    # Sorted so edge order (and hence pivot tie-breaks
+                    # and stack order) is deterministic and matches the
+                    # frontier engine's (x-position, y-value) order.
+                    hits = sorted(adj_left[x] & cand_r_set)
                     if hits:
                         deg_l[x] = len(hits)
                         for y in hits:
@@ -610,6 +753,8 @@ class EPivoter:
         roots: "list[tuple[int, int]] | None" = None,
         obs: "MetricsRegistry | None" = None,
         heartbeat: "Heartbeat | None" = None,
+        node_budget: "int | None" = None,
+        deadline: "float | None" = None,
     ) -> None:
         """Like :meth:`_run` but leaves receive vertex lists.
 
@@ -629,6 +774,8 @@ class EPivoter:
         if roots is None:
             roots = g.edges()
         track = obs is not None and obs.enabled
+        budgeted = node_budget is not None or deadline is not None
+        budget_nodes = 0
         n_roots = nodes = leaves = 0
         pivot_branches = edge_branches = 0
         prune_size = prune_reach_l = prune_reach_r = 0
@@ -637,6 +784,10 @@ class EPivoter:
             tuple[list[int], list[int], list[int], list[int], list[int], list[int]]
         ] = []
         push = stack.append
+        if deadline is not None and time.monotonic() >= deadline:
+            raise CountBudgetExceeded(
+                "deadline expired before the traversal started"
+            )
         for root_u, root_v in roots:
             n_roots += 1
             push(
@@ -651,9 +802,23 @@ class EPivoter:
                     nodes += 1
                     if len(stack) > max_depth:
                         max_depth = len(stack)
+                if budgeted:
+                    budget_nodes += 1
+                    if node_budget is not None and budget_nodes > node_budget:
+                        raise CountBudgetExceeded(
+                            f"node budget of {node_budget} exhausted"
+                        )
+                    if (
+                        deadline is not None
+                        and (budget_nodes & _DEADLINE_CHECK_MASK) == 0
+                        and time.monotonic() >= deadline
+                    ):
+                        raise CountBudgetExceeded(
+                            f"deadline hit after {budget_nodes} nodes"
+                        )
                 if heartbeat is not None:
                     heartbeat.tick()
-                cand_l, cand_r, p_l, h_l, p_r, h_r = stack.pop()
+                cand_l, cand_r, p_l, h_l, p_r, h_r = stack.pop()  # scalar-pop-ok: vertex-identity walk
                 if max_p is not None:
                     if len(h_l) > max_p or len(h_r) > max_q:
                         prune_size += 1
@@ -669,7 +834,7 @@ class EPivoter:
                 deg_l: dict[int, int] = {}
                 deg_r: dict[int, int] = {}
                 for x in cand_l:
-                    hits = adj_left[x] & cand_r_set
+                    hits = sorted(adj_left[x] & cand_r_set)
                     if hits:
                         deg_l[x] = len(hits)
                         for y in hits:
@@ -786,7 +951,7 @@ def _worker_stats(obs: MetricsRegistry, roots: int, wall_time: float) -> dict:
     }
 
 
-def _chunk_engine(pivot: str) -> EPivoter:
+def _chunk_engine(pivot: str, mode: str = "auto") -> EPivoter:
     """This worker's engine over the pool's shared graph, built once.
 
     The pool ships the graph a single time (see
@@ -796,34 +961,125 @@ def _chunk_engine(pivot: str) -> EPivoter:
     degree-ordered, so construction never relabels.
     """
     cache = worker_cache()
-    key = ("epivoter", pivot)
+    key = ("epivoter", pivot, mode)
     engine = cache.get(key)
     if engine is None:
         start = time.perf_counter()
-        engine = EPivoter(worker_graph(), pivot=pivot)
+        engine = EPivoter(worker_graph(), pivot=pivot, mode=mode)
         add_worker_warmup(time.perf_counter() - start)
         cache[key] = engine
     return engine
 
 
 def _matrix_visitor(counts: BicliqueCounts, max_p: int, max_q: int):
-    """A size-level visitor accumulating into a count matrix."""
+    """A size-level visitor accumulating into a count matrix.
+
+    The contribution of one leaf factors into a left vector over rows
+    and a right vector over columns; both depend only on
+    ``(free, fixed)``, which repeats heavily across leaves, so the
+    vectors are memoised.  Rows/columns in a factor list are in range
+    by construction, letting the inner loop hit the cell lists
+    directly instead of going through the bound-checked ``add``.
+    """
+    cells = counts._cells
+    left_factors: dict = {}
+    right_factors: dict = {}
+
+    def _factor(free: int, fixed: int, bound: int) -> list:
+        return [
+            (fixed + k, binomial(free, k))
+            for k in range(max(0, 1 - fixed), min(free, bound - fixed) + 1)
+        ]
 
     def visit(free_l: int, fixed_l: int, free_r: int, fixed_r: int, multiplier: int) -> None:
-        for a in range(0, min(free_l, max_p - fixed_l) + 1):
-            left_ways = binomial(free_l, a) * multiplier
-            if not left_ways:
-                continue
-            row = fixed_l + a
-            if row < 1:
-                continue
-            for b in range(0, min(free_r, max_q - fixed_r) + 1):
-                col = fixed_r + b
-                if col < 1:
-                    continue
-                counts.add(row, col, left_ways * binomial(free_r, b))
+        lkey = (free_l, fixed_l)
+        lf = left_factors.get(lkey)
+        if lf is None:
+            lf = left_factors[lkey] = _factor(free_l, fixed_l, max_p)
+        rkey = (free_r, fixed_r)
+        rf = right_factors.get(rkey)
+        if rf is None:
+            rf = right_factors[rkey] = _factor(free_r, fixed_r, max_q)
+        for row, left_ways in lf:
+            weighted = left_ways * multiplier
+            cell_row = cells[row]
+            for col, right_ways in rf:
+                cell_row[col] += weighted * right_ways
 
+    def _run_factor(lo: int, hi: int, fixed: int, bound: int) -> list:
+        # sum_{free=lo..hi} C(free, k), closed form (hockey stick).
+        return [
+            (fixed + k, binomial(hi + 1, k + 1) - binomial(lo, k + 1))
+            for k in range(max(0, 1 - fixed), bound - fixed + 1)
+        ]
+
+    def left_run(lo: int, hi: int, fixed_l: int, free_r: int, fixed_r: int, multiplier: int) -> None:
+        """One call per case-5 run: free_l sweeps ``lo..hi``."""
+        rkey = (free_r, fixed_r)
+        rf = right_factors.get(rkey)
+        if rf is None:
+            rf = right_factors[rkey] = _factor(free_r, fixed_r, max_q)
+        for row, left_ways in _run_factor(lo, hi, fixed_l, max_p):
+            weighted = left_ways * multiplier
+            cell_row = cells[row]
+            for col, right_ways in rf:
+                cell_row[col] += weighted * right_ways
+
+    def right_run(free_l: int, fixed_l: int, lo: int, hi: int, fixed_r: int, multiplier: int) -> None:
+        lkey = (free_l, fixed_l)
+        lf = left_factors.get(lkey)
+        if lf is None:
+            lf = left_factors[lkey] = _factor(free_l, fixed_l, max_p)
+        for col, right_ways in _run_factor(lo, hi, fixed_r, max_q):
+            weighted = right_ways * multiplier
+            for row, left_ways in lf:
+                cells[row][col] += weighted * left_ways
+
+    visit.left_run = left_run
+    visit.right_run = right_run
     return visit
+
+
+def _single_cell_visitor(p: int, q: int):
+    """A size-level visitor summing one (p, q) cell.
+
+    Returns ``(visit, box)`` where ``box[0]`` holds the running total.
+    The ``left_run``/``right_run`` hooks collapse a case-5/6 run of
+    leaves via the hockey-stick identity
+    ``sum_{f=lo..hi} C(f, a) = C(hi+1, a+1) - C(lo, a+1)``.
+    """
+    box = [0]
+
+    def visit(free_l: int, fixed_l: int, free_r: int, fixed_r: int, multiplier: int) -> None:
+        box[0] += (
+            multiplier
+            * binomial(free_l, p - fixed_l)
+            * binomial(free_r, q - fixed_r)
+        )
+
+    def left_run(lo: int, hi: int, fixed_l: int, free_r: int, fixed_r: int, multiplier: int) -> None:
+        a = p - fixed_l
+        if a < 0:
+            return
+        box[0] += (
+            multiplier
+            * (binomial(hi + 1, a + 1) - binomial(lo, a + 1))
+            * binomial(free_r, q - fixed_r)
+        )
+
+    def right_run(free_l: int, fixed_l: int, lo: int, hi: int, fixed_r: int, multiplier: int) -> None:
+        b = q - fixed_r
+        if b < 0:
+            return
+        box[0] += (
+            multiplier
+            * binomial(free_l, p - fixed_l)
+            * (binomial(hi + 1, b + 1) - binomial(lo, b + 1))
+        )
+
+    visit.left_run = left_run
+    visit.right_run = right_run
+    return visit, box
 
 
 def _local_leaf_visitor(
@@ -884,8 +1140,8 @@ def _pairs_bounds(pairs: "list[tuple[int, int]]") -> "tuple[int, int, int, int]"
 
 def _count_all_chunk(payload) -> "tuple[BicliqueCounts, dict | None]":
     """Worker: all-pairs counts over one chunk of root edges."""
-    pivot, max_p, max_q, roots, collect = payload
-    engine = _chunk_engine(pivot)
+    pivot, mode, max_p, max_q, roots, collect = payload
+    engine = _chunk_engine(pivot, mode)
     counts = BicliqueCounts(max_p, max_q)
     obs = MetricsRegistry() if collect else None
     start = time.perf_counter()
@@ -910,20 +1166,11 @@ def _count_single_chunk(payload) -> "tuple[int, dict | None]":
     trip raises :class:`CountBudgetExceeded`, which the executor
     re-raises in the coordinator.
     """
-    pivot, p, q, roots, collect = payload[:5]
-    node_budget = payload[5] if len(payload) > 5 else None
-    time_budget = payload[6] if len(payload) > 6 else None
-    engine = _chunk_engine(pivot)
-    total = 0
-
-    def visit(free_l: int, fixed_l: int, free_r: int, fixed_r: int, multiplier: int) -> None:
-        nonlocal total
-        total += (
-            multiplier
-            * binomial(free_l, p - fixed_l)
-            * binomial(free_r, q - fixed_r)
-        )
-
+    pivot, mode, p, q, roots, collect = payload[:6]
+    node_budget = payload[6] if len(payload) > 6 else None
+    time_budget = payload[7] if len(payload) > 7 else None
+    engine = _chunk_engine(pivot, mode)
+    visit, box = _single_cell_visitor(p, q)
     obs = MetricsRegistry() if collect else None
     start = time.perf_counter()
     deadline = time.monotonic() + time_budget if time_budget is not None else None
@@ -936,24 +1183,33 @@ def _count_single_chunk(payload) -> "tuple[int, dict | None]":
         if collect
         else None
     )
-    return total, stats
+    return box[0], stats
 
 
 def _count_local_chunk(payload):
-    """Worker: per-vertex counts for many pairs over one root chunk."""
-    pivot, pairs, roots, collect = payload
-    engine = _chunk_engine(pivot)
+    """Worker: per-vertex counts for many pairs over one root chunk.
+
+    Optional trailing budget fields arm per-chunk limits, mirroring
+    :func:`_count_single_chunk`.
+    """
+    pivot, mode, pairs, roots, collect = payload[:5]
+    node_budget = payload[5] if len(payload) > 5 else None
+    time_budget = payload[6] if len(payload) > 6 else None
+    engine = _chunk_engine(pivot, mode)
     g = engine.graph
     result = {
         pair: ([0] * g.n_left, [0] * g.n_right) for pair in pairs
     }
     obs = MetricsRegistry() if collect else None
     start = time.perf_counter()
+    deadline = time.monotonic() + time_budget if time_budget is not None else None
     engine._run_sets(
         _local_leaf_visitor(result),
         bounds=_pairs_bounds(list(pairs)),
         roots=roots,
         obs=obs,
+        node_budget=node_budget,
+        deadline=deadline,
     )
     stats = (
         _worker_stats(obs, len(roots), time.perf_counter() - start)
@@ -975,9 +1231,10 @@ def count_all(
     pivot: str = "product",
     workers: "int | None" = None,
     obs: "MetricsRegistry | None" = None,
+    mode: str = "auto",
 ) -> BicliqueCounts:
     """Count all (p, q)-bicliques of ``graph`` (convenience wrapper)."""
-    return EPivoter(graph, pivot=pivot).count_all(
+    return EPivoter(graph, pivot=pivot, mode=mode).count_all(
         max_p, max_q, workers=workers, obs=obs
     )
 
@@ -990,9 +1247,10 @@ def count_single(
     use_core: bool = True,
     workers: "int | None" = None,
     obs: "MetricsRegistry | None" = None,
+    mode: str = "auto",
 ) -> int:
     """Count the (p, q)-bicliques of ``graph`` for one pair."""
-    return EPivoter(graph, pivot=pivot).count_single(
+    return EPivoter(graph, pivot=pivot, mode=mode).count_single(
         p, q, use_core=use_core, workers=workers, obs=obs
     )
 
@@ -1004,10 +1262,11 @@ def count_local(
     pivot: str = "product",
     workers: "int | None" = None,
     obs: "MetricsRegistry | None" = None,
+    mode: str = "auto",
 ) -> tuple[list[int], list[int]]:
     """Per-vertex (p, q)-biclique counts in the *original* labelling."""
     ordered, left_map, right_map = graph.degree_ordered()
-    engine = EPivoter(ordered, pivot=pivot)
+    engine = EPivoter(ordered, pivot=pivot, mode=mode)
     left_ordered, right_ordered = engine.count_local(p, q, workers=workers, obs=obs)
     left_counts = [0] * graph.n_left
     right_counts = [0] * graph.n_right

@@ -75,7 +75,7 @@ def enumerate_maximal_bicliques(
             nodes += 1
             if len(stack) > max_depth:
                 max_depth = len(stack)
-        cand_l, cand_r, part_l, part_r = stack.pop()
+        cand_l, cand_r, part_l, part_r = stack.pop()  # scalar-pop-ok: MBCE baseline
         cand_r_set = set(cand_r)
         edges: list[tuple[int, int]] = []
         deg_l: dict[int, int] = {}

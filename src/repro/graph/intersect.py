@@ -27,12 +27,35 @@ Inputs may be any sorted integer sequences supporting ``len`` and
 indexing — tuples, lists, stdlib ``array`` slices, or the zero-copy
 ``memoryview`` rows that shared-memory workers see.  Outputs are plain
 lists (sorted), so results compose with further kernel calls.
+
+Batched kernels
+---------------
+The frontier engine (:mod:`repro.core.frontier`) expands thousands of
+enumeration-tree nodes per level, so it needs *one* kernel call per
+level, not one per node.  :func:`intersect_many` /
+:func:`intersect_size_many` intersect one sorted query list against many
+CSR rows at once; :func:`intersect_arena_many` is the general many-vs-
+many form, where the queries themselves are ragged sorted slices of a
+contiguous arena.  All three are numpy-vectorised and keep the scalar
+kernels' adaptivity: per row, either the adjacency slice is *gathered*
+and probed into the (offset-keyed) query arena, or — when the row is
+``GALLOP_FACTOR``× longer than its query — the query elements are probed
+into an offset-keyed copy of the CSR indices.  Both probes are a single
+``np.searchsorted``: adding ``segment_id * stride`` to every value makes
+the concatenation of per-segment sorted runs globally monotone, so one
+binary search resolves membership across every segment at once.
 """
 
 from __future__ import annotations
 
+from array import array as _stdlib_array
 from bisect import bisect_left, bisect_right
 from typing import Iterable, Sequence
+
+try:  # numpy is a hard dependency, but the scalar kernels never need it
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only on broken installs
+    _np = None
 
 __all__ = [
     "GALLOP_FACTOR",
@@ -42,6 +65,12 @@ __all__ = [
     "is_subset_sorted",
     "common_neighborhood",
     "count_in_range",
+    "as_int64",
+    "exclusive_cumsum",
+    "gather_slices",
+    "intersect_many",
+    "intersect_size_many",
+    "intersect_arena_many",
 ]
 
 #: Length ratio beyond which the galloping walk beats the merge walk.
@@ -206,3 +235,227 @@ def count_in_range(row: Sequence[int], lo_value: int) -> int:
     The CSR form of ``|N^{>u}(v)|`` — a single binary search, no slice.
     """
     return len(row) - bisect_right(row, lo_value)
+
+
+# ----------------------------------------------------------------------
+# Batched kernels (numpy): one call per frontier level, not per node
+# ----------------------------------------------------------------------
+
+
+def _require_numpy():
+    if _np is None:  # pragma: no cover - exercised only on broken installs
+        raise RuntimeError("the batched intersect kernels require numpy")
+    return _np
+
+
+def as_int64(buf):
+    """A zero-copy (where possible) int64 ndarray view of a CSR buffer.
+
+    Accepts the buffer types :meth:`BipartiteGraph.csr_buffers` can
+    return — stdlib ``array('q')``, the ``memoryview('q')`` rows that
+    shared-memory workers see — plus ndarrays and plain sequences.
+    """
+    np = _require_numpy()
+    if isinstance(buf, np.ndarray):
+        return np.ascontiguousarray(buf, dtype=np.int64)
+    if isinstance(buf, (_stdlib_array, memoryview)):
+        return np.frombuffer(buf, dtype=np.int64)
+    return np.asarray(buf, dtype=np.int64)
+
+
+def exclusive_cumsum(lengths):
+    """``[0, l0, l0+l1, ...]`` — ragged-slice offsets from slice lengths."""
+    np = _require_numpy()
+    out = np.zeros(lengths.size + 1, dtype=np.int64)
+    np.cumsum(lengths, out=out[1:])
+    return out
+
+
+def gather_slices(values, starts, lengths):
+    """Concatenate ``values[starts[i] : starts[i] + lengths[i]]`` for all i.
+
+    Returns ``(flat, offsets)`` with ``flat[offsets[i]:offsets[i+1]]``
+    being slice ``i``.  This is the vectorised CSR gather idiom: one
+    ``repeat`` builds every slice's base index, one ``arange`` the
+    intra-slice offsets.
+    """
+    np = _require_numpy()
+    offsets = exclusive_cumsum(lengths)
+    total = int(offsets[-1])
+    if total == 0:
+        return np.empty(0, dtype=np.int64), offsets
+    idx = np.repeat(starts - offsets[:-1], lengths) + np.arange(total, dtype=np.int64)
+    return values[idx], offsets
+
+
+def intersect_arena_many(
+    indptr,
+    indices,
+    rows,
+    query_arena,
+    query_offsets,
+    query_of_row=None,
+    keyed_indices=None,
+    stride=None,
+    sizes_only=False,
+):
+    """Batched ``N(rows[i]) ∩ Q[query_of_row[i]]`` over ragged queries.
+
+    ``query_arena`` holds every query concatenated; query ``j`` is the
+    sorted duplicate-free slice
+    ``query_arena[query_offsets[j]:query_offsets[j+1]]``.
+    ``query_of_row[i]`` names the query row ``i`` intersects with
+    (default: query 0 for every row).
+
+    Returns ``(counts, values, positions)``:
+
+    * ``counts[i]`` — the intersection size for row ``i``;
+    * ``values`` — the matched elements, grouped by row (ascending
+      within each row), so ``values[c[i]:c[i+1]]`` with
+      ``c = exclusive_cumsum(counts)`` is row ``i``'s intersection;
+    * ``positions`` — for each matched element, its index *within its
+      query slice* (the frontier engine's candidate-local coordinates).
+
+    With ``sizes_only=True`` the value/position assembly is skipped and
+    ``(counts, None, None)`` is returned.
+
+    ``keyed_indices`` (optional) is a precomputed
+    ``row_id * stride + indices`` array for the probe regime, so
+    repeated calls against the same CSR skip rebuilding it; ``stride``
+    must then be the stride it was built with, strictly greater than
+    every value in ``indices`` and ``query_arena``.
+    """
+    np = _require_numpy()
+    indptr = as_int64(indptr)
+    indices = as_int64(indices)
+    rows = as_int64(rows)
+    arena = as_int64(query_arena)
+    qoff = as_int64(query_offsets)
+    n = rows.size
+    counts = np.zeros(n, dtype=np.int64)
+    empty = np.empty(0, dtype=np.int64)
+    if n == 0 or arena.size == 0 or indices.size == 0:
+        return (counts, None, None) if sizes_only else (counts, empty, empty)
+    if query_of_row is None:
+        qrow = np.zeros(n, dtype=np.int64)
+    else:
+        qrow = as_int64(query_of_row)
+    qlen_all = np.diff(qoff)
+    qlen = qlen_all[qrow]
+    deg = indptr[rows + 1] - indptr[rows]
+
+    # The scalar kernels' adaptivity, per row: gather the adjacency slice
+    # when the sides are comparable, probe the (shorter) query into the
+    # keyed CSR when the row is GALLOP_FACTOR x longer.
+    probe_mask = deg > qlen * GALLOP_FACTOR
+    gather_rows = np.nonzero(~probe_mask)[0]
+    probe_rows = np.nonzero(probe_mask)[0]
+
+    hit_rows: list = []
+    hit_vals: list = []
+    hit_qpos: list = []
+
+    if gather_rows.size:
+        gdeg = deg[gather_rows]
+        vals, _ = gather_slices(indices, indptr[rows[gather_rows]], gdeg)
+        if vals.size:
+            if stride is None:
+                local_stride = int(max(int(arena.max()), int(vals.max()))) + 1
+            else:
+                local_stride = stride
+            n_queries = qoff.size - 1
+            qkeys = arena + np.repeat(
+                np.arange(n_queries, dtype=np.int64) * local_stride, qlen_all
+            )
+            owner = np.repeat(gather_rows, gdeg)
+            keys = qrow[owner] * local_stride + vals
+            pos = np.searchsorted(qkeys, keys)
+            inb = pos < qkeys.size
+            hit = inb & (qkeys[np.where(inb, pos, 0)] == keys)
+            hrows = owner[hit]
+            counts += np.bincount(hrows, minlength=n)
+            if not sizes_only and hrows.size:
+                hit_rows.append(hrows)
+                hit_vals.append(vals[hit])
+                hit_qpos.append(pos[hit] - qoff[qrow[hrows]])
+
+    if probe_rows.size:
+        plen = qlen[probe_rows]
+        qvals, poff = gather_slices(arena, qoff[qrow[probe_rows]], plen)
+        if qvals.size:
+            if keyed_indices is None:
+                if stride is None:
+                    local_stride = int(max(int(indices.max()), int(arena.max()))) + 1
+                else:
+                    local_stride = stride
+                n_csr_rows = indptr.size - 1
+                keyed = (
+                    np.repeat(
+                        np.arange(n_csr_rows, dtype=np.int64) * local_stride,
+                        np.diff(indptr),
+                    )
+                    + indices
+                )
+            else:
+                if stride is None:
+                    raise ValueError("keyed_indices requires its stride")
+                keyed = as_int64(keyed_indices)
+                local_stride = stride
+            owner = np.repeat(probe_rows, plen)
+            keys = rows[owner] * local_stride + qvals
+            pos = np.searchsorted(keyed, keys)
+            inb = pos < keyed.size
+            hit = inb & (keyed[np.where(inb, pos, 0)] == keys)
+            hrows = owner[hit]
+            counts += np.bincount(hrows, minlength=n)
+            if not sizes_only and hrows.size:
+                qpos = (
+                    np.arange(qvals.size, dtype=np.int64)
+                    - np.repeat(poff[:-1], plen)
+                )[hit]
+                hit_rows.append(hrows)
+                hit_vals.append(qvals[hit])
+                hit_qpos.append(qpos)
+
+    if sizes_only:
+        return counts, None, None
+    if not hit_rows:
+        return counts, empty, empty
+    if len(hit_rows) == 1:
+        # One regime only: its hits are already emitted in ascending
+        # (row, query position) order — rows via the repeat over an
+        # ascending row list, positions via the ascending value order
+        # within each slice — so the merge sort can be skipped.
+        return counts, hit_vals[0], hit_qpos[0]
+    rows_cat = np.concatenate(hit_rows)
+    vals_cat = np.concatenate(hit_vals)
+    qpos_cat = np.concatenate(hit_qpos)
+    # The two regimes interleave rows; regroup by (row, query position)
+    # so values stay ascending within each row.
+    order = np.lexsort((qpos_cat, rows_cat))
+    return counts, vals_cat[order], qpos_cat[order]
+
+
+def intersect_many(indptr, indices, rows, query):
+    """``N(rows[i]) ∩ query`` for one sorted query against many CSR rows.
+
+    Returns ``(values, offsets)``: ``values[offsets[i]:offsets[i+1]]``
+    is the sorted intersection for ``rows[i]`` — elementwise equal to
+    looping :func:`intersect_sorted` over the rows.
+    """
+    np = _require_numpy()
+    query = as_int64(query)
+    qoff = np.array([0, query.size], dtype=np.int64)
+    counts, values, _ = intersect_arena_many(indptr, indices, rows, query, qoff)
+    return values, exclusive_cumsum(counts)
+
+
+def intersect_size_many(indptr, indices, rows, query):
+    """``|N(rows[i]) ∩ query|`` for many CSR rows, without materialising."""
+    np = _require_numpy()
+    query = as_int64(query)
+    qoff = np.array([0, query.size], dtype=np.int64)
+    counts, _, _ = intersect_arena_many(
+        indptr, indices, rows, query, qoff, sizes_only=True
+    )
+    return counts

@@ -47,10 +47,13 @@ __all__ = [
     "SAMPLES_PER_SECOND",
 ]
 
-#: Calibration constants: conservative pure-Python throughputs.  Ballpark
-#: figures are all the planner needs (see module docstring); override per
-#: call for calibrated deployments.
-NODES_PER_SECOND = 100_000.0
+#: Calibration constants: conservative throughputs.  Ballpark figures
+#: are all the planner needs (see module docstring); override per call
+#: for calibrated deployments.  The exact-path figure was recalibrated
+#: for the frontier-batched EPivoter, which expands 220k-750k tree
+#: nodes/s on the reference workloads (the old per-node scalar walk
+#: managed ~100k); 250k is the conservative end of that range.
+NODES_PER_SECOND = 250_000.0
 SAMPLES_PER_SECOND = 30_000.0
 
 #: Fraction of the deadline the exact path may consume before the plan

@@ -141,3 +141,205 @@ class TestCrossoverConsistency:
             long = random_sorted(rng, 400, min(400, 5 * ratio))
             expected = sorted(set(short) & set(long))
             assert intersect_sorted(short, long) == expected
+
+
+# ----------------------------------------------------------------------
+# Batched kernels (numpy) — the frontier engine's per-level primitives
+# ----------------------------------------------------------------------
+
+np = pytest.importorskip("numpy")
+
+from repro.graph.bigraph import BipartiteGraph  # noqa: E402
+from repro.graph.intersect import (  # noqa: E402
+    exclusive_cumsum,
+    gather_slices,
+    intersect_arena_many,
+    intersect_many,
+    intersect_size_many,
+)
+
+
+def random_csr(rng: random.Random, n_rows: int, universe: int, density: float):
+    """A small bipartite CSR whose left rows are the test adjacency."""
+    edges = [
+        (u, v)
+        for u in range(n_rows)
+        for v in range(universe)
+        if rng.random() < density
+    ]
+    g = BipartiteGraph(n_rows, universe, edges)
+    indptr, indices, _, _ = g.csr_buffers()
+    return g, indptr, indices
+
+
+class TestGatherSlices:
+    def test_basic(self):
+        values = np.arange(100, dtype=np.int64)
+        starts = np.array([10, 40, 40], dtype=np.int64)
+        lengths = np.array([3, 0, 2], dtype=np.int64)
+        flat, offsets = gather_slices(values, starts, lengths)
+        assert flat.tolist() == [10, 11, 12, 40, 41]
+        assert offsets.tolist() == [0, 3, 3, 5]
+
+    def test_all_empty(self):
+        flat, offsets = gather_slices(
+            np.arange(5, dtype=np.int64),
+            np.array([1, 2], dtype=np.int64),
+            np.array([0, 0], dtype=np.int64),
+        )
+        assert flat.size == 0
+        assert offsets.tolist() == [0, 0, 0]
+
+    def test_exclusive_cumsum(self):
+        lengths = np.array([2, 0, 5], dtype=np.int64)
+        assert exclusive_cumsum(lengths).tolist() == [0, 2, 2, 7]
+        assert exclusive_cumsum(np.empty(0, dtype=np.int64)).tolist() == [0]
+
+
+class TestIntersectMany:
+    def test_matches_looped_scalar_kernel(self, rng):
+        for _ in range(10):
+            g, indptr, indices = random_csr(rng, 12, 40, 0.25)
+            query = random_sorted(rng, 40, 15)
+            rows = np.arange(12, dtype=np.int64)
+            values, offsets = intersect_many(indptr, indices, rows, query)
+            for u in range(12):
+                expected = intersect_sorted(g.row_left(u), query)
+                assert values[offsets[u]:offsets[u + 1]].tolist() == expected
+
+    def test_sizes_match_values(self, rng):
+        g, indptr, indices = random_csr(rng, 8, 30, 0.3)
+        query = random_sorted(rng, 30, 10)
+        rows = np.arange(8, dtype=np.int64)
+        counts = intersect_size_many(indptr, indices, rows, query)
+        _, offsets = intersect_many(indptr, indices, rows, query)
+        assert counts.tolist() == np.diff(offsets).tolist()
+
+    def test_empty_query(self, rng):
+        _, indptr, indices = random_csr(rng, 5, 20, 0.4)
+        rows = np.arange(5, dtype=np.int64)
+        values, offsets = intersect_many(indptr, indices, rows, [])
+        assert values.size == 0
+        assert offsets.tolist() == [0] * 6
+
+    def test_empty_rows_and_singletons(self):
+        g = BipartiteGraph(3, 4, [(0, 2), (2, 0), (2, 1), (2, 3)])
+        indptr, indices, _, _ = g.csr_buffers()
+        rows = np.array([0, 1, 2], dtype=np.int64)
+        values, offsets = intersect_many(indptr, indices, rows, [2])
+        assert values.tolist() == [2]
+        assert offsets.tolist() == [0, 1, 1, 1]
+
+    def test_repeated_rows(self, rng):
+        # The same CSR row may appear many times (one frontier node per
+        # occurrence); each occurrence gets its own output slice.
+        g, indptr, indices = random_csr(rng, 6, 25, 0.3)
+        query = random_sorted(rng, 25, 12)
+        rows = np.array([3, 3, 0, 3], dtype=np.int64)
+        values, offsets = intersect_many(indptr, indices, rows, query)
+        expected3 = intersect_sorted(g.row_left(3), query)
+        expected0 = intersect_sorted(g.row_left(0), query)
+        for i, exp in enumerate([expected3, expected3, expected0, expected3]):
+            assert values[offsets[i]:offsets[i + 1]].tolist() == exp
+
+    def test_skewed_degrees_cross_both_regimes(self, rng):
+        # One row far longer than the query (probe regime) alongside
+        # comparable rows (gather regime): the adaptive split must be
+        # invisible in the output.
+        edges = [(0, v) for v in range(200)]
+        edges += [(1, v) for v in (3, 50, 197)]
+        g = BipartiteGraph(2, 200, edges)
+        indptr, indices, _, _ = g.csr_buffers()
+        query = random_sorted(rng, 200, 6)
+        rows = np.array([0, 1], dtype=np.int64)
+        values, offsets = intersect_many(indptr, indices, rows, query)
+        for u in range(2):
+            expected = intersect_sorted(g.row_left(u), query)
+            assert values[offsets[u]:offsets[u + 1]].tolist() == expected
+
+
+class TestIntersectArenaMany:
+    def test_ragged_queries_with_positions(self, rng):
+        for _ in range(10):
+            g, indptr, indices = random_csr(rng, 10, 30, 0.3)
+            queries = [random_sorted(rng, 30, rng.randint(0, 12)) for _ in range(4)]
+            arena = np.array(
+                [x for q in queries for x in q], dtype=np.int64
+            )
+            qoff = exclusive_cumsum(
+                np.array([len(q) for q in queries], dtype=np.int64)
+            )
+            rows = np.array([rng.randrange(10) for _ in range(7)], dtype=np.int64)
+            qrow = np.array([rng.randrange(4) for _ in range(7)], dtype=np.int64)
+            counts, values, positions = intersect_arena_many(
+                indptr, indices, rows, arena, qoff, query_of_row=qrow
+            )
+            out = exclusive_cumsum(counts)
+            for i in range(7):
+                q = queries[qrow[i]]
+                expected = intersect_sorted(g.row_left(int(rows[i])), q)
+                got_vals = values[out[i]:out[i + 1]].tolist()
+                got_pos = positions[out[i]:out[i + 1]].tolist()
+                assert got_vals == expected
+                # positions index into the query slice
+                assert [q[p] for p in got_pos] == expected
+
+    def test_sizes_only_skips_assembly(self, rng):
+        g, indptr, indices = random_csr(rng, 6, 20, 0.4)
+        query = np.array(random_sorted(rng, 20, 8), dtype=np.int64)
+        qoff = np.array([0, query.size], dtype=np.int64)
+        rows = np.arange(6, dtype=np.int64)
+        counts, values, positions = intersect_arena_many(
+            indptr, indices, rows, query, qoff, sizes_only=True
+        )
+        assert values is None and positions is None
+        assert counts.tolist() == [
+            intersect_size(g.row_left(u), query.tolist()) for u in range(6)
+        ]
+
+    def test_no_rows(self):
+        g = BipartiteGraph(2, 2, [(0, 0)])
+        indptr, indices, _, _ = g.csr_buffers()
+        counts, values, positions = intersect_arena_many(
+            indptr, indices,
+            np.empty(0, dtype=np.int64),
+            np.array([0], dtype=np.int64),
+            np.array([0, 1], dtype=np.int64),
+        )
+        assert counts.size == 0 and values.size == 0 and positions.size == 0
+
+    def test_keyed_indices_requires_stride(self):
+        # A high-degree row against a singleton query lands in the probe
+        # regime, which is the path that consumes keyed_indices.
+        g = BipartiteGraph(1, 100, [(0, v) for v in range(100)])
+        indptr, indices, _, _ = g.csr_buffers()
+        keyed = np.arange(100, dtype=np.int64)
+        with pytest.raises(ValueError):
+            intersect_arena_many(
+                indptr, indices,
+                np.array([0], dtype=np.int64),
+                np.array([0], dtype=np.int64),
+                np.array([0, 1], dtype=np.int64),
+                keyed_indices=keyed,
+            )
+
+    def test_precomputed_keyed_csr_matches_default(self, rng):
+        g, indptr, indices = random_csr(rng, 8, 25, 0.35)
+        idx = np.frombuffer(indices, dtype=np.int64)
+        ptr = np.frombuffer(indptr, dtype=np.int64)
+        stride = 26
+        keyed = (
+            np.repeat(np.arange(8, dtype=np.int64) * stride, np.diff(ptr)) + idx
+        )
+        # Tiny query against high-degree rows forces the probe regime.
+        query = np.array(random_sorted(rng, 25, 2), dtype=np.int64)
+        qoff = np.array([0, query.size], dtype=np.int64)
+        rows = np.arange(8, dtype=np.int64)
+        base = intersect_arena_many(indptr, indices, rows, query, qoff)
+        fast = intersect_arena_many(
+            indptr, indices, rows, query, qoff,
+            keyed_indices=keyed, stride=stride,
+        )
+        assert base[0].tolist() == fast[0].tolist()
+        assert base[1].tolist() == fast[1].tolist()
+        assert base[2].tolist() == fast[2].tolist()

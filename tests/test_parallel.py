@@ -198,8 +198,13 @@ class TestWorkerStatsMerge:
         parallel = count_all(g, 4, 4, workers=2, obs=parallel_obs)
         assert parallel == serial
         # The chunks partition the root edges, so every epivoter counter
-        # folds back to exactly the serial total.
+        # folds back to exactly the serial total.  frontier_batches is
+        # the one exception: batch geometry (merge/split of pending
+        # frontiers) depends on how roots are chunked, so only the tree
+        # counters — not the batch count — are chunk-invariant.
         for name, value in serial_obs.counters.items():
+            if name == "epivoter.frontier_batches":
+                continue
             assert parallel_obs.counters[name] == value, name
         assert (
             parallel_obs.gauges["epivoter.max_stack_depth"]

@@ -374,7 +374,16 @@ class TestObservabilityEndpoints:
         before = counters(obs).get("service.http_requests", 0)
         status, _ = get(base, "/no/such/route")
         assert status == 404
+        # The handler observes in a `finally` *after* the response bytes
+        # hit the wire, so give its thread a moment to record them.
+        deadline = time.monotonic() + 2.0
         after = counters(obs)
+        while (
+            after.get("service.http_requests", 0) <= before
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.01)
+            after = counters(obs)
         assert after["service.http_requests"] == before + 1
         assert after["service.http_requests.unknown"] >= 1
         assert after["service.http_status.4xx"] >= 1
