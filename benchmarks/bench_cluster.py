@@ -1,0 +1,222 @@
+"""Micro-benchmark: 2-shard scatter/gather vs a single shard.
+
+One seeded Chung–Lu graph, one exact ``(4, 4)`` EPivoter count, served
+over real HTTP by real ``repro-biclique serve --shard`` subprocesses.
+Two in-process :class:`~repro.service.cluster.ClusterExecutor`
+configurations front the same shard fleet: one wired to a single shard
+(all root-edge ranges on one process) and one wired to both (the
+weighted ranges split across two processes).  Every cache in the path
+is disabled so each repeat recomputes from scratch.
+
+The equality contract runs before any timing: both configurations must
+return exactly the local ``count_single`` value — the scatter/gather
+merge is bit-identical by construction, and this re-checks it over
+sockets.  The benchmark then fails if the 2-shard configuration loses
+its ``--min-speedup`` edge (CI guards 1.6x) over the single shard.
+
+The speedup gate needs two shard processes actually running in
+parallel: on a host with a single usable CPU the equality contract and
+the timings still run and the report is still written, but the gate is
+skipped (two processes time-slicing one core cannot beat one process).
+
+Run from the repository root (numpy required, no pytest)::
+
+    python benchmarks/bench_cluster.py --out BENCH_cluster.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+sys.path.insert(0, _SRC)
+
+from repro.core.epivoter import EPivoter  # noqa: E402
+from repro.graph.generators import chung_lu_bipartite  # noqa: E402
+from repro.obs import MetricsRegistry  # noqa: E402
+from repro.service.cache import ResultCache  # noqa: E402
+from repro.service.cluster import ClusterExecutor, ShardClient  # noqa: E402
+from repro.service.executor import Query  # noqa: E402
+
+#: The guarded workload: heavy-tailed degrees give the root-edge
+#: weights enough spread to exercise the weighted range cut, and a
+#: >1 s single-shard baseline keeps the HTTP overhead (a few
+#: round-trips per query) well under the scatter win.
+GRAPH_PARAMS = dict(n_left=2500, n_right=2500, num_edges=20000, seed=3793)
+
+P = Q = 4
+
+_READINESS = re.compile(r"http://([\d.]+):(\d+)")
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _spawn_shard() -> tuple[subprocess.Popen, str]:
+    """Start one cache-less shard subprocess; return (proc, host:port)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve", "--shard",
+            "--port", "0", "--threads", "2", "--cache-capacity", "0",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+        env=env,
+    )
+    line = proc.stdout.readline().strip()
+    match = _READINESS.search(line)
+    assert match, f"no readiness line from shard, got {line!r}"
+    return proc, f"{match.group(1)}:{match.group(2)}"
+
+
+def _make_executor(specs: "list[str]", name: str, graph) -> ClusterExecutor:
+    """A cache-less coordinator wired to ``specs``, graph registered."""
+    executor = ClusterExecutor(
+        [ShardClient.parse(spec, timeout=300.0, retries=0) for spec in specs],
+        max_queue=16,
+        threads=2,
+        engine_workers=1,
+        cache=ResultCache(capacity=0),
+        obs=MetricsRegistry(),
+    )
+    executor.register(graph, name=name)
+    return executor
+
+
+def run(repeats: int = 3) -> dict:
+    graph = chung_lu_bipartite(**GRAPH_PARAMS)
+    expected = EPivoter(graph).count_single(P, Q, use_core=False, workers=1)
+
+    shards: "list[tuple[subprocess.Popen, str]]" = []
+    executors: "list[ClusterExecutor]" = []
+    try:
+        shards = [_spawn_shard() for _ in range(2)]
+        specs = [spec for _proc, spec in shards]
+        single = _make_executor(specs[:1], "bench-single", graph)
+        double = _make_executor(specs, "bench-double", graph)
+        executors = [single, double]
+
+        def count(executor: ClusterExecutor, name: str) -> dict:
+            return executor.execute(
+                Query(graph_id=name, kind="count", p=P, q=Q, method="epivoter")
+            )
+
+        # Equality contract first: both fleet shapes must merge to the
+        # exact local count before any timing matters.
+        for executor, name, used in (
+            (single, "bench-single", 1), (double, "bench-double", 2)
+        ):
+            result = count(executor, name)
+            assert result["value"] == expected, (
+                f"{name}: {result['value']} != local {expected}"
+            )
+            assert result["exact"] is True and not result["degraded"], result
+            assert result["shards_used"] == used, result
+
+        single_seconds = _best_of(
+            lambda: count(single, "bench-single"), repeats
+        )
+        double_seconds = _best_of(
+            lambda: count(double, "bench-double"), repeats
+        )
+    finally:
+        for executor in executors:
+            executor.shutdown(save_cache=False)
+        for proc, _spec in shards:
+            proc.terminate()
+        for proc, _spec in shards:
+            try:
+                proc.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+
+    return {
+        "schema": "repro-bench-cluster/1",
+        "title": "2-shard scatter/gather vs a single shard",
+        "cpu_count": _usable_cpus(),
+        "graph": GRAPH_PARAMS,
+        "p": P,
+        "q": Q,
+        "value": expected,
+        "repeats": repeats,
+        "single_shard_seconds": single_seconds,
+        "two_shard_seconds": double_seconds,
+        "speedup": single_seconds / double_seconds,
+        "created_unix": time.time(),
+    }
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path("BENCH_cluster.json"),
+        help="where to write the JSON report (default: ./BENCH_cluster.json)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=1.6,
+        help="fail unless 2 shards beat 1 shard by this factor (default 1.6)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="best-of-N timing repeats (default 3)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run(repeats=args.repeats)
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(
+        f"count({P},{Q}) = {report['value']}"
+        f"  1 shard {report['single_shard_seconds']*1000:8.2f}ms"
+        f"  2 shards {report['two_shard_seconds']*1000:8.2f}ms"
+        f"  speedup {report['speedup']:5.2f}x"
+    )
+    print(f"report written to {args.out}")
+    if report["cpu_count"] < 2:
+        print(
+            f"NOTE: only {report['cpu_count']} usable CPU — the shard "
+            "processes cannot run in parallel, skipping the "
+            f"{args.min_speedup:.2f}x speedup gate (equality contract "
+            "and timings above still ran)"
+        )
+        return 0
+    if report["speedup"] < args.min_speedup:
+        print(
+            f"FAIL: 2-shard speedup {report['speedup']:.2f}x is below "
+            f"the required {args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

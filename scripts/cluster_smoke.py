@@ -1,0 +1,188 @@
+"""CI smoke test for the sharded serving layer.
+
+Boots two real ``repro-biclique serve --shard`` subprocesses and one
+``repro-biclique coordinate`` subprocess wired to them, then drives the
+coordinator's public HTTP API with urllib:
+
+* the full golden sweep (``p, q <= 3``) over the DBLP dataset must be
+  bit-identical to the single-node values pinned in
+  ``tests/test_golden_counts.py``;
+* after SIGKILL of one shard mid-sweep, a fresh exact query must still
+  return the golden value (re-scattered to the survivor, never a wrong
+  exact count);
+* after SIGKILL of the second shard, the coordinator must degrade
+  (``degraded: true`` with a shard-loss reason), not error and not
+  fabricate an exact count.
+
+Run from the repository root:
+
+    PYTHONPATH=src:. python scripts/cluster_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import subprocess
+import sys
+import urllib.error
+import urllib.request
+
+DATASET = "DBLP"
+
+_READINESS = re.compile(r"http://([\d.]+):(\d+)")
+
+
+def post(base: str, path: str, body: dict) -> tuple[int, dict]:
+    request = urllib.request.Request(
+        base + path,
+        data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=300) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def get(base: str, path: str) -> tuple[int, dict]:
+    with urllib.request.urlopen(base + path, timeout=60) as response:
+        return response.status, json.loads(response.read())
+
+
+def spawn(args: "list[str]") -> tuple[subprocess.Popen, str]:
+    """Start a repro.cli subprocess and parse its readiness line."""
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", *args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+    )
+    line = proc.stdout.readline().strip()
+    match = _READINESS.search(line)
+    assert match, f"no readiness line from {args[0]!r}, got {line!r}"
+    return proc, f"http://{match.group(1)}:{match.group(2)}"
+
+
+def main() -> int:
+    from tests.test_golden_counts import GOLDEN
+
+    golden = GOLDEN[DATASET]
+    procs: "list[subprocess.Popen]" = []
+    try:
+        shard_bases = []
+        for _ in range(2):
+            proc, base = spawn(
+                ["serve", "--shard", "--port", "0", "--threads", "2"]
+            )
+            procs.append(proc)
+            shard_bases.append(base)
+        shard_specs = ",".join(base[len("http://"):] for base in shard_bases)
+        print(f"shards up at {shard_specs}")
+
+        coordinator, base = spawn(
+            [
+                "coordinate", "--shards", shard_specs,
+                "--dataset", DATASET, "--port", "0", "--threads", "2",
+                "--shard-timeout", "120",
+            ]
+        )
+        procs.append(coordinator)
+        print(f"coordinator up at {base}")
+
+        # Roles: shards report themselves, the coordinator reports the
+        # fleet (registered + healthy after the dataset preload).
+        status, body = get(shard_bases[0], "/healthz")
+        assert status == 200 and body["role"] == "shard", body
+        status, body = get(base, "/healthz")
+        assert status == 200 and body["role"] == "coordinator", body
+        assert len(body["shards"]) == 2, body
+        assert all(entry["healthy"] for entry in body["shards"]), body
+        print("healthz roles OK (coordinator sees 2 healthy shards)")
+
+        # Acceptance: the scattered exact counts are bit-identical to
+        # the golden single-node values, across the full p, q <= 3 grid.
+        for (p, q), expected in sorted(golden.items()):
+            if p > 3 or q > 3:
+                continue
+            status, body = post(
+                base, "/v1/count",
+                {"graph": DATASET, "p": p, "q": q, "method": "epivoter"},
+            )
+            assert status == 200, body
+            assert body["exact"] is True and body["degraded"] is False, body
+            assert body["value"] == expected, (
+                f"count({p},{q}) = {body['value']} != golden {expected}"
+            )
+            assert body["shards_used"] == 2, body
+        print("golden sweep OK: 2-shard counts bit-identical, p,q <= 3")
+
+        # The coordinator's own cache fronts the cluster.
+        status, body = post(
+            base, "/v1/count",
+            {"graph": DATASET, "p": 3, "q": 3, "method": "epivoter"},
+        )
+        assert status == 200 and body["cached"] is True, body
+        print("repeat query served from the coordinator cache")
+
+        # Kill one shard (SIGKILL, no shutdown handshake).  A fresh
+        # query must re-scatter its lost ranges to the survivor and
+        # still return the exact golden value.
+        procs[1].kill()
+        procs[1].wait(timeout=15)
+        status, body = post(
+            base, "/v1/count",
+            {"graph": DATASET, "p": 4, "q": 2, "method": "epivoter"},
+        )
+        assert status == 200, body
+        assert body["exact"] is True and body["degraded"] is False, body
+        assert body["value"] == golden[(4, 2)], body
+        assert body["rescatters"] >= 1, body
+        status, health = get(base, "/healthz")
+        healthy = [entry["healthy"] for entry in health["shards"]]
+        assert sorted(healthy) == [False, True], health
+        print("shard kill OK: exact count re-scattered to the survivor")
+
+        # Kill the survivor too: the coordinator must degrade with a
+        # shard-loss reason — and never emit a wrong exact count.
+        procs[0].kill()
+        procs[0].wait(timeout=15)
+        status, body = post(
+            base, "/v1/count",
+            {"graph": DATASET, "p": 4, "q": 4, "method": "epivoter"},
+        )
+        assert status == 200, body
+        assert body["degraded"] is True, body
+        assert "shard loss" in body["reason"], body
+        assert "no surviving shards" in body["reason"], body
+        if body["exact"]:
+            assert body["value"] == golden[(4, 4)], body
+        print(f"fleet loss OK: degraded to {body['method']}: {body['reason']}")
+
+        # Metrics reflect the story just told.
+        status, body = get(base, "/metrics")
+        assert status == 200, status
+        counters = body["counters"]
+        assert counters["cluster.scatters"] >= 10, counters
+        assert counters["cluster.shard_failures"] >= 2, counters
+        assert counters["cluster.rescatters"] >= 1, counters
+        assert counters["cluster.degraded"] >= 1, counters
+        print("metrics OK:", {
+            name: value for name, value in sorted(counters.items())
+            if name.startswith("cluster.")
+        })
+        print("cluster smoke OK")
+        return 0
+    finally:
+        for proc in procs:
+            proc.terminate()
+        for proc in procs:
+            try:
+                proc.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,7 +10,12 @@ Subcommands mirror the library's main entry points:
 * ``hcc``       — higher-order clustering coefficient profile;
 * ``densest``   — (p, q)-biclique densest subgraph (peeling or exact);
 * ``datasets``  — list the bundled synthetic stand-in datasets;
-* ``serve``     — the HTTP counting service (see ``docs/service.md``).
+* ``serve``     — the HTTP counting service (see ``docs/service.md``);
+  with ``--shard`` it also serves the internal partial-count endpoint
+  a cluster coordinator scatters to;
+* ``coordinate`` — the cluster coordinator: the same public HTTP API,
+  with exact counts scattered as weighted root-edge ranges across
+  ``--shards host:port,...`` and merged as exact integers.
 
 Graphs come either from ``--dataset NAME`` (synthetic stand-ins) or
 ``--input FILE`` (edge-list format, see :mod:`repro.graph.io`).
@@ -292,6 +297,78 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--verbose", action="store_true", help="log every HTTP request to stderr"
     )
+    serve.add_argument(
+        "--shard", action="store_true",
+        help="shard role: also serve the internal POST /v1/shard/count "
+        "partial-count endpoint for a cluster coordinator",
+    )
+
+    coordinate = sub.add_parser(
+        "coordinate",
+        help="serve the public API by scattering exact counts across "
+        "--shard instances (docs/service.md)",
+    )
+    _add_graph_arguments(coordinate)  # optional preload, shipped to shards
+    coordinate.add_argument(
+        "--name", default=None,
+        help="registration name for the preloaded graph "
+        "(default: the dataset name or a fingerprint prefix)",
+    )
+    coordinate.add_argument(
+        "--shards", required=True,
+        help="comma-separated shard endpoints, e.g. "
+        "127.0.0.1:8751,127.0.0.1:8752",
+    )
+    coordinate.add_argument(
+        "--shard-timeout", type=float, default=30.0,
+        help="per-shard request timeout in seconds",
+    )
+    coordinate.add_argument(
+        "--shard-retries", type=int, default=1,
+        help="fresh-connection retries per shard request "
+        "(timeouts never retry)",
+    )
+    coordinate.add_argument(
+        "--nodes-per-second", type=float, default=None,
+        help="planner calibration override: per-shard exact-engine "
+        "throughput in tree nodes/second",
+    )
+    coordinate.add_argument("--host", default="127.0.0.1")
+    coordinate.add_argument(
+        "--port", type=int, default=8750, help="0 picks a free port"
+    )
+    coordinate.add_argument(
+        "--threads", type=int, default=2,
+        help="request worker threads (bounds concurrent scatters)",
+    )
+    coordinate.add_argument(
+        "--queue-size", type=int, default=64,
+        help="admission queue capacity; a full queue answers 429",
+    )
+    coordinate.add_argument(
+        "--cache-capacity", type=int, default=1024,
+        help="result cache entries (0 disables caching)",
+    )
+    coordinate.add_argument(
+        "--cache-file", default=None,
+        help="JSON file to load the result cache from and save it to on exit",
+    )
+    coordinate.add_argument(
+        "--trace-ring", type=int, default=256,
+        help="finished request traces retained for GET /v1/traces",
+    )
+    coordinate.add_argument(
+        "--slow-log", default=None,
+        help="JSON-lines file receiving every traced request slower "
+        "than --slow-ms",
+    )
+    coordinate.add_argument(
+        "--slow-ms", type=float, default=500.0,
+        help="slow-query threshold in milliseconds (with --slow-log)",
+    )
+    coordinate.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request to stderr"
+    )
     return parser
 
 
@@ -346,12 +423,74 @@ def _run_serve(args: argparse.Namespace) -> int:
     if args.cache_file and len(cache):
         print(f"result cache: {len(cache)} entries loaded", file=sys.stderr)
     server = create_server(
-        args.host, args.port, executor, obs=obs, quiet=not args.verbose
+        args.host, args.port, executor, obs=obs, quiet=not args.verbose,
+        shard=args.shard,
     )
     host, port = server.server_address[:2]
     # The readiness line goes to stdout, flushed, so wrappers (the CI
     # smoke script) can wait for it before sending requests.
-    print(f"serving on http://{host}:{port}", flush=True)
+    role = " (shard)" if args.shard else ""
+    print(f"serving on http://{host}:{port}{role}", flush=True)
+    serve_forever(server)
+    return 0
+
+
+def _run_coordinate(args: argparse.Namespace) -> int:
+    """The ``coordinate`` subcommand: cluster coordinator over shards."""
+    from repro.service.cache import ResultCache
+    from repro.service.cluster import ClusterExecutor, ShardClient
+    from repro.service.server import create_server, serve_forever
+
+    obs = MetricsRegistry()
+    cache = ResultCache(
+        capacity=args.cache_capacity, obs=obs, path=args.cache_file
+    )
+    slow_log = None
+    if args.slow_log:
+        from repro.obs.trace import SlowQueryLog
+
+        slow_log = SlowQueryLog(args.slow_log, threshold_ms=args.slow_ms)
+    shards = [
+        ShardClient.parse(
+            spec, timeout=args.shard_timeout, retries=args.shard_retries
+        )
+        for spec in args.shards.split(",")
+        if spec.strip()
+    ]
+    if not shards:
+        raise SystemExit("--shards needs at least one host:port")
+    executor = ClusterExecutor(
+        shards,
+        max_queue=args.queue_size,
+        threads=args.threads,
+        engine_workers=1,  # exact work runs on the shards, not here
+        cache=cache,
+        obs=obs,
+        nodes_per_second=args.nodes_per_second,
+        trace_ring=args.trace_ring,
+        slow_log=slow_log,
+    )
+    print(
+        "coordinating shards: "
+        + ", ".join(client.address for client in shards),
+        file=sys.stderr,
+    )
+    if args.dataset or args.input:
+        graph = _load_graph(args)
+        name = args.name or args.dataset or None
+        registered = executor.register(graph, name=name)
+        print(
+            f"registered graph {registered.name!r} on "
+            f"{len(shards)} shard(s)"
+            f" ({registered.profile.num_edges} edges,"
+            f" fingerprint {registered.fingerprint[:12]})",
+            file=sys.stderr,
+        )
+    server = create_server(
+        args.host, args.port, executor, obs=obs, quiet=not args.verbose
+    )
+    host, port = server.server_address[:2]
+    print(f"coordinating on http://{host}:{port}", flush=True)
     serve_forever(server)
     return 0
 
@@ -361,6 +500,9 @@ def main(argv: "list[str] | None" = None) -> int:
 
     if args.command == "serve":
         return _run_serve(args)
+
+    if args.command == "coordinate":
+        return _run_coordinate(args)
 
     if args.command == "datasets":
         out = sys.stdout

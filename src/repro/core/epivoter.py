@@ -370,6 +370,78 @@ class EPivoter:
             )
         return box[0]
 
+    def count_single_roots(
+        self,
+        p: int,
+        q: int,
+        roots: "list[tuple[int, int]]",
+        workers: "int | None" = None,
+        obs: "MetricsRegistry | None" = None,
+        node_budget: "int | None" = None,
+        time_budget: "float | None" = None,
+        pool: "object | None" = None,
+        trace: "Trace" = NULL_TRACE,
+    ) -> int:
+        """Count (p, q)-bicliques rooted at an explicit edge subset.
+
+        The partial-count primitive behind cluster shards: every
+        (p, q)-biclique is counted exactly once across any partition of
+        the full edge set (the PR 1 root-edge fan-out argument), so
+        summing ``count_single_roots`` over disjoint root ranges equals
+        :meth:`count_single` on the whole graph, bit for bit.  No core
+        reduction is applied — the roots are ids into *this* graph.
+        """
+        if p < 1 or q < 1:
+            raise ValueError("p and q must be positive")
+        if not roots:
+            return 0
+        track = obs is not None and obs.enabled
+        deadline = (
+            time.monotonic() + time_budget if time_budget is not None else None
+        )
+        n_workers = resolve_workers(workers)
+        if pool is not None:
+            n_workers = max(n_workers, getattr(pool, "max_workers", 1))
+        if n_workers > 1:
+            chunks = chunk_root_edges(
+                self.graph, roots, n_workers * CHUNKS_PER_WORKER
+            )
+            if len(chunks) > 1:
+                if track:
+                    obs.gauge_max("parallel.workers", n_workers)
+                    obs.gauge_max("parallel.chunks", len(chunks))
+                payloads = [
+                    (self.pivot, self.mode, p, q, chunk, track,
+                     node_budget, time_budget)
+                    for chunk in chunks
+                ]
+                with trace.span(
+                    "traverse", workers=n_workers, chunks=len(chunks),
+                    roots=len(roots),
+                ):
+                    parts = run_chunked(
+                        _count_single_chunk,
+                        payloads,
+                        n_workers,
+                        graph=self.graph,
+                        obs=obs,
+                        pool=pool,
+                    )
+                    return sum(split_worker_results(parts, obs))
+
+        visit, box = _single_cell_visitor(p, q)
+        with trace.span("traverse", workers=1, roots=len(roots)):
+            self._run(
+                visit,
+                bounds=(p, q, p, q),
+                roots=roots,
+                obs=obs,
+                node_budget=node_budget,
+                deadline=deadline,
+                trace=trace,
+            )
+        return box[0]
+
     def count_local(
         self,
         p: int,

@@ -424,6 +424,28 @@ class BipartiteGraph:
             u += 1
         return (u, self._indices_l[edge_id])
 
+    def edges_in_range(self, start: int, stop: int) -> list[tuple[int, int]]:
+        """Edges with ids in ``[start, stop)`` as ``(u, v)`` pairs, id order.
+
+        Equivalent to ``[self.edge_at(k) for k in range(start, stop)]``
+        but walks the left CSR once instead of bisecting per edge, so a
+        cluster shard can rebuild its root-edge range in O(range size).
+        Out-of-bounds ends are clamped; an empty range yields ``[]``.
+        """
+        start = max(0, start)
+        stop = min(stop, self.num_edges)
+        if start >= stop:
+            return []
+        indptr = self._indptr_l
+        indices = self._indices_l
+        u = bisect_right(indptr, start) - 1
+        pairs = []
+        for k in range(start, stop):
+            while indptr[u + 1] <= k:
+                u += 1
+            pairs.append((u, indices[k]))
+        return pairs
+
     # ------------------------------------------------------------------
     # Ordering-neighbor queries (Section 2)
     # ------------------------------------------------------------------

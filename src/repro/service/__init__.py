@@ -16,7 +16,11 @@ many queries against a *resident* graph:
   admission control, coalescing of identical in-flight queries, and
   per-registration :class:`~repro.utils.parallel.GraphPool` reuse;
 * :mod:`repro.service.server` — a stdlib HTTP JSON API over the
-  executor, exposed by the ``repro-biclique serve`` subcommand.
+  executor, exposed by the ``repro-biclique serve`` subcommand;
+* :mod:`repro.service.cluster` — the sharded-serving layer: a
+  coordinator executor that scatters exact counts as weighted
+  root-edge ranges across ``--shard`` server instances and merges the
+  exact integer partials (``repro-biclique coordinate``).
 
 The package imports no HTTP machinery at engine level: the executor is
 fully usable in-process (the tests drive it directly), and the server is
@@ -24,7 +28,14 @@ a thin JSON shim over it.
 """
 
 from repro.service.cache import ResultCache
+from repro.service.cluster import (
+    ClusterExecutor,
+    ClusterRegistrationError,
+    ShardClient,
+    ShardError,
+)
 from repro.service.executor import (
+    FingerprintMismatch,
     Query,
     QueryRejected,
     ServiceExecutor,
@@ -38,7 +49,12 @@ __all__ = [
     "Query",
     "QueryRejected",
     "UnknownGraph",
+    "FingerprintMismatch",
     "ServiceExecutor",
+    "ClusterExecutor",
+    "ClusterRegistrationError",
+    "ShardClient",
+    "ShardError",
     "cache_key",
     "graph_fingerprint",
     "GraphProfile",

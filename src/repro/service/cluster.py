@@ -1,0 +1,605 @@
+"""Sharded cluster serving: scatter/gather with an exact integer merge.
+
+The multi-host lift of PR 1's process fan-out.  EPivoter roots one
+search per edge, so any partition of the edge-id space into disjoint
+ranges partitions the enumeration tree: shards count their ranges
+independently and the coordinator sums the partials — exact Python
+ints end to end, bit-identical to a single-node ``count_single``.
+
+Topology (the PARBUTTERFLY rank-0 pattern, over HTTP instead of MPI):
+
+* **shards** are ordinary ``repro-biclique serve`` processes started
+  with ``--shard``, which enables the internal ``POST /v1/shard/count``
+  endpoint (an exact partial count over explicit ``[start, stop)``
+  edge-id ranges).
+* **the coordinator** (``repro-biclique coordinate --shards ...``) is a
+  :class:`ClusterExecutor` — a drop-in :class:`ServiceExecutor` whose
+  exact ``epivoter`` plans scatter weighted root-edge ranges across the
+  shards over persistent HTTP connections and merge the gathered
+  partials.  Everything else (planner, cache, coalescing, estimator
+  engines, tracing) is inherited: estimator plans run locally on the
+  coordinator.
+
+Exactness and failure semantics:
+
+* Registration ships the degree-ordered edge list to every shard and
+  verifies the returned content fingerprint matches the coordinator's —
+  all shards provably hold the same graph before a single query runs.
+  Every shard request carries the fingerprint again; a mismatch is a
+  hard 409, never a silently wrong merge.
+* The edge-id space is cut into ``len(shards) * RANGES_PER_SHARD``
+  contiguous ranges of near-equal *weight* (per-root candidate-pair
+  work via :func:`repro.utils.parallel.root_edge_weights`), so losing
+  a shard loses a re-scatterable set of small ranges, not half the
+  query.
+* A failed shard (connection refused/reset, timeout, 5xx) is marked
+  unhealthy and its ranges are re-scattered across the survivors —
+  still an exact merge.  When no survivor remains, or the remaining
+  deadline cannot plausibly absorb the lost work, the coordinator
+  degrades to the plan's estimator fallback and answers with
+  ``degraded: true`` and a shard-loss reason.  A shard that reports
+  ``budget_exceeded`` (HTTP 503) is healthy but out of time: that is
+  the ordinary :class:`CountBudgetExceeded` degradation path, not a
+  failure.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from bisect import bisect_left
+from concurrent.futures import ThreadPoolExecutor, as_completed
+from http.client import HTTPConnection, HTTPException
+from itertools import accumulate
+from typing import TYPE_CHECKING
+
+from repro.core.epivoter import CountBudgetExceeded
+from repro.graph.bigraph import BipartiteGraph
+from repro.obs.trace import NULL_TRACE
+from repro.service.executor import (
+    FingerprintMismatch,
+    Query,
+    RegisteredGraph,
+    ServiceExecutor,
+)
+from repro.service.fingerprint import graph_fingerprint
+from repro.service.planner import NODES_PER_SECOND, QueryPlan
+from repro.utils.parallel import root_edge_weights
+
+if TYPE_CHECKING:
+    from repro.obs.trace import Trace
+
+__all__ = [
+    "ShardError",
+    "ClusterRegistrationError",
+    "ShardClient",
+    "ClusterExecutor",
+    "weighted_ranges",
+    "RANGES_PER_SHARD",
+]
+
+#: Scatter granularity: ranges per shard.  More than one so a dead
+#: shard's work re-scatters across *all* survivors in balanced pieces;
+#: small enough that per-range HTTP overhead stays negligible.
+RANGES_PER_SHARD = 4
+
+#: Minimum wall-clock seconds of deadline left for a re-scatter round
+#: to be worth attempting at all.
+_MIN_RESCATTER_SECONDS = 0.01
+
+#: A re-scatter is attempted only when the lost work is predicted to
+#: fit in this share of the remaining deadline (room for the merge and
+#: a possible estimator fallback).
+_RESCATTER_DEADLINE_SHARE = 0.5
+
+
+class ShardError(RuntimeError):
+    """A shard request failed (unreachable, timed out, or 5xx)."""
+
+
+class ClusterRegistrationError(RuntimeError):
+    """Registering a graph on a shard failed or fingerprints diverged."""
+
+
+class ShardClient:
+    """One shard endpoint: persistent connections, retries, health.
+
+    Connections are pooled (plain stdlib :class:`HTTPConnection`, one
+    per concurrent request, reused across requests) so steady-state
+    scatter rounds pay zero TCP handshakes.  Connection-level errors
+    retry up to ``retries`` times on a fresh connection; *timeouts* do
+    not retry — a retry against a deadline only burns what little time
+    is left, and the caller's re-scatter logic owns that decision.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        retries: int = 1,
+    ):
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+        self.retries = max(0, retries)
+        self.healthy = True
+        self.failures = 0
+        self.last_error: "str | None" = None
+        self._idle: "list[HTTPConnection]" = []
+        self._lock = threading.Lock()
+
+    @classmethod
+    def parse(cls, spec: str, **kwargs) -> "ShardClient":
+        """Build a client from a ``host:port`` spec (host defaults to
+        127.0.0.1 when the spec is just a port)."""
+        host, _, port = spec.strip().rpartition(":")
+        if not port:
+            raise ValueError(f"shard spec {spec!r} needs host:port")
+        return cls(host or "127.0.0.1", int(port), **kwargs)
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def __repr__(self) -> str:
+        return f"ShardClient({self.address})"
+
+    # -- connection pool ----------------------------------------------
+
+    def _acquire(self, timeout: float) -> HTTPConnection:
+        with self._lock:
+            if self._idle:
+                conn = self._idle.pop()
+                conn.timeout = timeout
+                if conn.sock is not None:
+                    conn.sock.settimeout(timeout)
+                return conn
+        return HTTPConnection(self.host, self.port, timeout=timeout)
+
+    def _release(self, conn: HTTPConnection) -> None:
+        with self._lock:
+            self._idle.append(conn)
+
+    def close(self) -> None:
+        with self._lock:
+            idle, self._idle = self._idle, []
+        for conn in idle:
+            conn.close()
+
+    # -- requests ------------------------------------------------------
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: "dict | None" = None,
+        timeout: "float | None" = None,
+    ) -> "tuple[int, dict]":
+        """One JSON round trip; returns ``(status, decoded body)``.
+
+        Raises :class:`ShardError` when the shard cannot be reached
+        within ``retries`` fresh-connection attempts or the socket
+        times out.  HTTP error statuses are *returned*, not raised —
+        the caller decides what a 409 or 503 means.
+        """
+        effective = self.timeout if timeout is None else timeout
+        payload = None if body is None else json.dumps(body).encode()
+        headers = {"Content-Type": "application/json"}
+        last_exc: "Exception | None" = None
+        for _attempt in range(self.retries + 1):
+            conn = self._acquire(effective)
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                response = conn.getresponse()
+                data = response.read()
+            except TimeoutError as exc:
+                conn.close()
+                raise ShardError(
+                    f"shard {self.address} timed out after {effective:.3f}s"
+                ) from exc
+            except (OSError, HTTPException) as exc:
+                conn.close()
+                last_exc = exc
+                continue
+            self._release(conn)
+            try:
+                document = json.loads(data) if data else {}
+            except ValueError:
+                document = {"error": data.decode(errors="replace")}
+            return response.status, document
+        raise ShardError(
+            f"shard {self.address} unreachable: {last_exc}"
+        ) from last_exc
+
+    def describe(self) -> dict:
+        return {
+            "shard": self.address,
+            "healthy": self.healthy,
+            "failures": self.failures,
+            "last_error": self.last_error,
+        }
+
+
+def weighted_ranges(
+    weights: "list[int]", n_ranges: int
+) -> "list[tuple[int, int, int]]":
+    """Cut ``range(len(weights))`` into contiguous near-equal-weight runs.
+
+    ``weights[i]`` is the traversal cost of edge id ``i``; every weight
+    is floored at 1 so zero-weight tails still spread across ranges.
+    Returns ``(start, stop, weight)`` triples covering ``[0, E)`` with
+    every range non-empty (``n_ranges`` is clamped to ``E``).
+    """
+    n_edges = len(weights)
+    if n_edges == 0:
+        return []
+    n_ranges = max(1, min(n_ranges, n_edges))
+    adjusted = [max(1, w) for w in weights]
+    prefix = list(accumulate(adjusted))
+    total = prefix[-1]
+    cuts = [0]
+    for k in range(1, n_ranges):
+        target = total * k / n_ranges
+        cut = bisect_left(prefix, target) + 1
+        # Keep every range non-empty: at least one edge behind this
+        # cut, and enough edges ahead for the remaining ranges.
+        cut = max(cuts[-1] + 1, min(cut, n_edges - (n_ranges - k)))
+        cuts.append(cut)
+    cuts.append(n_edges)
+    return [
+        (
+            cuts[i],
+            cuts[i + 1],
+            prefix[cuts[i + 1] - 1] - (prefix[cuts[i] - 1] if cuts[i] else 0),
+        )
+        for i in range(n_ranges)
+    ]
+
+
+class ClusterExecutor(ServiceExecutor):
+    """A :class:`ServiceExecutor` that scatters exact counts to shards.
+
+    Drop-in for the HTTP server: the public API, planner, cache,
+    coalescing, and estimator paths are all inherited.  Only exact
+    ``epivoter`` plans change execution: instead of running the local
+    engine, the coordinator scatters the graph's pre-cut weighted
+    root-edge ranges across the shard fleet and sums the partials.
+
+    The result cache needs no topology in its keys — an exact count is
+    the same integer no matter how many shards computed it — so cached
+    entries survive shard fleet changes, and the cache genuinely fronts
+    the cluster.
+    """
+
+    def __init__(self, shards: "list[ShardClient]", **kwargs):
+        if not shards:
+            raise ValueError("a cluster needs at least one shard")
+        super().__init__(**kwargs)
+        self._shards = list(shards)
+        #: Pre-cut ``(start, stop, weight)`` ranges per graph name.
+        self._ranges: "dict[str, list[tuple[int, int, int]]]" = {}
+        # Deadline feasibility scales with the fleet (the planner prices
+        # exact runs against nodes_per_second * shards).
+        self._planner_overrides["shards"] = len(shards)
+        self._gauge("cluster.shards", len(shards))
+
+    # ------------------------------------------------------------------
+    # Registration: every shard first, fingerprint-verified
+    # ------------------------------------------------------------------
+
+    def register(
+        self, graph: BipartiteGraph, name: "str | None" = None
+    ) -> RegisteredGraph:
+        """Register on every shard, verify fingerprints, then locally.
+
+        Shards register *first*: once the graph is queryable locally, a
+        scatter may begin immediately, so by then every shard must hold
+        it.  Each shard degree-orders and fingerprints independently;
+        any returned fingerprint that differs from the coordinator's is
+        a :class:`ClusterRegistrationError` — the guarantee that merged
+        partials all describe the same graph.
+        """
+        ordered = graph if graph.is_degree_ordered() else graph.degree_ordered()[0]
+        fingerprint = graph_fingerprint(ordered)
+        if name is None:
+            name = fingerprint[:12]
+        payload = {
+            "name": name,
+            "n_left": ordered.n_left,
+            "n_right": ordered.n_right,
+            "edges": [[u, v] for u, v in ordered.edges()],
+        }
+        for client in self._shards:
+            try:
+                status, document = client.request("POST", "/v1/graphs", payload)
+            except ShardError as exc:
+                raise ClusterRegistrationError(
+                    f"registering {name!r} on shard {client.address}: {exc}"
+                ) from exc
+            if status != 200:
+                raise ClusterRegistrationError(
+                    f"shard {client.address} rejected graph {name!r} "
+                    f"(HTTP {status}): {document.get('error')}"
+                )
+            if document.get("fingerprint") != fingerprint:
+                raise ClusterRegistrationError(
+                    f"shard {client.address} fingerprint "
+                    f"{str(document.get('fingerprint'))[:12]}… != coordinator "
+                    f"{fingerprint[:12]}… for graph {name!r}"
+                )
+        weights = root_edge_weights(ordered, list(ordered.edges()))
+        self._ranges[name] = weighted_ranges(
+            weights, len(self._shards) * RANGES_PER_SHARD
+        )
+        return super().register(ordered, name=name)
+
+    def drop(self, name: str) -> bool:
+        self._ranges.pop(name, None)
+        return super().drop(name)
+
+    # ------------------------------------------------------------------
+    # Execution: scatter exact plans, inherit everything else
+    # ------------------------------------------------------------------
+
+    def _execute_plan(
+        self,
+        plan: QueryPlan,
+        query: Query,
+        registered: RegisteredGraph,
+        trace: "Trace" = NULL_TRACE,
+    ) -> "tuple[int | float, dict]":
+        if plan.method != "epivoter":
+            return super()._execute_plan(plan, query, registered, trace=trace)
+        return self._scatter_count(plan, query, registered, trace)
+
+    def _scatter_count(
+        self,
+        plan: QueryPlan,
+        query: Query,
+        registered: RegisteredGraph,
+        trace: "Trace",
+    ) -> "tuple[int, dict]":
+        ranges = self._ranges.get(registered.name)
+        if ranges is None:  # registered pre-cluster (e.g. via super())
+            weights = root_edge_weights(
+                registered.graph, list(registered.graph.edges())
+            )
+            ranges = self._ranges[registered.name] = weighted_ranges(
+                weights, len(self._shards) * RANGES_PER_SHARD
+            )
+        if not ranges:  # empty graph: nothing to scatter
+            return 0, {"shards_used": 0}
+        time_budget = plan.params.get("time_budget")
+        deadline_at = (
+            time.monotonic() + time_budget if time_budget is not None else None
+        )
+        self._incr("cluster.scatters")
+        targets = [client for client in self._shards if client.healthy]
+        if not targets:
+            # All marked unhealthy: try the whole fleet anyway — a
+            # recovered shard heals its flag on the first success.
+            targets = list(self._shards)
+        with trace.span(
+            "scatter", shards=len(targets), ranges=len(ranges)
+        ):
+            assignment = {
+                client: ranges[i :: len(targets)]
+                for i, client in enumerate(targets)
+            }
+            assignment = {c: rs for c, rs in assignment.items() if rs}
+        total = 0
+        shards_used = 0
+        rescatters = 0
+        lost: "list[tuple[int, int, int]]" = []
+        lost_reasons: "list[str]" = []
+        with trace.span("gather", shards=len(assignment)) as gather_span:
+            while assignment:
+                partials, failed = self._gather_round(
+                    assignment, query, registered, plan, deadline_at, trace
+                )
+                total += sum(partials)
+                shards_used += len(partials)
+                self._gauge(
+                    "cluster.shards_healthy",
+                    sum(1 for c in self._shards if c.healthy),
+                )
+                if not failed:
+                    break
+                lost = [r for _, rs in failed for r in rs]
+                lost_reasons = [reason for reason, _ in failed]
+                survivors = [
+                    client
+                    for client in assignment
+                    if client.healthy
+                ]
+                decision = self._rescatter_decision(
+                    lost, survivors, deadline_at
+                )
+                if decision is not None:
+                    return self._degrade_shard_loss(
+                        plan, query, registered, trace,
+                        f"{'; '.join(lost_reasons)} ({decision})",
+                    )
+                self._incr("cluster.rescatters")
+                rescatters += 1
+                assignment = {
+                    client: lost[i :: len(survivors)]
+                    for i, client in enumerate(survivors)
+                }
+                assignment = {
+                    c: rs for c, rs in assignment.items() if rs
+                }
+            if trace.enabled and rescatters:
+                gather_span.set("rescatters", rescatters)
+        extra = {"shards_used": shards_used}
+        if rescatters:
+            extra["rescatters"] = rescatters
+        return total, extra
+
+    def _gather_round(
+        self,
+        assignment: "dict[ShardClient, list[tuple[int, int, int]]]",
+        query: Query,
+        registered: RegisteredGraph,
+        plan: QueryPlan,
+        deadline_at: "float | None",
+        trace: "Trace",
+    ) -> "tuple[list[int], list[tuple[str, list[tuple[int, int, int]]]]]":
+        """One scatter round: ``(partials, [(reason, lost ranges)...])``.
+
+        A :class:`CountBudgetExceeded` from any shard propagates — the
+        shard is healthy, the deadline is simply blown, and the
+        inherited fallback machinery owns that degradation.
+        """
+        partials: "list[int]" = []
+        failed: "list[tuple[str, list[tuple[int, int, int]]]]" = []
+        with ThreadPoolExecutor(max_workers=len(assignment)) as pool:
+            futures = {
+                pool.submit(
+                    self._shard_count_call,
+                    client, query, registered, plan, shard_ranges, deadline_at,
+                ): (client, shard_ranges)
+                for client, shard_ranges in assignment.items()
+            }
+            for future in as_completed(futures):
+                client, shard_ranges = futures[future]
+                try:
+                    value, elapsed = future.result()
+                except ShardError as exc:
+                    client.healthy = False
+                    client.failures += 1
+                    client.last_error = str(exc)
+                    self._incr("cluster.shard_failures")
+                    failed.append((str(exc), shard_ranges))
+                    continue
+                client.healthy = True
+                client.last_error = None
+                partials.append(value)
+                trace.add_span(
+                    f"shard:{client.address}", elapsed,
+                    ranges=len(shard_ranges),
+                )
+        return partials, failed
+
+    def _shard_count_call(
+        self,
+        client: ShardClient,
+        query: Query,
+        registered: RegisteredGraph,
+        plan: QueryPlan,
+        shard_ranges: "list[tuple[int, int, int]]",
+        deadline_at: "float | None",
+    ) -> "tuple[int, float]":
+        """One ``POST /v1/shard/count``; returns ``(partial, seconds)``."""
+        timeout = client.timeout
+        body = {
+            "graph": registered.name,
+            "fingerprint": registered.fingerprint,
+            "p": query.p,
+            "q": query.q,
+            "ranges": [[start, stop] for start, stop, _ in shard_ranges],
+        }
+        node_budget = plan.params.get("node_budget")
+        if node_budget is not None:
+            body["node_budget"] = node_budget
+        if deadline_at is not None:
+            # The socket timeout tracks the query deadline: a stalled
+            # shard exhausts the deadline here, deterministically, and
+            # the caller then decides between re-scatter and degrade.
+            remaining = deadline_at - time.monotonic()
+            if remaining <= 0:
+                raise ShardError(
+                    f"shard {client.address}: deadline exhausted before send"
+                )
+            body["time_budget"] = remaining
+            timeout = min(timeout, max(0.05, remaining))
+        self._incr("cluster.shard_requests")
+        start = time.perf_counter()
+        status, document = client.request(
+            "POST", "/v1/shard/count", body, timeout=timeout
+        )
+        elapsed = time.perf_counter() - start
+        self._observe(
+            "cluster.shard_seconds", elapsed, labels={"shard": client.address}
+        )
+        if status == 200:
+            return int(document["value"]), elapsed
+        if status == 503 and document.get("budget_exceeded"):
+            raise CountBudgetExceeded(
+                f"shard {client.address}: {document.get('error')}"
+            )
+        if status == 409:
+            raise FingerprintMismatch(
+                f"shard {client.address}: {document.get('error')}"
+            )
+        raise ShardError(
+            f"shard {client.address} HTTP {status}: {document.get('error')}"
+        )
+
+    def _rescatter_decision(
+        self,
+        lost: "list[tuple[int, int, int]]",
+        survivors: "list[ShardClient]",
+        deadline_at: "float | None",
+    ) -> "str | None":
+        """None to re-scatter ``lost`` across ``survivors``, else why not."""
+        if not survivors:
+            return "no surviving shards"
+        if deadline_at is None:
+            return None
+        remaining = deadline_at - time.monotonic()
+        if remaining <= _MIN_RESCATTER_SECONDS:
+            return f"deadline exhausted ({remaining:.3f}s left)"
+        lost_weight = sum(weight for _, _, weight in lost)
+        nps = self._planner_overrides.get("nodes_per_second", NODES_PER_SECOND)
+        predicted = lost_weight / (nps * len(survivors))
+        if predicted > remaining * _RESCATTER_DEADLINE_SHARE:
+            return (
+                f"re-scatter predicted {predicted:.3f}s > "
+                f"{remaining:.3f}s deadline remainder"
+            )
+        return None
+
+    def _degrade_shard_loss(
+        self,
+        plan: QueryPlan,
+        query: Query,
+        registered: RegisteredGraph,
+        trace: "Trace",
+        reason: str,
+    ) -> "tuple[int | float, dict]":
+        """Answer with the local estimator fallback, marked degraded.
+
+        Partial sums are *never* returned as exact counts: a lost shard
+        either re-scatters (exact) or lands here (estimate, flagged).
+        """
+        self._incr("cluster.degraded")
+        fallback = plan.fallback
+        if fallback is None:
+            raise ShardError(f"shard loss with no fallback plan: {reason}")
+        value, extra = super()._execute_plan(
+            fallback, query, registered, trace=trace
+        )
+        extra.pop("degraded", None)
+        return value, {
+            **extra,
+            "degraded": True,
+            "method": fallback.method,
+            "exact": fallback.exact,
+            "reason": f"shard loss ({reason}); {fallback.method} fallback",
+        }
+
+    # ------------------------------------------------------------------
+    # Health and lifecycle
+    # ------------------------------------------------------------------
+
+    def shard_health(self) -> "list[dict]":
+        """Per-shard health records, surfaced at ``/healthz``."""
+        return [client.describe() for client in self._shards]
+
+    def shutdown(self, save_cache: bool = True) -> None:
+        super().shutdown(save_cache=save_cache)
+        for client in self._shards:
+            client.close()

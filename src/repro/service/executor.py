@@ -57,6 +57,7 @@ __all__ = [
     "Query",
     "QueryRejected",
     "UnknownGraph",
+    "FingerprintMismatch",
     "RegisteredGraph",
     "ServiceExecutor",
 ]
@@ -68,6 +69,17 @@ class QueryRejected(RuntimeError):
 
 class UnknownGraph(KeyError):
     """The query names a graph id that was never registered."""
+
+
+class FingerprintMismatch(RuntimeError):
+    """A shard request's fingerprint does not match the resident graph.
+
+    Raised by :meth:`ServiceExecutor.shard_count` when a coordinator
+    asks for a partial count over a graph whose content fingerprint
+    differs from what this process holds — summing partials over
+    *different* graphs would silently produce garbage, so the mismatch
+    is a hard error (HTTP 409 at the server).
+    """
 
 
 @dataclass(frozen=True)
@@ -347,6 +359,79 @@ class ServiceExecutor:
                                 extra[field_name] = result[field_name]
                     if self.slow_log.maybe_record(trace, extra=extra):
                         self._incr("service.slow_queries")
+
+    # ------------------------------------------------------------------
+    # Shard side (cluster serving)
+    # ------------------------------------------------------------------
+
+    def shard_count(
+        self,
+        graph_id: str,
+        fingerprint: str,
+        p: int,
+        q: int,
+        ranges: "list[tuple[int, int]]",
+        node_budget: "int | None" = None,
+        time_budget: "float | None" = None,
+        trace: "Trace" = NULL_TRACE,
+    ) -> int:
+        """Exact partial count over explicit root-edge id ranges.
+
+        The shard half of the cluster scatter/gather: a coordinator
+        sends ``[start, stop)`` edge-id ranges (ids are left-CSR
+        offsets, the same space :meth:`BipartiteGraph.edge_index`
+        defines) and this process counts only bicliques rooted at those
+        edges.  ``fingerprint`` must match the resident graph's content
+        fingerprint — partials over different graphs must never merge.
+
+        Partials are cached under a ``shard_count`` key that folds in
+        the ranges (budgets are excluded: a *completed* partial is exact
+        regardless of what budget it ran under), so a re-scattered range
+        that this shard already counted is answered from cache.
+        """
+        if p < 1 or q < 1:
+            raise ValueError("p and q must be positive")
+        with self._lock:
+            registered = self._graphs.get(graph_id)
+        if registered is None:
+            raise UnknownGraph(graph_id)
+        if fingerprint != registered.fingerprint:
+            raise FingerprintMismatch(
+                f"graph {graph_id!r}: coordinator expects fingerprint "
+                f"{fingerprint[:12]}…, shard holds "
+                f"{registered.fingerprint[:12]}…"
+            )
+        normalized = sorted((int(a), int(b)) for a, b in ranges)
+        key = cache_key(
+            registered.fingerprint, "shard_count", p, q,
+            {"ranges": [list(r) for r in normalized]},
+        )
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached["value"]
+        self._incr("cluster.shard_counts")
+        roots: "list[tuple[int, int]]" = []
+        for start, stop in normalized:
+            roots.extend(registered.graph.edges_in_range(start, stop))
+        start_t = time.perf_counter()
+        value = registered.engine.count_single_roots(
+            p,
+            q,
+            roots,
+            workers=self.engine_workers,
+            pool=registered.pool,
+            obs=self._obs,
+            node_budget=node_budget,
+            time_budget=time_budget,
+            trace=trace,
+        )
+        self._observe(
+            "service.engine_seconds",
+            time.perf_counter() - start_t,
+            labels={"engine": "shard_count"},
+        )
+        self.cache.put(key, {"value": value})
+        return value
 
     # ------------------------------------------------------------------
     # Worker side

@@ -240,6 +240,7 @@ def plan_query(
     seed: "int | None" = None,
     nodes_per_second: float = NODES_PER_SECOND,
     samples_per_second: float = SAMPLES_PER_SECOND,
+    shards: int = 1,
 ) -> QueryPlan:
     """Choose the engine and parameters for one query (see module table).
 
@@ -248,6 +249,12 @@ def plan_query(
     start).  ``method`` forces a specific engine and skips the table —
     the planner still arms deadline budgets where the engine supports
     them.  ``deadline`` is wall-clock seconds for the whole computation.
+
+    ``shards`` scales the *exact-path* throughput: a cluster
+    coordinator scattering root-edge ranges across N shards finishes an
+    EPivoter pass roughly N times faster, so deadline feasibility is
+    judged against ``nodes_per_second * shards``.  Estimator plans run
+    locally on the coordinator and are priced single-node regardless.
     """
     if kind not in ("count", "estimate"):
         raise ValueError("kind must be 'count' or 'estimate'")
@@ -255,6 +262,9 @@ def plan_query(
         raise ValueError("p and q must be positive")
     if deadline is not None and deadline <= 0:
         raise ValueError("deadline must be positive seconds")
+    if shards < 1:
+        raise ValueError("shards must be positive")
+    exact_nps = nodes_per_second * shards
 
     estimator_plan = _estimator_plan(
         profile, p, q, deadline, delta, epsilon, samples, seed,
@@ -264,7 +274,7 @@ def plan_query(
     if method != "auto":
         return _forced_plan(
             method, profile, p, q, deadline, delta, epsilon, samples, seed,
-            nodes_per_second, samples_per_second, estimator_plan,
+            exact_nps, samples_per_second, estimator_plan,
         )
 
     # Star cells are exact closed forms for both kinds.
@@ -284,7 +294,7 @@ def plan_query(
         return matrix_plan
 
     # Otherwise exact if the deadline (when any) plausibly allows.
-    predicted = profile.root_cost / nodes_per_second
+    predicted = profile.root_cost / exact_nps
     if deadline is not None and predicted > deadline * _EXACT_DEADLINE_SHARE:
         return replace(
             estimator_plan,
@@ -299,7 +309,7 @@ def plan_query(
             predicted_seconds=predicted,
         )
     return _exact_plan(
-        p, q, deadline, predicted, nodes_per_second, estimator_plan
+        p, q, deadline, predicted, exact_nps, estimator_plan
     )
 
 

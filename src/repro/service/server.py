@@ -37,6 +37,14 @@ framework, no new dependencies.  Endpoints:
     traces at least that slow, slowest first) and ``?limit=N``; the
     detail route returns one span tree by trace id.
 
+``POST /v1/shard/count`` (``--shard`` instances only)
+    Internal cluster endpoint: ``{"graph": NAME, "fingerprint": HASH,
+    "p": P, "q": Q, "ranges": [[start, stop], ...]}`` returns the exact
+    partial count over those root-edge id ranges.  A fingerprint that
+    does not match the resident graph is a 409; a tripped
+    ``time_budget``/``node_budget`` is a 503 with
+    ``budget_exceeded: true``.  Public instances answer 404 here.
+
 Errors are JSON too: 400 (malformed request), 404 (unknown graph or
 route), 429 (admission control; ``retryable: true``), 500 (engine
 failure).  Every response — errors and 404s included — lands in the
@@ -58,8 +66,15 @@ from repro.graph.bigraph import BipartiteGraph
 from repro.graph.io import parse_edge_list
 from repro.obs.prometheus import CONTENT_TYPE as _PROM_CONTENT_TYPE
 from repro.obs.prometheus import render_prometheus
+from repro.core.epivoter import CountBudgetExceeded
 from repro.obs.trace import Trace
-from repro.service.executor import Query, QueryRejected, ServiceExecutor, UnknownGraph
+from repro.service.executor import (
+    FingerprintMismatch,
+    Query,
+    QueryRejected,
+    ServiceExecutor,
+    UnknownGraph,
+)
 
 if TYPE_CHECKING:
     from repro.obs.registry import MetricsRegistry
@@ -79,6 +94,7 @@ _ROUTE_LABELS = {
     "/v1/count": "v1_count",
     "/v1/estimate": "v1_estimate",
     "/v1/traces": "v1_traces",
+    "/v1/shard/count": "v1_shard_count",
 }
 
 
@@ -102,15 +118,24 @@ class BicliqueServiceServer(ThreadingHTTPServer):
         executor: ServiceExecutor,
         obs: "MetricsRegistry | None" = None,
         quiet: bool = True,
+        shard: bool = False,
     ):
         self.executor = executor
         self.obs = obs
         self.quiet = quiet
+        #: Shard role: expose the internal ``POST /v1/shard/count`` so a
+        #: cluster coordinator can scatter root-edge ranges here.  Off by
+        #: default — a public-facing server should not serve partials.
+        self.shard = shard
         super().__init__(address, _Handler)
 
 
 class _BadRequest(ValueError):
     """Maps to HTTP 400 with the message as the error body."""
+
+
+class _NotFound(ValueError):
+    """Maps to HTTP 404 with the message as the error body."""
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -204,15 +229,27 @@ class _Handler(BaseHTTPRequestHandler):
                 payload = self._register(body)
             elif route_path in ("/v1/count", "/v1/estimate"):
                 payload = self._query(body, kind=route_path.rsplit("/", 1)[1])
+            elif route_path == "/v1/shard/count":
+                payload = self._shard_count(body)
             else:
                 self._respond(404, {"error": f"unknown route {route_path}"})
                 return
         except _BadRequest as exc:
             self._respond(400, {"error": str(exc)})
+        except _NotFound as exc:
+            self._respond(404, {"error": str(exc)})
         except UnknownGraph as exc:
             self._respond(
                 404,
                 {"error": f"unknown graph {exc.args[0]!r}; register it first"},
+            )
+        except FingerprintMismatch as exc:
+            self._respond(409, {"error": str(exc)})
+        except CountBudgetExceeded as exc:
+            # A shard that ran out of budget is healthy, just out of
+            # time; the coordinator must not count this as a failure.
+            self._respond(
+                503, {"error": str(exc), "budget_exceeded": True}
             )
         except QueryRejected as exc:
             self._respond(429, {"error": str(exc), "retryable": True})
@@ -228,25 +265,31 @@ class _Handler(BaseHTTPRequestHandler):
     def _healthz(self) -> None:
         executor = self.server.executor
         graphs = executor.graphs()
-        self._respond(
-            200,
-            {
-                "status": "ok",
-                "graphs": sorted(graphs),
-                "queue_depth": executor.queue_depth(),
-                "uptime_seconds": round(
-                    time.time() - executor.started_unix, 3
-                ),
-                "version": __version__,
-                "registrations": {
-                    name: {
-                        "fingerprint": registered.fingerprint,
-                        "registered_unix": registered.registered_unix,
-                    }
-                    for name, registered in graphs.items()
-                },
+        payload = {
+            "status": "ok",
+            "graphs": sorted(graphs),
+            "queue_depth": executor.queue_depth(),
+            "uptime_seconds": round(
+                time.time() - executor.started_unix, 3
+            ),
+            "version": __version__,
+            "registrations": {
+                name: {
+                    "fingerprint": registered.fingerprint,
+                    "registered_unix": registered.registered_unix,
+                }
+                for name, registered in graphs.items()
             },
-        )
+        }
+        if self.server.shard:
+            payload["role"] = "shard"
+        # A coordinator's executor reports per-shard health; duck-typed
+        # so the plain ServiceExecutor needs no cluster imports.
+        shard_health = getattr(executor, "shard_health", None)
+        if shard_health is not None:
+            payload["role"] = "coordinator"
+            payload["shards"] = shard_health()
+        self._respond(200, payload)
 
     def _metrics(self, params: dict) -> None:
         executor = self.server.executor
@@ -279,6 +322,10 @@ class _Handler(BaseHTTPRequestHandler):
             limit = int((params.get("limit") or [50])[0])
         except ValueError as exc:
             raise _BadRequest(f"bad trace query parameter: {exc}") from None
+        if slow_ms < 0:
+            raise _BadRequest("'slow' must be >= 0 milliseconds")
+        if limit < 0:
+            raise _BadRequest("'limit' must be >= 0")
         documents = self.server.executor.traces.list(slow_ms=slow_ms, limit=limit)
         self._respond(
             200,
@@ -388,6 +435,60 @@ class _Handler(BaseHTTPRequestHandler):
             payload["trace"] = trace.to_dict()
         return payload
 
+    def _shard_count(self, body: dict) -> dict:
+        """Internal cluster endpoint: exact partial over edge-id ranges.
+
+        Only served when the process was started with ``--shard``; a
+        public instance answers 404 so the internal surface stays
+        invisible.  The response's ``value`` is an exact Python int
+        (JSON integers are arbitrary-precision either way), which is
+        what makes the coordinator's merge bit-identical.
+        """
+        if not self.server.shard:
+            raise _NotFound("not a shard (start with --shard to enable)")
+        graph_id = body.get("graph")
+        if not isinstance(graph_id, str):
+            raise _BadRequest("'graph' (a registered name) is required")
+        fingerprint = body.get("fingerprint")
+        if not isinstance(fingerprint, str) or not fingerprint:
+            raise _BadRequest("'fingerprint' (the graph content hash) is required")
+        try:
+            p = int(body["p"])
+            q = int(body["q"])
+        except (KeyError, ValueError, TypeError):
+            raise _BadRequest("'p' and 'q' are required integers") from None
+        raw_ranges = body.get("ranges")
+        if not isinstance(raw_ranges, list) or not raw_ranges:
+            raise _BadRequest("'ranges' must be a non-empty list of [start, stop)")
+        try:
+            ranges = [(int(a), int(b)) for a, b in raw_ranges]
+        except (ValueError, TypeError) as exc:
+            raise _BadRequest(f"bad 'ranges' entry: {exc}") from None
+        if any(a < 0 or b < a for a, b in ranges):
+            raise _BadRequest("each range must satisfy 0 <= start <= stop")
+        time_budget = _opt_float(body, "time_budget")
+        node_budget = _opt_int(body, "node_budget")
+        start = time.perf_counter()
+        value = self.server.executor.shard_count(
+            graph_id,
+            fingerprint,
+            p,
+            q,
+            ranges,
+            node_budget=node_budget,
+            time_budget=time_budget,
+        )
+        return {
+            "graph": graph_id,
+            "fingerprint": fingerprint,
+            "p": p,
+            "q": q,
+            "ranges": [[a, b] for a, b in ranges],
+            "value": value,
+            "exact": True,
+            "elapsed_ms": round((time.perf_counter() - start) * 1000.0, 3),
+        }
+
 
 def _opt_float(body: dict, key: str) -> "float | None":
     value = body.get(key)
@@ -405,9 +506,17 @@ def create_server(
     executor: ServiceExecutor,
     obs: "MetricsRegistry | None" = None,
     quiet: bool = True,
+    shard: bool = False,
 ) -> BicliqueServiceServer:
-    """Bind (but do not start) a service server; port 0 picks a free port."""
-    return BicliqueServiceServer((host, port), executor, obs=obs, quiet=quiet)
+    """Bind (but do not start) a service server; port 0 picks a free port.
+
+    ``shard=True`` additionally serves the internal
+    ``POST /v1/shard/count`` partial-count endpoint for a cluster
+    coordinator; leave it off for public-facing instances.
+    """
+    return BicliqueServiceServer(
+        (host, port), executor, obs=obs, quiet=quiet, shard=shard
+    )
 
 
 def serve_forever(server: BicliqueServiceServer) -> None:

@@ -57,6 +57,7 @@ if TYPE_CHECKING:  # imported for annotations only
 __all__ = [
     "resolve_workers",
     "root_edge_weight",
+    "root_edge_weights",
     "chunk_root_edges",
     "split_evenly",
     "run_chunked",
@@ -159,6 +160,22 @@ def _root_edge_weights(
     hi_r = indptr_r[vs + 1] - np.searchsorted(keyed_r, vs * stride + us, side="right")
     weights = hi_l * hi_r
     return {edge: int(weights[i]) for i, edge in enumerate(roots)}
+
+
+def root_edge_weights(
+    graph: BipartiteGraph, roots: Sequence[tuple[int, int]]
+) -> list[int]:
+    """Weights of ``roots`` in order, via the batched keyed-search pass.
+
+    The public face of :func:`_root_edge_weights`: one list entry per
+    root, aligned with the input order, so callers that need weights in
+    edge-id order (the cluster coordinator's contiguous range
+    partitioner) can weigh the whole edge set in two vectorised
+    ``searchsorted`` passes instead of ``2E`` scalar bisections.
+    """
+    roots = list(roots)
+    weights = _root_edge_weights(graph, roots)
+    return [weights[edge] for edge in roots]
 
 
 def chunk_root_edges(

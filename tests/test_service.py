@@ -95,6 +95,40 @@ class TestResultCache:
         reloaded = ResultCache(capacity=8, path=path)
         assert reloaded.get(key) == {"value": 42, "exact": True}
 
+    def test_load_merges_into_warm_cache(self, tmp_path):
+        """A persisted file loaded into an already-warm cache merges:
+        file entries overwrite stale twins and land most-recent in LRU
+        order, and the warm cache's hit/miss tallies keep counting."""
+        path = str(tmp_path / "cache.json")
+        donor = ResultCache(capacity=8)
+        key_a = cache_key("fp", "count", 2, 2)
+        key_b = cache_key("fp", "count", 3, 3)
+        donor.put(key_a, {"value": 1})
+        donor.put(key_b, {"value": 2})
+        assert donor.save(path) == 2
+
+        warm = ResultCache(capacity=3, obs=MetricsRegistry())
+        key_c = cache_key("fp", "count", 4, 4)
+        warm.put(key_c, {"value": 3})
+        warm.put(key_a, {"value": 999})  # stale: the file will overwrite
+        assert warm.get(key_c) == {"value": 3}  # LRU now: key_a, key_c
+
+        assert warm.load(path) == 2
+        assert len(warm) == 3
+        assert warm.get(key_a) == {"value": 1}  # file entry won
+        assert warm.get(key_b) == {"value": 2}
+        assert warm.get(key_c) == {"value": 3}
+
+        # LRU order after the merge: the file entries were refreshed
+        # last, so key_c was the least-recent — until the gets above
+        # refreshed everything; key_a is now oldest and evicts first.
+        warm.put(cache_key("fp", "count", 5, 5), {"value": 4})
+        assert warm.get(key_a) is None
+        stats = warm.stats()
+        assert stats["hits"] == 4
+        assert stats["misses"] == 1
+        assert stats["evictions"] == 1
+
     def test_corrupt_lines_skipped(self, tmp_path):
         path = tmp_path / "cache.json"
         good = ResultCache(capacity=8)

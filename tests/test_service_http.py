@@ -324,6 +324,17 @@ class TestObservabilityEndpoints:
         status, _ = get(base, "/v1/traces?slow=banana")
         assert status == 400
 
+    def test_traces_negative_parameters_rejected(self, service):
+        # Negative values used to flow straight into TraceRing.list,
+        # where a negative limit silently sliced from the wrong end.
+        base, _executor, _obs = service
+        for query in ("limit=-1", "slow=-5", "limit=-1&slow=-5"):
+            status, body = get(base, f"/v1/traces?{query}")
+            assert status == 400
+            assert ">= 0" in body["error"]
+        status, _ = get(base, "/v1/traces?limit=0&slow=0")
+        assert status == 200
+
     def test_untraced_queries_fill_the_ring_too(self, service, graph):
         # Every HTTP query gets a trace id; the ring retains them all.
         base, executor, _obs = service
