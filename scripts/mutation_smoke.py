@@ -1,0 +1,192 @@
+"""CI smoke test for the dynamic-graph mutation path.
+
+Starts a real ``repro-biclique serve`` subprocess with a tiny
+compaction threshold, then drives the full mutation lifecycle over
+HTTP: register (via ``--dataset`` preload) → count → PATCH → count →
+keep mutating until the overlay compacts → count again.  Every served
+count is checked against an oracle rebuilt from scratch in this
+process, and the pre-mutation cache entry is asserted to never be
+served once the fingerprint has moved.
+
+Run from the repository root:
+
+    PYTHONPATH=src:. python scripts/mutation_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import subprocess
+import sys
+import urllib.error
+import urllib.request
+
+DATASET = "Github"
+COMPACT_EDGES = 24
+
+
+def request(method: str, base: str, path: str, body: "dict | None" = None):
+    req = urllib.request.Request(
+        base + path,
+        data=None if body is None else json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"},
+        method=method,
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=300) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def main() -> int:
+    from repro.core.epivoter import EPivoter
+    from repro.graph.bigraph import BipartiteGraph
+    from repro.graph.datasets import load_dataset
+
+    graph = load_dataset(DATASET)
+    current = set(graph.edges())
+
+    def oracle(p: int, q: int) -> int:
+        rebuilt = BipartiteGraph(graph.n_left, graph.n_right, sorted(current))
+        return EPivoter(rebuilt).count_single(p, q)
+
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--dataset", DATASET, "--port", "0", "--threads", "2",
+            "--compact-edges", str(COMPACT_EDGES),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+    )
+    try:
+        line = proc.stdout.readline().strip()
+        match = re.search(r"http://([\d.]+):(\d+)", line)
+        assert match, f"no readiness line, got {line!r}"
+        base = f"http://{match.group(1)}:{match.group(2)}"
+        print(f"server up at {base}")
+
+        # Baseline: exact count, then a cached repeat.
+        status, before = request(
+            "POST", base, "/v1/count", {"graph": DATASET, "p": 2, "q": 2}
+        )
+        assert status == 200 and before["value"] == oracle(2, 2), before
+        status, repeat = request(
+            "POST", base, "/v1/count", {"graph": DATASET, "p": 2, "q": 2}
+        )
+        assert repeat["cached"] is True, repeat
+        pre_mutation_fp = before["fingerprint"]
+        print(f"baseline count(2,2) = {before['value']} (cached repeat OK)")
+
+        # One PATCH: deterministic toggles, all-or-nothing semantics.
+        removals = sorted(current)[:3]
+        additions = [
+            [u, v]
+            for u in range(4)
+            for v in range(4)
+            if (u, v) not in current
+        ][:3]
+        status, body = request(
+            "PATCH", base, f"/v1/graphs/{DATASET}",
+            {"add_edges": additions, "remove_edges": [list(e) for e in removals]},
+        )
+        assert status == 200, body
+        assert body["version"] == 1 and body["changed"] is True, body
+        assert f"#v1-" in body["fingerprint"], body
+        current -= set(removals)
+        current |= {tuple(e) for e in additions}
+        print(
+            f"PATCH applied: +{body['added']} -{body['removed']}, "
+            f"fingerprint {body['fingerprint'][-24:]}"
+        )
+
+        # The post-mutation count is correct, served under the new
+        # fingerprint, and provably not from the pre-mutation cache.
+        status, after = request(
+            "POST", base, "/v1/count", {"graph": DATASET, "p": 2, "q": 2}
+        )
+        assert status == 200, after
+        assert after["cached"] is False, "pre-mutation cache entry served!"
+        assert after["fingerprint"] == body["fingerprint"], after
+        assert after["fingerprint"] != pre_mutation_fp, after
+        assert after["value"] == oracle(2, 2), (after["value"], oracle(2, 2))
+        print(f"post-mutation count(2,2) = {after['value']} (oracle match)")
+
+        # Idempotent retransmit: same batch, no version bump.
+        status, again = request(
+            "PATCH", base, f"/v1/graphs/{DATASET}",
+            {"add_edges": additions, "remove_edges": [list(e) for e in removals]},
+        )
+        assert status == 200 and again["changed"] is False, again
+        assert again["version"] == 1, again
+        print("idempotent retransmit OK")
+
+        # Keep mutating until the overlay crosses the compaction bound.
+        edge_pool = sorted(set(graph.edges()))[3 : 3 + 4 * COMPACT_EDGES]
+        compacted_at = None
+        for i in range(0, len(edge_pool), 8):
+            batch = edge_pool[i : i + 8]
+            removes = [list(e) for e in batch if e in current]
+            adds = [list(e) for e in batch if e not in current]
+            status, body = request(
+                "PATCH", base, f"/v1/graphs/{DATASET}",
+                {"add_edges": adds, "remove_edges": removes},
+            )
+            assert status == 200, body
+            current = (current - {tuple(e) for e in removes}) | {
+                tuple(e) for e in adds
+            }
+            if body["compacted"]:
+                compacted_at = body["version"]
+                assert body["overlay_edges"] == 0, body
+                break
+        assert compacted_at is not None, "overlay never compacted"
+        status, metrics = request("GET", base, "/metrics")
+        counters = metrics["counters"]
+        assert counters["graph.compactions"] >= 1, counters
+        assert counters["graph.mutations"] >= 2, counters
+        print(f"compacted at version {compacted_at} "
+              f"({counters['graph.mutations']} mutations)")
+
+        # Counts stay exact across the compaction boundary.
+        for p, q in ((2, 2), (3, 3)):
+            status, body = request(
+                "POST", base, "/v1/count", {"graph": DATASET, "p": p, "q": q}
+            )
+            assert status == 200, body
+            assert body["value"] == oracle(p, q), (
+                f"count({p},{q}) = {body['value']} != oracle {oracle(p, q)}"
+            )
+            print(f"post-compaction count({p},{q}) = {body['value']} (oracle)")
+
+        # Error mapping: 404 unknown graph, 409 unknown vertices,
+        # 400 malformed parameters.
+        status, _ = request(
+            "PATCH", base, "/v1/graphs/ghost", {"add_edges": [[0, 0]]}
+        )
+        assert status == 404, status
+        status, body = request(
+            "PATCH", base, f"/v1/graphs/{DATASET}",
+            {"add_edges": [[graph.n_left + 7, 0]]},
+        )
+        assert status == 409 and body["unknown_left"] == [graph.n_left + 7], body
+        status, _ = request(
+            "POST", base, "/v1/count", {"graph": DATASET, "p": 2.5, "q": 2}
+        )
+        assert status == 400, status
+        print("error mapping OK (404/409/400)")
+        print("mutation smoke OK")
+        return 0
+    finally:
+        proc.terminate()
+        try:
+            proc.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -302,6 +302,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard role: also serve the internal POST /v1/shard/count "
         "partial-count endpoint for a cluster coordinator",
     )
+    serve.add_argument(
+        "--compact-edges", type=int, default=None,
+        help="compact a mutated graph's delta overlay into a fresh CSR "
+        "base once it holds this many edges (default 4096)",
+    )
+    serve.add_argument(
+        "--compact-fraction", type=float, default=None,
+        help="also compact once the overlay exceeds this fraction of "
+        "the base edge count (default 0.25)",
+    )
 
     coordinate = sub.add_parser(
         "coordinate",
@@ -369,6 +379,16 @@ def build_parser() -> argparse.ArgumentParser:
     coordinate.add_argument(
         "--verbose", action="store_true", help="log every HTTP request to stderr"
     )
+    coordinate.add_argument(
+        "--compact-edges", type=int, default=None,
+        help="compact a mutated graph's delta overlay into a fresh CSR "
+        "base once it holds this many edges (default 4096)",
+    )
+    coordinate.add_argument(
+        "--compact-fraction", type=float, default=None,
+        help="also compact once the overlay exceeds this fraction of "
+        "the base edge count (default 0.25)",
+    )
     return parser
 
 
@@ -401,6 +421,11 @@ def _run_serve(args: argparse.Namespace) -> int:
             f"slow-query log: {args.slow_log} (threshold {args.slow_ms:g} ms)",
             file=sys.stderr,
         )
+    compact_kwargs = {}
+    if args.compact_edges is not None:
+        compact_kwargs["compact_edges"] = args.compact_edges
+    if args.compact_fraction is not None:
+        compact_kwargs["compact_fraction"] = args.compact_fraction
     executor = ServiceExecutor(
         max_queue=args.queue_size,
         threads=args.threads,
@@ -409,6 +434,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         obs=obs,
         trace_ring=args.trace_ring,
         slow_log=slow_log,
+        **compact_kwargs,
     )
     if args.dataset or args.input:
         graph = _load_graph(args)
@@ -459,6 +485,11 @@ def _run_coordinate(args: argparse.Namespace) -> int:
     ]
     if not shards:
         raise SystemExit("--shards needs at least one host:port")
+    compact_kwargs = {}
+    if args.compact_edges is not None:
+        compact_kwargs["compact_edges"] = args.compact_edges
+    if args.compact_fraction is not None:
+        compact_kwargs["compact_fraction"] = args.compact_fraction
     executor = ClusterExecutor(
         shards,
         max_queue=args.queue_size,
@@ -469,6 +500,7 @@ def _run_coordinate(args: argparse.Namespace) -> int:
         nodes_per_second=args.nodes_per_second,
         trace_ring=args.trace_ring,
         slow_log=slow_log,
+        **compact_kwargs,
     )
     print(
         "coordinating shards: "

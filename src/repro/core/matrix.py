@@ -42,6 +42,8 @@ from repro.graph.sparse import (
     as_int64,
     biadjacency,
     binomial_sum,
+    histogram_binomial_fold,
+    overlap_histogram,
     pair_matrix,
     pair_work,
     sparse_available,
@@ -98,14 +100,13 @@ def _require(p: int, q: int) -> None:
 def _pair_side_count(graph: BipartiteGraph, side: int, k: int) -> int:
     """Bicliques with exactly two vertices on ``side`` and ``k`` opposite.
 
-    ``sum_{pairs on side} C(common_neighbors, k)`` — the stored-entry
-    fold over the pair matrix minus its diagonal, halved.
+    ``sum_{pairs on side} C(common_neighbors, k)`` — a binomial fold
+    over the off-diagonal overlap histogram.  The histogram is the same
+    summary :class:`repro.service.mutation.DeltaTotals` maintains per
+    edge, so the from-scratch and incremental answers share one code
+    path (and are bit-identical by construction).
     """
-    pairs = pair_matrix(graph, side)
-    degrees = graph.degrees_left() if side == LEFT else graph.degrees_right()
-    total = binomial_sum(pairs.data, k)
-    diagonal = sum(binomial(d, k) for d in degrees)
-    return (total - diagonal) // 2
+    return histogram_binomial_fold(overlap_histogram(graph, side), k)
 
 
 def _count_33(graph: BipartiteGraph, obs: MetricsRegistry = NULL_REGISTRY) -> int:

@@ -430,11 +430,17 @@ class BipartiteGraph:
         Equivalent to ``[self.edge_at(k) for k in range(start, stop)]``
         but walks the left CSR once instead of bisecting per edge, so a
         cluster shard can rebuild its root-edge range in O(range size).
-        Out-of-bounds ends are clamped; an empty range yields ``[]``.
+        Raises :class:`IndexError` when ``start < 0``, ``stop`` exceeds
+        ``num_edges``, or ``start > stop`` — silently clamping would let
+        a mis-cut shard range drop edges from an exact count. A valid
+        empty range (``start == stop``) yields ``[]``.
         """
-        start = max(0, start)
-        stop = min(stop, self.num_edges)
-        if start >= stop:
+        if start < 0 or stop > self.num_edges or start > stop:
+            raise IndexError(
+                f"edge-id range [{start}, {stop}) out of bounds "
+                f"for {self.num_edges} edges"
+            )
+        if start == stop:
             return []
         indptr = self._indptr_l
         indices = self._indices_l

@@ -36,8 +36,8 @@ from repro.graph.bigraph import LEFT, RIGHT, BipartiteGraph
 from repro.graph.intersect import intersect_size
 from repro.graph.sparse import (
     biadjacency,
-    binomial_sum,
-    pair_matrix,
+    histogram_binomial_fold,
+    overlap_histogram,
     pair_work,
     sparse_available,
 )
@@ -45,11 +45,23 @@ from repro.utils.combinatorics import binomial
 
 __all__ = [
     "butterfly_count",
+    "butterfly_count_from_histogram",
     "butterflies_per_edge",
     "butterflies_per_edge_array",
     "butterfly_count_reference",
     "butterflies_per_edge_reference",
 ]
+
+
+def butterfly_count_from_histogram(histogram: dict[int, int]) -> int:
+    """Butterflies from an off-diagonal overlap histogram.
+
+    ``sum(count * C(m, 2))`` over ``{overlap m: #pairs}`` — the fold the
+    mutation subsystem applies to its incrementally maintained totals
+    (:class:`repro.service.mutation.DeltaTotals`) and the benchmark uses
+    to compare maintained vs recounted butterflies.
+    """
+    return histogram_binomial_fold(histogram, 2)
 
 
 def butterfly_count(graph: BipartiteGraph) -> int:
@@ -62,13 +74,7 @@ def butterfly_count(graph: BipartiteGraph) -> int:
     if not sparse_available() or graph.num_edges == 0:
         return butterfly_count_reference(graph)
     side = LEFT if pair_work(graph, LEFT) <= pair_work(graph, RIGHT) else RIGHT
-    pairs = pair_matrix(graph, side)
-    degrees = graph.degrees_left() if side == LEFT else graph.degrees_right()
-    # M is symmetric with M[u, u] = d(u): fold every stored entry, strip
-    # the diagonal's contribution, and halve the double-counted pairs.
-    total = binomial_sum(pairs.data, 2)
-    diagonal = sum(binomial(d, 2) for d in degrees)
-    return (total - diagonal) // 2
+    return butterfly_count_from_histogram(overlap_histogram(graph, side))
 
 
 def butterfly_count_reference(graph: BipartiteGraph) -> int:

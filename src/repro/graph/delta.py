@@ -1,0 +1,241 @@
+"""Delta overlay: batched edge mutations over an immutable CSR graph.
+
+The CSR buffers of :class:`~repro.graph.bigraph.BipartiteGraph` are
+frozen by design — they are pickled by buffer, shipped over shared
+memory, and fingerprinted byte-for-byte. A :class:`DeltaOverlay` layers
+mutations on top without touching them: each mutated vertex carries a
+sorted *add* array (edges not in the base) and a sorted *tombstone*
+array (base edges that were deleted), and the merged row
+``(base ∪ adds) \\ dels`` is produced on demand by
+:func:`~repro.graph.intersect.apply_delta`. Both sides are maintained
+symmetrically so left and right accessors stay O(row).
+
+Invariants (maintained by :meth:`add_edge` / :meth:`remove_edge`):
+
+- ``adds[u] ∩ base_row(u) = ∅`` — re-adding a deleted base edge removes
+  its tombstone instead of duplicating the entry;
+- ``dels[u] ⊆ base_row(u)`` — deleting an overlay-added edge removes the
+  add instead of writing a tombstone;
+- the left and right deltas always describe the same edge set.
+
+``delta_edges`` (adds + tombstones, counted once per edge) is the
+compaction pressure: when it crosses a size/fraction bound the service
+layer calls :meth:`materialize` to rebuild a fresh CSR base and resets
+the overlay.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left, insort
+from typing import Iterator
+
+from repro.graph.bigraph import TYPECODE, BipartiteGraph
+from repro.graph.intersect import apply_delta
+
+__all__ = ["DeltaOverlay"]
+
+
+def _sorted_contains(row, value: int) -> bool:
+    k = bisect_left(row, value)
+    return k < len(row) and row[k] == value
+
+
+def _remove_sorted(row: list[int], value: int) -> None:
+    row.pop(bisect_left(row, value))
+
+
+class DeltaOverlay:
+    """A mutable edge-set view layered over an immutable base graph."""
+
+    def __init__(self, base: BipartiteGraph):
+        self.base = base
+        self.n_left = base.n_left
+        self.n_right = base.n_right
+        # vertex -> sorted list; absent key == empty delta for that row
+        self._adds_l: dict[int, list[int]] = {}
+        self._dels_l: dict[int, list[int]] = {}
+        self._adds_r: dict[int, list[int]] = {}
+        self._dels_r: dict[int, list[int]] = {}
+        self.num_edges = base.num_edges
+        # adds + tombstones, counted once per edge (on the left entry)
+        self.delta_edges = 0
+
+    # ------------------------------------------------------------------
+    # Validation / growth
+    # ------------------------------------------------------------------
+
+    def check_left(self, u: int) -> None:
+        if not (0 <= u < self.n_left):
+            raise IndexError(f"left vertex {u} out of range [0, {self.n_left})")
+
+    def check_right(self, v: int) -> None:
+        if not (0 <= v < self.n_right):
+            raise IndexError(f"right vertex {v} out of range [0, {self.n_right})")
+
+    def grow(self, n_left: int, n_right: int) -> None:
+        """Extend the vertex sides (new vertices start with empty rows)."""
+        if n_left < self.n_left or n_right < self.n_right:
+            raise ValueError("sides can only grow")
+        self.n_left = n_left
+        self.n_right = n_right
+
+    # ------------------------------------------------------------------
+    # Row accessors (merged view)
+    # ------------------------------------------------------------------
+
+    def _base_row_left(self, u: int):
+        if u >= self.base.n_left:
+            return ()
+        return self.base.row_left(u)
+
+    def _base_row_right(self, v: int):
+        if v >= self.base.n_right:
+            return ()
+        return self.base.row_right(v)
+
+    def row_left(self, u: int) -> list[int]:
+        """Merged ``N(u)`` as a sorted list."""
+        return apply_delta(
+            self._base_row_left(u),
+            self._adds_l.get(u, ()),
+            self._dels_l.get(u, ()),
+        )
+
+    def row_right(self, v: int) -> list[int]:
+        """Merged ``N(v)`` as a sorted list."""
+        return apply_delta(
+            self._base_row_right(v),
+            self._adds_r.get(v, ()),
+            self._dels_r.get(v, ()),
+        )
+
+    def degree_left(self, u: int) -> int:
+        return (
+            len(self._base_row_left(u))
+            + len(self._adds_l.get(u, ()))
+            - len(self._dels_l.get(u, ()))
+        )
+
+    def degree_right(self, v: int) -> int:
+        return (
+            len(self._base_row_right(v))
+            + len(self._adds_r.get(v, ()))
+            - len(self._dels_r.get(v, ()))
+        )
+
+    def has_edge(self, u: int, v: int) -> bool:
+        if _sorted_contains(self._adds_l.get(u, ()), v):
+            return True
+        if _sorted_contains(self._dels_l.get(u, ()), v):
+            return False
+        base = self._base_row_left(u)
+        return bool(base) and _sorted_contains(base, v)
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """All edges of the merged view in (u, sorted-v) order."""
+        for u in range(self.n_left):
+            for v in self.row_left(u):
+                yield (u, v)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def add_edge(self, u: int, v: int) -> bool:
+        """Insert ``(u, v)``; returns False (no-op) if already present."""
+        self.check_left(u)
+        self.check_right(v)
+        dels_u = self._dels_l.get(u)
+        if dels_u is not None and _sorted_contains(dels_u, v):
+            # resurrect a tombstoned base edge
+            _remove_sorted(dels_u, v)
+            if not dels_u:
+                del self._dels_l[u]
+            dels_v = self._dels_r[v]
+            _remove_sorted(dels_v, u)
+            if not dels_v:
+                del self._dels_r[v]
+            self.delta_edges -= 1
+            self.num_edges += 1
+            return True
+        if self.has_edge(u, v):
+            return False
+        insort(self._adds_l.setdefault(u, []), v)
+        insort(self._adds_r.setdefault(v, []), u)
+        self.delta_edges += 1
+        self.num_edges += 1
+        return True
+
+    def remove_edge(self, u: int, v: int) -> bool:
+        """Delete ``(u, v)``; returns False (no-op) if not present."""
+        self.check_left(u)
+        self.check_right(v)
+        adds_u = self._adds_l.get(u)
+        if adds_u is not None and _sorted_contains(adds_u, v):
+            # retract an overlay-added edge
+            _remove_sorted(adds_u, v)
+            if not adds_u:
+                del self._adds_l[u]
+            adds_v = self._adds_r[v]
+            _remove_sorted(adds_v, u)
+            if not adds_v:
+                del self._adds_r[v]
+            self.delta_edges -= 1
+            self.num_edges -= 1
+            return True
+        base = self._base_row_left(u)
+        if not (base and _sorted_contains(base, v)):
+            return False
+        dels_u = self._dels_l.get(u)
+        if dels_u is not None and _sorted_contains(dels_u, v):
+            return False  # already tombstoned
+        insort(self._dels_l.setdefault(u, []), v)
+        insort(self._dels_r.setdefault(v, []), u)
+        self.delta_edges += 1
+        self.num_edges -= 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+
+    def is_identity(self) -> bool:
+        """True iff the view equals the base graph exactly."""
+        return (
+            self.delta_edges == 0
+            and self.n_left == self.base.n_left
+            and self.n_right == self.base.n_right
+        )
+
+    def materialize(self) -> BipartiteGraph:
+        """Rebuild a fresh immutable :class:`BipartiteGraph` of the view.
+
+        Merges each left row once (O(E + delta)) and scatters the right
+        CSR with a counting sort — no global re-sort of the edge list.
+        """
+        if self.is_identity():
+            return self.base
+        n_left, n_right = self.n_left, self.n_right
+        indptr_l = array(TYPECODE, [0] * (n_left + 1))
+        indices_l = array(TYPECODE)
+        deg_r = [0] * n_right
+        for u in range(n_left):
+            row = self.row_left(u)
+            indptr_l[u + 1] = indptr_l[u] + len(row)
+            indices_l.extend(row)
+            for v in row:
+                deg_r[v] += 1
+        indptr_r = array(TYPECODE, [0] * (n_right + 1))
+        for v in range(n_right):
+            indptr_r[v + 1] = indptr_r[v] + deg_r[v]
+        indices_r = array(TYPECODE, [0] * len(indices_l))
+        cursor = list(indptr_r[:n_right])
+        for u in range(n_left):
+            for k in range(indptr_l[u], indptr_l[u + 1]):
+                v = indices_l[k]
+                indices_r[cursor[v]] = u
+                cursor[v] += 1
+        return BipartiteGraph.from_csr(
+            n_left, n_right, indptr_l, indices_l, indptr_r, indices_r
+        )

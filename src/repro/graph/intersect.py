@@ -63,6 +63,7 @@ __all__ = [
     "intersect_size",
     "intersects",
     "is_subset_sorted",
+    "apply_delta",
     "common_neighborhood",
     "count_in_range",
     "as_int64",
@@ -235,6 +236,43 @@ def count_in_range(row: Sequence[int], lo_value: int) -> int:
     The CSR form of ``|N^{>u}(v)|`` — a single binary search, no slice.
     """
     return len(row) - bisect_right(row, lo_value)
+
+
+def apply_delta(
+    base: Sequence[int],
+    adds: Sequence[int],
+    dels: Sequence[int],
+) -> list[int]:
+    """Three-way merge of a sorted CSR row with a sorted add/tombstone delta.
+
+    Returns ``(base ∪ adds) \\ dels`` as a sorted list. Callers maintain
+    the overlay invariants ``adds ∩ base = ∅`` and ``dels ⊆ base``
+    (tombstones only ever shadow base entries; a re-added edge removes
+    its tombstone instead of carrying both). Duplicates between ``base``
+    and ``adds`` are nevertheless collapsed defensively.
+    """
+    if not adds and not dels:
+        return list(base)
+    out: list[int] = []
+    append = out.append
+    i = j = k = 0
+    n_base, n_adds, n_dels = len(base), len(adds), len(dels)
+    while i < n_base or j < n_adds:
+        if j >= n_adds or (i < n_base and base[i] <= adds[j]):
+            x = base[i]
+            if j < n_adds and adds[j] == x:
+                j += 1
+            i += 1
+            while k < n_dels and dels[k] < x:
+                k += 1
+            if k < n_dels and dels[k] == x:
+                k += 1
+                continue
+        else:
+            x = adds[j]
+            j += 1
+        append(x)
+    return out
 
 
 # ----------------------------------------------------------------------

@@ -45,6 +45,8 @@ __all__ = [
     "pair_matrix",
     "pair_work",
     "binomial_sum",
+    "overlap_histogram",
+    "histogram_binomial_fold",
 ]
 
 
@@ -140,4 +142,60 @@ def binomial_sum(values: "np.ndarray", k: int) -> int:
         int(multiplicity) * binomial(value, k)
         for value, multiplicity in enumerate(histogram)
         if multiplicity
+    )
+
+
+def overlap_histogram(graph: "BipartiteGraph", side: int = LEFT) -> dict[int, int]:
+    """Histogram ``{m: #unordered same-side pairs with |N ∩ N| == m}``.
+
+    Only pairs with a non-empty overlap appear (``m >= 1``); the
+    diagonal (a vertex with itself) is excluded.  This is the summary
+    the incremental mutation totals maintain per edge — every ``p == 2``
+    closed form is ``sum(count * C(m, q))`` over this histogram, so the
+    incremental and from-scratch paths share one data shape.
+
+    With scipy present the histogram is a ``bincount`` over the pair
+    matrix's stored entries minus the diagonal; otherwise a pure-Python
+    wedge walk (centers on the opposite side) produces the same counts.
+    """
+    if side == LEFT:
+        centers = range(graph.n_right)
+        row_of = graph.row_right
+        degrees = graph.degrees_left
+    elif side == RIGHT:
+        centers = range(graph.n_left)
+        row_of = graph.row_left
+        degrees = graph.degrees_right
+    else:
+        raise ValueError("side must be LEFT (0) or RIGHT (1)")
+    if sp is not None:
+        pairs = pair_matrix(graph, side)
+        counts = np.bincount(pairs.data) if pairs.data.size else np.zeros(1, np.int64)
+        histogram = {
+            int(m): int(c) for m, c in enumerate(counts) if c and m >= 1
+        }
+        # Stored diagonal entries are the degrees (only d >= 1 vertices
+        # have a stored entry); strip them, then halve the symmetry.
+        for d in degrees():
+            if d >= 1:
+                histogram[d] -= 1
+                if not histogram[d]:
+                    del histogram[d]
+        return {m: c // 2 for m, c in histogram.items()}
+    from collections import Counter
+
+    pair_counts: "Counter[tuple[int, int]]" = Counter()
+    for center in centers:
+        row = row_of(center)
+        for i, a in enumerate(row):
+            for b in row[i + 1 :]:
+                pair_counts[(a, b)] += 1
+    histogram = Counter(pair_counts.values())
+    return dict(histogram)
+
+
+def histogram_binomial_fold(histogram: dict[int, int], k: int) -> int:
+    """Exact ``sum(count * C(m, k))`` over an overlap/degree histogram."""
+    return sum(
+        count * binomial(m, k) for m, count in histogram.items() if m >= k
     )

@@ -41,6 +41,14 @@ Exactness and failure semantics:
   ``budget_exceeded`` (HTTP 503) is healthy but out of time: that is
   the ordinary :class:`CountBudgetExceeded` degradation path, not a
   failure.
+* Mutations (``PATCH /v1/graphs/<name>``) mirror registration: the raw
+  batch is forwarded to every shard first, and the coordinator only
+  applies it locally after the whole fleet unanimously reports the same
+  post-mutation fingerprint (then verifies its own apply matches).  Any
+  rejection or divergence is a :class:`ClusterMutationError` with the
+  coordinator still on the old version — scatter requests keep carrying
+  the old fingerprint, so a diverged shard answers 409, never a
+  silently wrong merge.
 """
 
 from __future__ import annotations
@@ -53,6 +61,7 @@ from concurrent.futures import ThreadPoolExecutor, as_completed
 from http.client import HTTPConnection, HTTPException
 from itertools import accumulate
 from typing import TYPE_CHECKING
+from urllib.parse import quote
 
 from repro.core.epivoter import CountBudgetExceeded
 from repro.graph.bigraph import BipartiteGraph
@@ -62,6 +71,7 @@ from repro.service.executor import (
     Query,
     RegisteredGraph,
     ServiceExecutor,
+    UnknownGraph,
 )
 from repro.service.fingerprint import graph_fingerprint
 from repro.service.planner import NODES_PER_SECOND, QueryPlan
@@ -73,6 +83,7 @@ if TYPE_CHECKING:
 __all__ = [
     "ShardError",
     "ClusterRegistrationError",
+    "ClusterMutationError",
     "ShardClient",
     "ClusterExecutor",
     "weighted_ranges",
@@ -100,6 +111,20 @@ class ShardError(RuntimeError):
 
 class ClusterRegistrationError(RuntimeError):
     """Registering a graph on a shard failed or fingerprints diverged."""
+
+
+class ClusterMutationError(RuntimeError):
+    """Propagating a mutation to the shard fleet failed or diverged.
+
+    Raised *before* the coordinator applies the batch locally whenever
+    any shard rejects the PATCH or the shards' post-mutation
+    fingerprints disagree: the coordinator stays on its old version, so
+    it never serves a graph state the fleet does not unanimously hold.
+    Shards that did apply the batch are now one version ahead — every
+    subsequent scatter to them fails the fingerprint check (hard 409,
+    never a silently wrong merge) until the operator re-registers the
+    graph or replays the batch.
+    """
 
 
 class ShardClient:
@@ -278,8 +303,12 @@ class ClusterExecutor(ServiceExecutor):
             raise ValueError("a cluster needs at least one shard")
         super().__init__(**kwargs)
         self._shards = list(shards)
-        #: Pre-cut ``(start, stop, weight)`` ranges per graph name.
-        self._ranges: "dict[str, list[tuple[int, int, int]]]" = {}
+        #: Pre-cut scatter ranges per graph name, pinned to the
+        #: fingerprint they were cut for: ``name -> (fingerprint,
+        #: [(start, stop, weight), ...])``.  A mutation advances the
+        #: serving fingerprint, so a stale cut can never scatter — the
+        #: lookup re-cuts from the post-mutation snapshot instead.
+        self._ranges: "dict[str, tuple[str, list[tuple[int, int, int]]]]" = {}
         # Deadline feasibility scales with the fleet (the planner prices
         # exact runs against nodes_per_second * shards).
         self._planner_overrides["shards"] = len(shards)
@@ -296,9 +325,12 @@ class ClusterExecutor(ServiceExecutor):
 
         Shards register *first*: once the graph is queryable locally, a
         scatter may begin immediately, so by then every shard must hold
-        it.  Each shard degree-orders and fingerprints independently;
-        any returned fingerprint that differs from the coordinator's is
-        a :class:`ClusterRegistrationError` — the guarantee that merged
+        it.  The *client-id* edge list is what ships — every shard then
+        holds the same mutable base as the coordinator, so a forwarded
+        ``PATCH`` batch means the same edges everywhere.  Each shard
+        degree-orders and fingerprints independently; any returned
+        fingerprint that differs from the coordinator's is a
+        :class:`ClusterRegistrationError` — the guarantee that merged
         partials all describe the same graph.
         """
         ordered = graph if graph.is_degree_ordered() else graph.degree_ordered()[0]
@@ -307,9 +339,9 @@ class ClusterExecutor(ServiceExecutor):
             name = fingerprint[:12]
         payload = {
             "name": name,
-            "n_left": ordered.n_left,
-            "n_right": ordered.n_right,
-            "edges": [[u, v] for u, v in ordered.edges()],
+            "n_left": graph.n_left,
+            "n_right": graph.n_right,
+            "edges": [[u, v] for u, v in graph.edges()],
         }
         for client in self._shards:
             try:
@@ -330,14 +362,110 @@ class ClusterExecutor(ServiceExecutor):
                     f"{fingerprint[:12]}… for graph {name!r}"
                 )
         weights = root_edge_weights(ordered, list(ordered.edges()))
-        self._ranges[name] = weighted_ranges(
-            weights, len(self._shards) * RANGES_PER_SHARD
+        self._ranges[name] = (
+            fingerprint,
+            weighted_ranges(weights, len(self._shards) * RANGES_PER_SHARD),
         )
-        return super().register(ordered, name=name)
+        # Register the client-id graph (not the ordered copy): the local
+        # mutable base must share the shards' id space so PATCH batches
+        # validate and apply identically on both sides.  Both hash to
+        # the same fingerprint — degree ordering is deterministic.
+        return super().register(graph, name=name)
 
     def drop(self, name: str) -> bool:
         self._ranges.pop(name, None)
         return super().drop(name)
+
+    # ------------------------------------------------------------------
+    # Mutation: every shard first, unanimity-verified, then locally
+    # ------------------------------------------------------------------
+
+    def mutate(
+        self,
+        name: str,
+        add_edges=(),
+        remove_edges=(),
+        create_vertices: bool = False,
+        trace: "Trace" = NULL_TRACE,
+    ) -> dict:
+        """Propagate one batch to every shard, then apply it locally.
+
+        The raw batch is forwarded verbatim — normalisation and digest
+        chaining are deterministic, so every shard independently arrives
+        at the same post-mutation fingerprint.  Ordering is the mirror
+        of :meth:`register`: shards move first, and the coordinator only
+        advances once the whole fleet unanimously reports the same new
+        fingerprint, which the coordinator's own apply must then match.
+        Any rejection or divergence raises :class:`ClusterMutationError`
+        with the coordinator still on the old version, so a query can
+        never be served from a graph state the fleet does not share.
+        The batch is pre-validated locally first — a malformed or
+        vertex-unknown batch never reaches (and partially mutates) the
+        fleet.  Held under the graph's state lock end to end, so
+        concurrent PATCHes serialise into one cluster-wide version
+        order.
+        """
+        with self._lock:
+            registered = self._graphs.get(name)
+        if registered is None:
+            raise UnknownGraph(name)
+        state = registered.state
+        payload = {
+            "add_edges": [[int(u), int(v)] for u, v in add_edges],
+            "remove_edges": [[int(u), int(v)] for u, v in remove_edges],
+            "create_vertices": bool(create_vertices),
+        }
+        with state.lock:
+            state.validate_batch(add_edges, remove_edges, create_vertices)
+            reports: "list[tuple[str, str]]" = []
+            with trace.span("propagate", shards=len(self._shards)):
+                for client in self._shards:
+                    try:
+                        status, document = client.request(
+                            "PATCH",
+                            f"/v1/graphs/{quote(name, safe='')}",
+                            payload,
+                        )
+                    except ShardError as exc:
+                        self._incr("cluster.mutation_failures")
+                        raise ClusterMutationError(
+                            f"mutating {name!r} on shard "
+                            f"{client.address}: {exc}"
+                        ) from exc
+                    if status != 200:
+                        self._incr("cluster.mutation_failures")
+                        raise ClusterMutationError(
+                            f"shard {client.address} rejected mutation of "
+                            f"{name!r} (HTTP {status}): "
+                            f"{document.get('error')}"
+                        )
+                    reports.append(
+                        (client.address, str(document.get("fingerprint")))
+                    )
+            fingerprints = {fp for _, fp in reports}
+            if len(fingerprints) != 1:
+                self._incr("cluster.mutation_failures")
+                raise ClusterMutationError(
+                    f"shards diverged after mutating {name!r}: "
+                    + ", ".join(f"{addr}={fp[:20]}" for addr, fp in reports)
+                )
+            response = super().mutate(
+                name,
+                add_edges=add_edges,
+                remove_edges=remove_edges,
+                create_vertices=create_vertices,
+                trace=trace,
+            )
+            shard_fp = fingerprints.pop()
+            if shard_fp != response["fingerprint"]:
+                self._incr("cluster.mutation_failures")
+                raise ClusterMutationError(
+                    f"coordinator fingerprint "
+                    f"{response['fingerprint'][:20]} != shard consensus "
+                    f"{shard_fp[:20]} after mutating {name!r}"
+                )
+            response["shards_mutated"] = len(reports)
+            return response
 
     # ------------------------------------------------------------------
     # Execution: scatter exact plans, inherit everything else
@@ -361,14 +489,21 @@ class ClusterExecutor(ServiceExecutor):
         registered: RegisteredGraph,
         trace: "Trace",
     ) -> "tuple[int, dict]":
-        ranges = self._ranges.get(registered.name)
-        if ranges is None:  # registered pre-cluster (e.g. via super())
+        entry = self._ranges.get(registered.name)
+        if entry is None or entry[0] != registered.fingerprint:
+            # Registered pre-cluster (e.g. via super()) or mutated since
+            # the last cut: re-cut over this version's ordered snapshot.
+            if registered.graph is None:
+                self._ensure_snapshot(registered)
             weights = root_edge_weights(
                 registered.graph, list(registered.graph.edges())
             )
-            ranges = self._ranges[registered.name] = weighted_ranges(
+            ranges = weighted_ranges(
                 weights, len(self._shards) * RANGES_PER_SHARD
             )
+            self._ranges[registered.name] = (registered.fingerprint, ranges)
+        else:
+            ranges = entry[1]
         if not ranges:  # empty graph: nothing to scatter
             return 0, {"shards_used": 0}
         time_budget = plan.params.get("time_budget")

@@ -46,6 +46,12 @@ from repro.obs.registry import NULL_REGISTRY
 from repro.obs.trace import NULL_TRACE, TraceRing
 from repro.service.cache import ResultCache
 from repro.service.fingerprint import cache_key, graph_fingerprint
+from repro.service.mutation import (
+    DEFAULT_COMPACT_EDGES,
+    DEFAULT_COMPACT_FRACTION,
+    MutableGraphState,
+    StaleVersion,
+)
 from repro.service.planner import GraphProfile, QueryPlan, plan_query
 from repro.utils.parallel import GraphPool, resolve_workers
 
@@ -117,22 +123,44 @@ class Query:
 
 @dataclass
 class RegisteredGraph:
-    """A resident graph plus everything derived from it at registration."""
+    """One *version* of a resident graph plus everything derived from it.
+
+    Mutations never edit a record in place: each applied batch swaps in
+    a fresh record pinned to its version and fingerprint, so a request
+    admitted against version ``n`` computes, caches, and responds under
+    version ``n``'s identity even if the graph moves on mid-flight.
+
+    ``view`` is the merged client-id graph of this version (materialised
+    eagerly at mutation time).  ``graph``/``engine``/``pool`` — the
+    degree-ordered snapshot and its engines — are built lazily by
+    :meth:`ServiceExecutor._ensure_snapshot` the first time a plan needs
+    them: small-shape queries on a mutated graph are answered from the
+    maintained totals without ever paying the rebuild.
+    """
 
     name: str
-    graph: BipartiteGraph  # degree-ordered
+    graph: "BipartiteGraph | None"  # degree-ordered (None until ensured)
     fingerprint: str
     profile: GraphProfile
-    engine: EPivoter
+    engine: "EPivoter | None"
     pool: "GraphPool | None" = None
     #: Wall-clock registration time, surfaced at ``/healthz`` so
     #: dashboards can tell a fresh restart from a long-running instance.
     registered_unix: float = 0.0
+    state: "MutableGraphState | None" = None
+    base_fingerprint: str = ""
+    version: int = 0
+    overlay_edges: int = 0
+    #: Merged client-id graph of this version.
+    view: "BipartiteGraph | None" = None
 
     def describe(self) -> dict:
         return {
             "graph": self.name,
             "fingerprint": self.fingerprint,
+            "base_fingerprint": self.base_fingerprint or self.fingerprint,
+            "version": self.version,
+            "overlay_edges": self.overlay_edges,
             "registered_unix": self.registered_unix,
             **self.profile.to_dict(),
         }
@@ -181,11 +209,19 @@ class ServiceExecutor:
         samples_per_second: "float | None" = None,
         trace_ring: int = 256,
         slow_log: "SlowQueryLog | None" = None,
+        compact_edges: int = DEFAULT_COMPACT_EDGES,
+        compact_fraction: float = DEFAULT_COMPACT_FRACTION,
     ):
         if max_queue < 1:
             raise ValueError("max_queue must be positive")
         if threads < 1:
             raise ValueError("threads must be positive")
+        if compact_edges < 1:
+            raise ValueError("compact_edges must be positive")
+        if compact_fraction <= 0:
+            raise ValueError("compact_fraction must be positive")
+        self.compact_edges = compact_edges
+        self.compact_fraction = compact_fraction
         self._obs = obs
         self.traces = TraceRing(trace_ring)
         self.slow_log = slow_log
@@ -236,6 +272,17 @@ class ServiceExecutor:
         pool = None
         if self.engine_workers > 1:
             pool = GraphPool(engine.graph, self.engine_workers, self._obs)
+        # The mutable identity keeps the *client-id* graph as its base so
+        # PATCHed edge ids mean what the client meant (and match what a
+        # coordinator forwards to its shards).  The ordered snapshot is
+        # what the engines run on; both hash to the same fingerprint
+        # because degree ordering is deterministic.
+        state = MutableGraphState(
+            graph,
+            fingerprint,
+            compact_edges=self.compact_edges,
+            compact_fraction=self.compact_fraction,
+        )
         registered = RegisteredGraph(
             name=name,
             graph=ordered,
@@ -244,6 +291,11 @@ class ServiceExecutor:
             engine=engine,
             pool=pool,
             registered_unix=time.time(),
+            state=state,
+            base_fingerprint=fingerprint,
+            version=0,
+            overlay_edges=0,
+            view=graph,
         )
         with self._lock:
             previous = self._graphs.get(name)
@@ -266,6 +318,152 @@ class ServiceExecutor:
     def graphs(self) -> "dict[str, RegisteredGraph]":
         with self._lock:
             return dict(self._graphs)
+
+    # ------------------------------------------------------------------
+    # Mutation path
+    # ------------------------------------------------------------------
+
+    def mutate(
+        self,
+        name: str,
+        add_edges=(),
+        remove_edges=(),
+        create_vertices: bool = False,
+        trace: "Trace" = NULL_TRACE,
+    ) -> dict:
+        """Apply one batched edge mutation to a registered graph.
+
+        Validates and applies the batch through the graph's
+        :class:`MutableGraphState` (all-or-nothing; raises
+        :class:`~repro.service.mutation.UnknownVertices` unless
+        ``create_vertices``), advances the serving fingerprint to the
+        new ``(base_fingerprint, version)`` identity, and swaps in a
+        fresh :class:`RegisteredGraph` record for the new version — so
+        every cache entry keyed under the old fingerprint (here and on
+        any shard) is unservable from this moment on.  If the overlay
+        crossed its compaction bound the merged view is folded into a
+        fresh CSR base, the profile recomputed, and the engine pool
+        re-shipped, all before the swap.
+
+        A batch that changes nothing is a true no-op: same version, same
+        fingerprint, no record swap (idempotent retransmits).
+        """
+        if self._closed:
+            raise RuntimeError("executor is shut down")
+        start = time.perf_counter()
+        try:
+            with self._lock:
+                registered = self._graphs.get(name)
+            if registered is None:
+                raise UnknownGraph(name)
+            state = registered.state
+            with state.lock:
+                with trace.span("mutate") as sp:
+                    result = state.apply_batch(
+                        add_edges, remove_edges, create_vertices
+                    )
+                    if trace.enabled:
+                        sp.set("added", result.added)
+                        sp.set("removed", result.removed)
+                        sp.set("version", result.version)
+                        sp.set("changed", result.changed)
+                compacted = False
+                if result.changed:
+                    record = RegisteredGraph(
+                        name=name,
+                        graph=None,
+                        fingerprint=result.fingerprint,
+                        # Stale between compactions by design: the profile
+                        # only prices plans, and recomputing it per batch
+                        # would cost a full edge scan.
+                        profile=registered.profile,
+                        engine=None,
+                        pool=None,
+                        registered_unix=registered.registered_unix,
+                        state=state,
+                        base_fingerprint=state.base_fingerprint,
+                        version=result.version,
+                        overlay_edges=result.overlay_edges,
+                        view=state.view(),
+                    )
+                    if state.should_compact():
+                        with trace.span("compact") as sp:
+                            state.compact()
+                            record.view = state.base
+                            record.overlay_edges = 0
+                            self._build_snapshot(
+                                record,
+                                rebuild_profile=True,
+                                previous_pool=registered.pool,
+                            )
+                            if trace.enabled:
+                                sp.set("num_edges", state.base.num_edges)
+                        compacted = True
+                        self._incr("graph.compactions")
+                    with self._lock:
+                        self._graphs[name] = record
+                    if not compacted and registered.pool is not None:
+                        # The compaction path re-shipped (and closed) the
+                        # old pool already; otherwise retire it with the
+                        # old record, matching re-registration semantics.
+                        registered.pool.close()
+                    self._incr("graph.mutations")
+                self._gauge("graph.overlay_edges", state.overlay_edges)
+                response = result.to_dict()
+                response.update(
+                    {
+                        "graph": name,
+                        "base_fingerprint": state.base_fingerprint,
+                        "compacted": compacted,
+                        "overlay_edges": state.overlay_edges,
+                        "mutations_per_second": round(
+                            state.mutations_per_second(), 3
+                        ),
+                    }
+                )
+                return response
+        finally:
+            elapsed = time.perf_counter() - start
+            self._observe("mutation.apply_seconds", elapsed)
+            if trace.enabled:
+                trace.finish()
+                self.traces.add(trace)
+
+    def _ensure_snapshot(self, registered: RegisteredGraph) -> None:
+        """Build the degree-ordered engine snapshot of a mutated record.
+
+        Serialised per graph on ``state.lock`` and pinned to the record:
+        even if the state has advanced to a newer version, the snapshot
+        is built from *this record's* version view, so results computed
+        on it are correct for the fingerprint they are cached under.
+        """
+        if registered.engine is not None:
+            return
+        state = registered.state
+        with state.lock:
+            if registered.engine is None:
+                self._build_snapshot(registered)
+
+    def _build_snapshot(
+        self,
+        registered: RegisteredGraph,
+        rebuild_profile: bool = False,
+        previous_pool: "GraphPool | None" = None,
+    ) -> None:
+        view = registered.view
+        ordered = view if view.is_degree_ordered() else view.degree_ordered()[0]
+        registered.graph = ordered
+        registered.engine = EPivoter(ordered)
+        if rebuild_profile:
+            registered.profile = GraphProfile.from_graph(ordered)
+        if self.engine_workers > 1:
+            if previous_pool is not None:
+                registered.pool = previous_pool.reship(ordered, self._obs)
+            else:
+                registered.pool = GraphPool(ordered, self.engine_workers, self._obs)
+        elif previous_pool is not None:  # pragma: no cover - defensive
+            previous_pool.close()
+        self._incr("service.snapshot_builds")
 
     # ------------------------------------------------------------------
     # Query path
@@ -410,6 +608,8 @@ class ServiceExecutor:
         if cached is not None:
             return cached["value"]
         self._incr("cluster.shard_counts")
+        if registered.engine is None:
+            self._ensure_snapshot(registered)
         roots: "list[tuple[int, int]]" = []
         for start, stop in normalized:
             roots.extend(registered.graph.edges_in_range(start, stop))
@@ -478,6 +678,7 @@ class ServiceExecutor:
                 epsilon=query.epsilon,
                 samples=query.samples,
                 seed=query.seed,
+                recently_mutated=registered.overlay_edges > 0,
                 **self._planner_overrides,
             )
             if trace.enabled:
@@ -570,9 +771,13 @@ class ServiceExecutor:
         """
         self._incr("service.engine_runs")
         self._incr(f"service.engine_runs.{plan.method}")
-        graph = registered.graph
         p, q = query.p, query.q
         params = plan.params
+        if plan.method == "delta":
+            return self._delta_count(query, registered, trace)
+        if registered.engine is None:
+            self._ensure_snapshot(registered)
+        graph = registered.graph
         if plan.method == "matrix":
             obs = self._obs if self._obs is not None else NULL_REGISTRY
             return matrix_count_single(graph, p, q, obs=obs, trace=trace), {}
@@ -639,6 +844,41 @@ class ServiceExecutor:
             )
             return value, {"samples": params.get("samples")}
         raise ValueError(f"unexecutable plan method {plan.method!r}")
+
+    def _delta_count(
+        self,
+        query: Query,
+        registered: RegisteredGraph,
+        trace: "Trace" = NULL_TRACE,
+    ) -> "tuple[int, dict]":
+        """Exact small-shape count from the maintained mutation totals.
+
+        Pinned to the record's version: if the live state has already
+        advanced (a mutation landed while this request waited in the
+        queue), the maintained totals describe a *newer* graph than the
+        cache key names, so the answer falls back to this version's
+        engine snapshot instead.
+        """
+        state = registered.state
+        try:
+            with trace.span("delta_totals"):
+                value = state.maintained_count(
+                    query.p, query.q, expected_version=registered.version
+                )
+            return value, {"maintained": True}
+        except StaleVersion:
+            self._incr("service.stale_totals_fallbacks")
+            self._ensure_snapshot(registered)
+            value = registered.engine.count_single(
+                query.p,
+                query.q,
+                use_core=registered.pool is None,
+                workers=self.engine_workers,
+                pool=registered.pool,
+                obs=self._obs,
+                trace=trace,
+            )
+            return value, {"maintained": False}
 
     # ------------------------------------------------------------------
     # Lifecycle and metrics

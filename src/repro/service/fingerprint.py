@@ -18,12 +18,21 @@ can legitimately produce different responses at different deadlines.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+import hashlib
+import json
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 if TYPE_CHECKING:
     from repro.graph.bigraph import BipartiteGraph
 
-__all__ = ["graph_fingerprint", "cache_key", "freeze_value"]
+__all__ = [
+    "graph_fingerprint",
+    "cache_key",
+    "freeze_value",
+    "normalize_edge_batch",
+    "batch_digest",
+    "versioned_fingerprint",
+]
 
 
 def graph_fingerprint(graph: "BipartiteGraph") -> str:
@@ -73,3 +82,71 @@ def cache_key(
         if params[name] is not None
     )
     return (fingerprint, kind, p, q, items)
+
+
+# ----------------------------------------------------------------------
+# Versioned fingerprints (mutable graphs)
+# ----------------------------------------------------------------------
+#
+# A mutated graph must never be served against a cache entry (local or
+# shard-side) computed for a previous version.  Rather than enumerating
+# and purging stale entries, the serving fingerprint itself moves:
+# version ``n > 0`` is ``"<base>#v<n>-<digest16>"`` where the digest is a
+# hash chain over every applied batch.  Old-version keys simply stop
+# matching — stale entries are unservable by construction, on the
+# coordinator and on every shard, because ``cache_key`` embeds the
+# fingerprint.  Version 0 keeps the bare content digest so frozen graphs
+# are unaffected.
+
+
+def normalize_edge_batch(edges: Iterable[Sequence[int]]) -> list[tuple[int, int]]:
+    """Canonical form of a mutation edge list: sorted, deduplicated.
+
+    Shared by the coordinator and every shard so the same logical batch
+    always hashes to the same digest regardless of input order or
+    duplicates.  Raises ``ValueError`` on malformed pairs.
+    """
+    normalized = set()
+    for pair in edges:
+        if isinstance(pair, (str, bytes)) or len(pair) != 2:
+            raise ValueError(f"edge must be a [u, v] pair, got {pair!r}")
+        u, v = pair
+        if isinstance(u, bool) or isinstance(v, bool):
+            raise ValueError(f"edge endpoints must be integers, got {pair!r}")
+        if not isinstance(u, int) or not isinstance(v, int):
+            raise ValueError(f"edge endpoints must be integers, got {pair!r}")
+        normalized.add((u, v))
+    return sorted(normalized)
+
+
+def batch_digest(
+    previous: str,
+    add_edges: Sequence[tuple[int, int]],
+    remove_edges: Sequence[tuple[int, int]],
+    n_left: int,
+    n_right: int,
+) -> str:
+    """Next link of the mutation hash chain (64 hex chars).
+
+    Deterministic in the *normalized* batch and the post-batch side
+    sizes, chained over the previous digest — so two replicas that apply
+    the same batches in the same order agree on every version's digest.
+    """
+    payload = json.dumps(
+        {
+            "add": [list(pair) for pair in add_edges],
+            "remove": [list(pair) for pair in remove_edges],
+            "n_left": n_left,
+            "n_right": n_right,
+        },
+        separators=(",", ":"),
+        sort_keys=True,
+    )
+    return hashlib.sha256((previous + "|" + payload).encode("ascii")).hexdigest()
+
+
+def versioned_fingerprint(base_fingerprint: str, version: int, digest: str) -> str:
+    """Serving identity of version ``version`` of a mutable graph."""
+    if version == 0:
+        return base_fingerprint
+    return f"{base_fingerprint}#v{version}-{digest[:16]}"

@@ -1,0 +1,461 @@
+"""Mutable graph state: delta overlays, maintained totals, versioning.
+
+This module owns everything the service layer needs to serve *exact*
+answers on a graph that changes under traffic:
+
+* :class:`MutableGraphState` wraps a client-id base graph with a
+  :class:`~repro.graph.delta.DeltaOverlay`, applies validated batches of
+  edge inserts/deletes, advances a ``(base_fingerprint, version)``
+  serving identity through the :func:`~repro.service.fingerprint.batch_digest`
+  hash chain, and decides when the overlay is large enough to compact
+  back into a fresh CSR base.
+
+* :class:`DeltaTotals` incrementally maintains the degree and pair-
+  overlap histograms that close every ``min(p, q) <= 2`` count — the
+  streaming-butterfly formulation ("Efficient Butterfly Counting for
+  Large Bipartite Networks"): inserting or deleting edge ``(u, v)`` only
+  perturbs the overlaps of pairs through ``u`` and ``v``, so each edge
+  costs O(wedges touched) instead of a full recount.  The histograms are
+  the same shape :func:`repro.graph.sparse.overlap_histogram` computes
+  from scratch, so incremental and rebuilt answers are bit-identical.
+
+Thread safety: all state transitions run under ``state.lock`` (an
+RLock).  Lock order across the service layer is ``state.lock`` before
+the executor's registry lock — never the reverse.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.graph.bigraph import LEFT, RIGHT, BipartiteGraph
+from repro.graph.delta import DeltaOverlay
+from repro.graph.intersect import intersect_size
+from repro.graph.sparse import histogram_binomial_fold, overlap_histogram
+from repro.service.fingerprint import (
+    batch_digest,
+    normalize_edge_batch,
+    versioned_fingerprint,
+)
+
+__all__ = [
+    "UnknownVertices",
+    "StaleVersion",
+    "DeltaTotals",
+    "MutationResult",
+    "MutableGraphState",
+    "DEFAULT_COMPACT_EDGES",
+    "DEFAULT_COMPACT_FRACTION",
+]
+
+#: Compact once the overlay holds this many delta edges...
+DEFAULT_COMPACT_EDGES = 4096
+#: ...or once it exceeds this fraction of the base edge count.
+DEFAULT_COMPACT_FRACTION = 0.25
+
+
+class UnknownVertices(KeyError):
+    """A mutation referenced vertices outside the graph's sides.
+
+    Maps to HTTP 409 unless the request sets ``create_vertices: true``.
+    """
+
+    def __init__(self, left: list[int], right: list[int]):
+        self.left = left
+        self.right = right
+        super().__init__(
+            f"unknown vertices: left={left or '[]'} right={right or '[]'} "
+            "(pass create_vertices: true to grow the graph)"
+        )
+
+
+class StaleVersion(RuntimeError):
+    """Maintained totals have advanced past the requested version."""
+
+
+def _bump(histogram: Counter, old: int, new: int) -> None:
+    """Move one unit of mass from bucket ``old`` to bucket ``new``.
+
+    Buckets at zero or below are never stored (the histograms only track
+    positive degrees/overlaps), and emptied buckets are deleted so the
+    histogram compares equal to a freshly built one.
+    """
+    if old == new:
+        return
+    if old > 0:
+        histogram[old] -= 1
+        if not histogram[old]:
+            del histogram[old]
+    if new > 0:
+        histogram[new] += 1
+
+
+class DeltaTotals:
+    """Incrementally maintained closed-form totals for small shapes.
+
+    Four histograms: per-side degree distributions and per-side
+    off-diagonal overlap distributions (``{m: #unordered pairs sharing
+    exactly m neighbors}``, ``m >= 1``).  They close every
+    ``min(p, q) <= 2`` count:
+
+    - ``(1, 1)``: the edge count (kept by the overlay);
+    - ``(1, q)`` / ``(p, 1)``: ``sum(C(d, ·))`` over a degree histogram;
+    - ``(2, q)`` / ``(p, 2)``: ``sum(C(m, ·))`` over an overlap histogram.
+
+    Updates **must** be recorded *after* the overlay applied the edge:
+    the partner list ``N(v) \\ {u}`` then equals the post-operation row
+    for inserts and deletes alike, and ``m_old`` differs from the
+    freshly measured ``m_new`` by exactly one.
+    """
+
+    def __init__(
+        self,
+        deg_left: Counter,
+        deg_right: Counter,
+        pairs_left: Counter,
+        pairs_right: Counter,
+    ):
+        self.deg_left = deg_left
+        self.deg_right = deg_right
+        self.pairs_left = pairs_left
+        self.pairs_right = pairs_right
+
+    @classmethod
+    def from_graph(cls, graph: BipartiteGraph) -> "DeltaTotals":
+        """Build the histograms from scratch (compaction / first batch)."""
+        deg_left = Counter(d for d in graph.degrees_left() if d)
+        deg_right = Counter(d for d in graph.degrees_right() if d)
+        pairs_left = Counter(overlap_histogram(graph, LEFT))
+        pairs_right = Counter(overlap_histogram(graph, RIGHT))
+        return cls(deg_left, deg_right, pairs_left, pairs_right)
+
+    def record_insert(self, overlay: DeltaOverlay, u: int, v: int) -> None:
+        """Account for edge ``(u, v)`` just *added* to ``overlay``."""
+        row_u = overlay.row_left(u)
+        row_v = overlay.row_right(v)
+        _bump(self.deg_left, len(row_u) - 1, len(row_u))
+        _bump(self.deg_right, len(row_v) - 1, len(row_v))
+        for u_other in row_v:
+            if u_other == u:
+                continue
+            m_new = intersect_size(row_u, overlay.row_left(u_other))
+            _bump(self.pairs_left, m_new - 1, m_new)
+        for v_other in row_u:
+            if v_other == v:
+                continue
+            m_new = intersect_size(row_v, overlay.row_right(v_other))
+            _bump(self.pairs_right, m_new - 1, m_new)
+
+    def record_delete(self, overlay: DeltaOverlay, u: int, v: int) -> None:
+        """Account for edge ``(u, v)`` just *removed* from ``overlay``."""
+        row_u = overlay.row_left(u)
+        row_v = overlay.row_right(v)
+        _bump(self.deg_left, len(row_u) + 1, len(row_u))
+        _bump(self.deg_right, len(row_v) + 1, len(row_v))
+        for u_other in row_v:
+            m_new = intersect_size(row_u, overlay.row_left(u_other))
+            _bump(self.pairs_left, m_new + 1, m_new)
+        for v_other in row_u:
+            m_new = intersect_size(row_v, overlay.row_right(v_other))
+            _bump(self.pairs_right, m_new + 1, m_new)
+
+    @staticmethod
+    def supported(p: int, q: int) -> bool:
+        """True iff ``(p, q)`` closes over the maintained histograms."""
+        return p >= 1 and q >= 1 and min(p, q) <= 2
+
+    def count(self, p: int, q: int, num_edges: int) -> int:
+        """Exact (p, q) count from the maintained histograms."""
+        if not self.supported(p, q):
+            raise ValueError(
+                f"maintained totals close only min(p, q) <= 2, not ({p}, {q})"
+            )
+        if p == 1 and q == 1:
+            return num_edges
+        if p == 1:
+            return histogram_binomial_fold(self.deg_left, q)
+        if q == 1:
+            return histogram_binomial_fold(self.deg_right, p)
+        if p == 2:
+            return histogram_binomial_fold(self.pairs_left, q)
+        return histogram_binomial_fold(self.pairs_right, p)
+
+
+@dataclass
+class MutationResult:
+    """Outcome of one applied batch (all fields post-batch)."""
+
+    added: int
+    removed: int
+    noop_adds: int
+    noop_removes: int
+    changed: bool
+    version: int
+    fingerprint: str
+    num_edges: int
+    overlay_edges: int
+    n_left: int
+    n_right: int
+    compacted: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "added": self.added,
+            "removed": self.removed,
+            "noop_adds": self.noop_adds,
+            "noop_removes": self.noop_removes,
+            "changed": self.changed,
+            "version": self.version,
+            "fingerprint": self.fingerprint,
+            "num_edges": self.num_edges,
+            "overlay_edges": self.overlay_edges,
+            "n_left": self.n_left,
+            "n_right": self.n_right,
+            "compacted": self.compacted,
+        }
+
+
+@dataclass
+class _RateWindow:
+    """Recent mutation timestamps for the planner's mutations/sec signal."""
+
+    timestamps: deque = field(default_factory=lambda: deque(maxlen=64))
+
+    def record(self) -> None:
+        self.timestamps.append(time.monotonic())
+
+    def per_second(self, window: float = 10.0) -> float:
+        now = time.monotonic()
+        recent = sum(1 for t in self.timestamps if now - t <= window)
+        return recent / window
+
+
+class MutableGraphState:
+    """The mutable identity of one registered graph.
+
+    Holds the client-id base graph, the live overlay, the version/digest
+    chain, and (lazily, from the first batch) the maintained
+    :class:`DeltaTotals`.  The executor snapshots ``(view, fingerprint,
+    version)`` into an immutable record per version; this object is the
+    single writer-side source of truth.
+    """
+
+    def __init__(
+        self,
+        base: BipartiteGraph,
+        base_fingerprint: str,
+        compact_edges: int = DEFAULT_COMPACT_EDGES,
+        compact_fraction: float = DEFAULT_COMPACT_FRACTION,
+    ):
+        self.lock = threading.RLock()
+        self.base = base
+        self.base_fingerprint = base_fingerprint
+        self.version = 0
+        self.digest = base_fingerprint
+        self.overlay = DeltaOverlay(base)
+        self.totals: "DeltaTotals | None" = None
+        self.compact_edges = compact_edges
+        self.compact_fraction = compact_fraction
+        self.mutations_total = 0
+        self.compactions_total = 0
+        self._rate = _RateWindow()
+        self._view: "BipartiteGraph | None" = base
+        self._view_version = 0
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+
+    @property
+    def fingerprint(self) -> str:
+        """The serving identity of the current version."""
+        return versioned_fingerprint(self.base_fingerprint, self.version, self.digest)
+
+    @property
+    def overlay_edges(self) -> int:
+        return self.overlay.delta_edges
+
+    def mutations_per_second(self, window: float = 10.0) -> float:
+        return self._rate.per_second(window)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def _validate(
+        self,
+        add_edges: Sequence[tuple[int, int]],
+        remove_edges: Sequence[tuple[int, int]],
+        create_vertices: bool,
+    ) -> tuple[int, int]:
+        """Whole-batch validation before any edge is applied.
+
+        Returns the post-batch side sizes.  Without ``create_vertices``,
+        any endpoint outside the current sides raises
+        :class:`UnknownVertices` (negative ids are always rejected) and
+        the state is untouched — batches are all-or-nothing.
+        """
+        n_left, n_right = self.overlay.n_left, self.overlay.n_right
+        unknown_left: list[int] = []
+        unknown_right: list[int] = []
+        for u, v in list(add_edges) + list(remove_edges):
+            if u < 0 or v < 0:
+                raise ValueError(f"vertex ids must be non-negative, got ({u}, {v})")
+            if u >= n_left:
+                if create_vertices:
+                    n_left = u + 1
+                else:
+                    unknown_left.append(u)
+            if v >= n_right:
+                if create_vertices:
+                    n_right = v + 1
+                else:
+                    unknown_right.append(v)
+        if unknown_left or unknown_right:
+            raise UnknownVertices(sorted(set(unknown_left)), sorted(set(unknown_right)))
+        return n_left, n_right
+
+    def validate_batch(
+        self,
+        add_edges: Iterable[Sequence[int]] = (),
+        remove_edges: Iterable[Sequence[int]] = (),
+        create_vertices: bool = False,
+    ) -> None:
+        """Pre-flight a batch without applying it.
+
+        Raises exactly what :meth:`apply_batch` would raise for a
+        malformed or vertex-unknown batch — what a cluster coordinator
+        checks *before* propagating to any shard, so an invalid batch
+        never reaches (and partially mutates) the fleet.
+        """
+        adds = normalize_edge_batch(add_edges)
+        removes = normalize_edge_batch(remove_edges)
+        with self.lock:
+            self._validate(adds, removes, create_vertices)
+
+    def ensure_totals(self) -> DeltaTotals:
+        """Build the maintained histograms if this is the first batch."""
+        with self.lock:
+            if self.totals is None:
+                self.totals = DeltaTotals.from_graph(self.view())
+            return self.totals
+
+    def apply_batch(
+        self,
+        add_edges: Iterable[Sequence[int]] = (),
+        remove_edges: Iterable[Sequence[int]] = (),
+        create_vertices: bool = False,
+    ) -> MutationResult:
+        """Apply one idempotent batch: adds first, then removes.
+
+        The batch is normalized (sorted, deduplicated) and validated in
+        full before any edge is applied.  Each applied edge updates the
+        overlay *and* the maintained totals before the next edge.  A
+        batch that changes nothing (every edge already in its target
+        state, no side growth) does **not** advance the version — the
+        fingerprint is a pure function of graph content history, so
+        retransmitted PATCHes are true no-ops.
+        """
+        adds = normalize_edge_batch(add_edges)
+        removes = normalize_edge_batch(remove_edges)
+        with self.lock:
+            n_left, n_right = self._validate(adds, removes, create_vertices)
+            totals = self.ensure_totals()
+            grew = (n_left, n_right) != (self.overlay.n_left, self.overlay.n_right)
+            if grew:
+                self.overlay.grow(n_left, n_right)
+            added = removed = 0
+            for u, v in adds:
+                if self.overlay.add_edge(u, v):
+                    totals.record_insert(self.overlay, u, v)
+                    added += 1
+            for u, v in removes:
+                if self.overlay.remove_edge(u, v):
+                    totals.record_delete(self.overlay, u, v)
+                    removed += 1
+            changed = bool(added or removed or grew)
+            if changed:
+                self.version += 1
+                self.digest = batch_digest(
+                    self.digest, adds, removes, n_left, n_right
+                )
+                self.mutations_total += 1
+                self._rate.record()
+            return MutationResult(
+                added=added,
+                removed=removed,
+                noop_adds=len(adds) - added,
+                noop_removes=len(removes) - removed,
+                changed=changed,
+                version=self.version,
+                fingerprint=self.fingerprint,
+                num_edges=self.overlay.num_edges,
+                overlay_edges=self.overlay.delta_edges,
+                n_left=n_left,
+                n_right=n_right,
+            )
+
+    # ------------------------------------------------------------------
+    # Views / compaction
+    # ------------------------------------------------------------------
+
+    def view(self) -> BipartiteGraph:
+        """The merged client-id graph of the current version (cached)."""
+        with self.lock:
+            if self._view is None or self._view_version != self.version:
+                self._view = self.overlay.materialize()
+                self._view_version = self.version
+            return self._view
+
+    def should_compact(self) -> bool:
+        """True once the overlay crosses the size or fraction bound."""
+        delta = self.overlay.delta_edges
+        if delta == 0:
+            return False
+        if delta >= self.compact_edges:
+            return True
+        return delta >= self.compact_fraction * max(1, self.base.num_edges)
+
+    def compact(self) -> BipartiteGraph:
+        """Fold the overlay into a fresh CSR base.
+
+        Content, version, and fingerprint are all unchanged — compaction
+        is a pure representation change; only the overlay resets (and
+        with it the planner's ``recently_mutated`` signal).
+        """
+        with self.lock:
+            new_base = self.view()
+            self.base = new_base
+            self.overlay = DeltaOverlay(new_base)
+            self._view = new_base
+            self._view_version = self.version
+            self.compactions_total += 1
+            return new_base
+
+    # ------------------------------------------------------------------
+    # Maintained counts
+    # ------------------------------------------------------------------
+
+    def maintained_count(
+        self, p: int, q: int, expected_version: "int | None" = None
+    ) -> int:
+        """Exact (p, q) count from the maintained totals.
+
+        ``expected_version`` pins the answer to the version a request
+        was admitted against; if the state has advanced past it the
+        caller must fall back to its version-pinned snapshot (raises
+        :class:`StaleVersion`) rather than serve a newer answer under an
+        older cache key.
+        """
+        with self.lock:
+            if expected_version is not None and expected_version != self.version:
+                raise StaleVersion(
+                    f"state is at version {self.version}, "
+                    f"request pinned to {expected_version}"
+                )
+            totals = self.ensure_totals()
+            return totals.count(p, q, self.overlay.num_edges)

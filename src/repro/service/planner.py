@@ -8,6 +8,7 @@ trade-off per request:
 ======================  ==========================================  ===========
 request                  condition                                   plan
 ======================  ==========================================  ===========
+``count`` / ``estimate`` pending mutation overlay, ``min(p, q) <= 2``  ``delta`` — exact answer straight from the incrementally maintained degree/overlap histograms (:class:`repro.service.mutation.DeltaTotals`); no engine, no snapshot rebuild
 ``count`` / ``estimate`` ``min(p, q) == 1``                          ``stars`` — star counts are a closed form over the degree histogram, exact and effectively free
 ``count`` / ``estimate`` small shape (``min(p, q) <= 2`` or (3, 3)), pair matrix affordable  ``matrix`` — closed-form sparse products (:mod:`repro.core.matrix`), exact; guarded by ``pair_work`` vs ``_MATRIX_MAX_PAIR_WORK`` and the deadline, falling through to EPivoter/estimators otherwise (for ``estimate``, an accuracy budget still wins: ``adaptive`` comes first)
 ``count``                no deadline, or predicted exact time fits   ``epivoter`` with ``node_budget`` / ``time_budget`` armed from the deadline, estimator fallback attached
@@ -59,6 +60,12 @@ SAMPLES_PER_SECOND = 30_000.0
 #: Fraction of the deadline the exact path may consume before the plan
 #: prefers an estimator upfront (leaves room for a fallback run).
 _EXACT_DEADLINE_SHARE = 0.5
+
+#: Exact-time prediction multiplier on a recently mutated graph: the
+#: exact engines must first materialise, re-order, and re-ship a
+#: snapshot of the mutated view, and the profile (frozen at the last
+#: compaction) underprices the walk.
+_MUTATED_EXACT_PENALTY = 2.0
 
 #: Sample budget clamp for deadline-sized estimator runs.
 _MIN_SAMPLES = 200
@@ -241,6 +248,7 @@ def plan_query(
     nodes_per_second: float = NODES_PER_SECOND,
     samples_per_second: float = SAMPLES_PER_SECOND,
     shards: int = 1,
+    recently_mutated: bool = False,
 ) -> QueryPlan:
     """Choose the engine and parameters for one query (see module table).
 
@@ -255,6 +263,13 @@ def plan_query(
     EPivoter pass roughly N times faster, so deadline feasibility is
     judged against ``nodes_per_second * shards``.  Estimator plans run
     locally on the coordinator and are priced single-node regardless.
+
+    ``recently_mutated`` signals a pending (uncompacted) delta overlay.
+    Shapes with maintained totals (``min(p, q) <= 2``) are answered
+    exactly from them (``method="delta"``) without touching any engine;
+    other shapes pay a snapshot-rebuild penalty on their exact-time
+    prediction, biasing degradable queries toward estimators until the
+    overlay compacts.
     """
     if kind not in ("count", "estimate"):
         raise ValueError("kind must be 'count' or 'estimate'")
@@ -277,6 +292,18 @@ def plan_query(
             exact_nps, samples_per_second, estimator_plan,
         )
 
+    # A pending overlay with maintained totals beats every engine: the
+    # answer is exact (satisfies any accuracy budget), O(histogram), and
+    # needs no snapshot rebuild.
+    if recently_mutated and min(p, q) <= 2:
+        return QueryPlan(
+            method="delta", exact=True,
+            reason=(
+                "pending mutation overlay: exact answer from the "
+                "incrementally maintained wedge/butterfly totals"
+            ),
+        )
+
     # Star cells are exact closed forms for both kinds.
     if min(p, q) == 1:
         return QueryPlan(
@@ -293,15 +320,22 @@ def plan_query(
     if matrix_plan is not None:
         return matrix_plan
 
-    # Otherwise exact if the deadline (when any) plausibly allows.
+    # Otherwise exact if the deadline (when any) plausibly allows.  On a
+    # recently mutated graph the exact path must first rebuild and
+    # re-ship a snapshot of the mutated view, and the stale profile
+    # underprices the walk — penalise the prediction accordingly.
     predicted = profile.root_cost / exact_nps
+    mutated_note = ""
+    if recently_mutated:
+        predicted *= _MUTATED_EXACT_PENALTY
+        mutated_note = " on a recently mutated graph (estimators preferred until compaction)"
     if deadline is not None and predicted > deadline * _EXACT_DEADLINE_SHARE:
         return replace(
             estimator_plan,
             degraded=True,
             reason=(
-                f"deadline {deadline:.3f}s too tight for exact counting "
-                f"(predicted {predicted:.3f}s); degraded to "
+                f"deadline {deadline:.3f}s too tight for exact counting"
+                f"{mutated_note} (predicted {predicted:.3f}s); degraded to "
                 f"{estimator_plan.method}"
             ),
             # The rejected exact prediction: the number that explains
@@ -431,6 +465,13 @@ def _forced_plan(
         if min(p, q) != 1:
             raise ValueError("method 'stars' requires min(p, q) == 1")
         return QueryPlan(method="stars", exact=True, reason="forced")
+    if method == "delta":
+        if min(p, q) > 2:
+            raise ValueError(
+                "method 'delta' maintains totals only for min(p, q) <= 2; "
+                f"got ({p}, {q})"
+            )
+        return QueryPlan(method="delta", exact=True, reason="forced")
     if method == "matrix":
         from repro.core.matrix import matrix_available, matrix_supported
 

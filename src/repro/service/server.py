@@ -21,6 +21,18 @@ framework, no new dependencies.  Endpoints:
     with ``"trace": true`` in the body the full span tree comes back
     under ``"trace"``.
 
+``PATCH /v1/graphs/<name>``
+    Batched mutation: ``{"add_edges": [[u, v], ...], "remove_edges":
+    [[u, v], ...]}`` plus optional ``"create_vertices": true``.
+    Idempotent (a batch that changes nothing does not advance the
+    version) and all-or-nothing: edges naming vertices outside the graph
+    answer 409 with the offending ids unless ``create_vertices`` grows
+    the sides.  A changed batch bumps the serving fingerprint to the
+    next ``(base_fingerprint, version)`` identity, making every cached
+    result for the previous version unservable.  On a coordinator the
+    batch propagates to all shards (with fingerprint verification)
+    before the new version is served; propagation failure is a 502.
+
 ``GET /healthz``
     Liveness: resident graph names, queue depth, ``uptime_seconds``,
     the package ``version``, and per-graph registration records.
@@ -59,7 +71,7 @@ import json
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import TYPE_CHECKING
-from urllib.parse import parse_qs, urlsplit
+from urllib.parse import parse_qs, unquote, urlsplit
 
 from repro import __version__
 from repro.graph.bigraph import BipartiteGraph
@@ -75,6 +87,7 @@ from repro.service.executor import (
     ServiceExecutor,
     UnknownGraph,
 )
+from repro.service.mutation import UnknownVertices
 
 if TYPE_CHECKING:
     from repro.obs.registry import MetricsRegistry
@@ -104,6 +117,8 @@ def _route_label(path: str) -> str:
         return label
     if path.startswith("/v1/traces/"):
         return "v1_traces"
+    if path.startswith("/v1/graphs/"):
+        return "v1_graphs"
     return "unknown"
 
 
@@ -260,6 +275,49 @@ class _Handler(BaseHTTPRequestHandler):
         finally:
             self._observe(route, time.perf_counter() - start)
 
+    def do_PATCH(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        start = time.perf_counter()
+        route_path = urlsplit(self.path).path
+        route = _route_label(route_path)
+        try:
+            body = self._json_body()
+            prefix = "/v1/graphs/"
+            if route_path.startswith(prefix) and len(route_path) > len(prefix):
+                payload = self._mutate(route_path[len(prefix):], body)
+            else:
+                self._respond(
+                    404, {"error": f"unknown PATCH route {route_path}"}
+                )
+                return
+        except _BadRequest as exc:
+            self._respond(400, {"error": str(exc)})
+        except UnknownGraph as exc:
+            self._respond(
+                404,
+                {"error": f"unknown graph {exc.args[0]!r}; register it first"},
+            )
+        except UnknownVertices as exc:
+            self._respond(
+                409,
+                {
+                    "error": str(exc),
+                    "unknown_left": exc.left,
+                    "unknown_right": exc.right,
+                },
+            )
+        except Exception as exc:  # noqa: BLE001 - must answer the client
+            # A coordinator whose shard propagation failed reports the
+            # upstream nature of the fault; duck-typed to avoid a hard
+            # dependency on the cluster module here.
+            if type(exc).__name__ == "ClusterMutationError":
+                self._respond(502, {"error": str(exc)})
+            else:
+                self._respond(500, {"error": f"{type(exc).__name__}: {exc}"})
+        else:
+            self._respond(200, payload)
+        finally:
+            self._observe(route, time.perf_counter() - start)
+
     # -- endpoint bodies ----------------------------------------------
 
     def _healthz(self) -> None:
@@ -389,12 +447,35 @@ class _Handler(BaseHTTPRequestHandler):
         registered = executor.register(graph, name=name)
         return registered.describe()
 
-    def _query(self, body: dict, kind: str) -> dict:
+    def _mutate(self, name: str, body: dict) -> dict:
+        """``PATCH /v1/graphs/<name>``: apply one batched edge mutation."""
+        if "add_edges" not in body and "remove_edges" not in body:
+            raise _BadRequest("provide 'add_edges' and/or 'remove_edges'")
+        add_edges = _edge_pairs(body, "add_edges")
+        remove_edges = _edge_pairs(body, "remove_edges")
+        create_vertices = body.get("create_vertices", False)
+        if not isinstance(create_vertices, bool):
+            raise _BadRequest("'create_vertices' must be a JSON boolean")
+        trace = Trace("mutate")
         try:
-            p = int(body["p"])
-            q = int(body["q"])
-        except (KeyError, ValueError, TypeError):
-            raise _BadRequest("'p' and 'q' are required integers") from None
+            result = self.server.executor.mutate(
+                unquote(name),
+                add_edges=add_edges,
+                remove_edges=remove_edges,
+                create_vertices=create_vertices,
+                trace=trace,
+            )
+        except ValueError as exc:
+            raise _BadRequest(str(exc)) from None
+        return {
+            **result,
+            "trace_id": trace.trace_id,
+            "request_ms": round(trace.duration_ms, 3),
+        }
+
+    def _query(self, body: dict, kind: str) -> dict:
+        p = _require_int(body, "p")
+        q = _require_int(body, "q")
         graph_id = body.get("graph")
         if not isinstance(graph_id, str):
             raise _BadRequest("'graph' (a registered name) is required")
@@ -452,11 +533,8 @@ class _Handler(BaseHTTPRequestHandler):
         fingerprint = body.get("fingerprint")
         if not isinstance(fingerprint, str) or not fingerprint:
             raise _BadRequest("'fingerprint' (the graph content hash) is required")
-        try:
-            p = int(body["p"])
-            q = int(body["q"])
-        except (KeyError, ValueError, TypeError):
-            raise _BadRequest("'p' and 'q' are required integers") from None
+        p = _require_int(body, "p")
+        q = _require_int(body, "q")
         raw_ranges = body.get("ranges")
         if not isinstance(raw_ranges, list) or not raw_ranges:
             raise _BadRequest("'ranges' must be a non-empty list of [start, stop)")
@@ -488,6 +566,43 @@ class _Handler(BaseHTTPRequestHandler):
             "exact": True,
             "elapsed_ms": round((time.perf_counter() - start) * 1000.0, 3),
         }
+
+
+def _require_int(body: dict, key: str) -> int:
+    """A required JSON integer — floats, strings, bools, nulls are 400s.
+
+    ``int(body[key])`` would silently truncate ``2.7`` and accept
+    ``"3"`` or ``true`` (``bool`` is an ``int`` subclass); a count for
+    the wrong cell is worse than an error, so only genuine JSON
+    integers pass.
+    """
+    value = body.get(key)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise _BadRequest(
+            f"'{key}' must be a JSON integer, got {value!r}"
+        )
+    return value
+
+
+def _edge_pairs(body: dict, key: str) -> list[tuple[int, int]]:
+    """An optional list of ``[u, v]`` integer pairs (mutation batches)."""
+    raw = body.get(key)
+    if raw is None:
+        return []
+    if not isinstance(raw, list):
+        raise _BadRequest(f"'{key}' must be a list of [u, v] pairs")
+    pairs = []
+    for entry in raw:
+        if (
+            not isinstance(entry, (list, tuple))
+            or len(entry) != 2
+            or any(isinstance(x, bool) or not isinstance(x, int) for x in entry)
+        ):
+            raise _BadRequest(
+                f"'{key}' entries must be [u, v] integer pairs, got {entry!r}"
+            )
+        pairs.append((entry[0], entry[1]))
+    return pairs
 
 
 def _opt_float(body: dict, key: str) -> "float | None":

@@ -429,6 +429,23 @@ class GraphPool:
             self._shipment.close()
             self._shipment = None
 
+    def reship(
+        self, graph: BipartiteGraph, obs: "MetricsRegistry | None" = None
+    ) -> "GraphPool":
+        """Retire this pool and open a fresh one shipping ``graph``.
+
+        The compaction path of the mutation subsystem: a compacted CSR
+        base invalidates the buffers resident in the worker processes,
+        so the old pool (and its shared-memory segment) is closed and
+        the new graph pays exactly one fresh ship.  Returns the new
+        pool; ``self`` is unusable afterwards.
+        """
+        if obs is not None and obs.enabled:
+            obs.incr("parallel.graph_reships")
+        max_workers = self.max_workers
+        self.close()
+        return GraphPool(graph, max_workers, obs)
+
     def __enter__(self) -> "GraphPool":
         return self
 

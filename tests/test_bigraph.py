@@ -260,6 +260,25 @@ class TestEdgeIdSpace:
         assert g.edge_index(3, 0) == 1
         assert g.edge_at(1) == (3, 0)
 
+    def test_edges_in_range_strict_bounds(self):
+        g = BipartiteGraph(3, 3, [(0, 1), (0, 2), (1, 0), (2, 1)])
+        n = g.num_edges
+        # Every valid window, including the empty ones at both ends.
+        assert g.edges_in_range(0, n) == list(g.edges())
+        assert g.edges_in_range(0, 0) == []
+        assert g.edges_in_range(n, n) == []
+        assert g.edges_in_range(1, 3) == [g.edge_at(1), g.edge_at(2)]
+        # Out-of-bounds and inverted windows fail loudly: a mis-cut
+        # shard range must never silently drop edges from a count.
+        for start, stop in [(-1, 2), (0, n + 1), (-3, n + 3), (n, n + 1), (3, 1)]:
+            with pytest.raises(IndexError, match="edge-id range"):
+                g.edges_in_range(start, stop)
+
+    def test_edges_in_range_error_names_bounds(self):
+        g = BipartiteGraph(2, 2, [(0, 0), (1, 1)])
+        with pytest.raises(IndexError, match=r"\[0, 9\).*2 edges"):
+            g.edges_in_range(0, 9)
+
 
 class TestPickleByBuffer:
     def test_pickle_roundtrip(self):

@@ -165,10 +165,14 @@ class TestRangePrimitives:
                 assert graph.edges_in_range(lo, hi) == [
                     graph.edge_at(k) for k in range(lo, hi)
                 ]
-            # Clamping: out-of-bounds ends and empty windows.
-            assert graph.edges_in_range(-5, n + 5) == list(graph.edges())
-            assert graph.edges_in_range(n, n + 3) == []
-            assert graph.edges_in_range(3, 3) == []
+            # Strict bounds: a mis-cut shard range must fail loudly
+            # (silent clamping would drop edges from an exact count).
+            with pytest.raises(IndexError):
+                graph.edges_in_range(-5, n + 5)
+            with pytest.raises(IndexError):
+                graph.edges_in_range(n, n + 3)
+            if n >= 3:
+                assert graph.edges_in_range(3, 3) == []
 
     def test_count_single_roots_partitions_exactly(self, rng):
         for _ in range(10):

@@ -451,3 +451,130 @@ class TestObservabilityEndpoints:
             for t in threads:
                 t.join()
         assert not errors
+
+
+def patch(base: str, path: str, body: dict) -> tuple[int, dict]:
+    request = urllib.request.Request(
+        base + path,
+        data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"},
+        method="PATCH",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestParameterValidation:
+    """Malformed p/q must be a client error (400), never a 500."""
+
+    @pytest.mark.parametrize(
+        "p,q",
+        [
+            (2.0, 2),
+            (2, 2.5),
+            ("2", 2),
+            (2, "two"),
+            (None, 2),
+            (2, None),
+            (True, 2),
+            (2, False),
+        ],
+    )
+    def test_non_integer_p_q_is_400(self, service, graph, p, q):
+        base, _executor, _obs = service
+        post(base, "/v1/graphs", graph_payload(graph, "g"))
+        status, body = post(base, "/v1/count", {"graph": "g", "p": p, "q": q})
+        assert status == 400
+        assert "must be a JSON integer" in body["error"]
+
+    def test_missing_p_q_is_400(self, service, graph):
+        base, _executor, _obs = service
+        post(base, "/v1/graphs", graph_payload(graph, "g"))
+        status, _body = post(base, "/v1/count", {"graph": "g", "p": 2})
+        assert status == 400
+
+    def test_valid_integers_still_work(self, service, graph):
+        base, _executor, _obs = service
+        post(base, "/v1/graphs", graph_payload(graph, "g"))
+        status, body = post(base, "/v1/count", {"graph": "g", "p": 2, "q": 2})
+        assert status == 200
+        assert body["value"] == count_single(graph, 2, 2)
+
+
+class TestMutationEndpoint:
+    def test_patch_mutates_and_invalidates_cache(self, service, graph):
+        base, _executor, obs = service
+        post(base, "/v1/graphs", graph_payload(graph, "g"))
+        _status, before = post(base, "/v1/count", {"graph": "g", "p": 2, "q": 2})
+        _status, cached = post(base, "/v1/count", {"graph": "g", "p": 2, "q": 2})
+        assert cached["cached"] is True
+
+        present = set(map(tuple, (e for e in graph.edges())))
+        add = next(
+            (u, v)
+            for u in range(graph.n_left)
+            for v in range(graph.n_right)
+            if (u, v) not in present
+        )
+        status, body = patch(
+            base, "/v1/graphs/g", {"add_edges": [list(add)]}
+        )
+        assert status == 200
+        assert body["added"] == 1 and body["changed"] is True
+        assert body["version"] == 1
+        assert body["fingerprint"] != before.get("fingerprint", "")
+        assert "#v1-" in body["fingerprint"]
+
+        mutated = BipartiteGraph(
+            graph.n_left, graph.n_right, sorted(present | {add})
+        )
+        status, after = post(base, "/v1/count", {"graph": "g", "p": 2, "q": 2})
+        assert status == 200
+        assert after["cached"] is False  # old-version entry unservable
+        assert after["value"] == count_single(mutated, 2, 2)
+        assert counters(obs)["graph.mutations"] == 1
+
+    def test_patch_is_idempotent(self, service, graph):
+        base, _executor, _obs = service
+        post(base, "/v1/graphs", graph_payload(graph, "g"))
+        edge = next(iter(graph.edges()))
+        batch = {"remove_edges": [list(edge)]}
+        status, first = patch(base, "/v1/graphs/g", batch)
+        assert status == 200 and first["removed"] == 1
+        status, again = patch(base, "/v1/graphs/g", batch)
+        assert status == 200
+        assert again["changed"] is False
+        assert again["version"] == first["version"]
+        assert again["fingerprint"] == first["fingerprint"]
+
+    def test_unknown_vertices_409_unless_created(self, service, graph):
+        base, _executor, _obs = service
+        post(base, "/v1/graphs", graph_payload(graph, "g"))
+        bad = [[graph.n_left + 3, 0]]
+        status, body = patch(base, "/v1/graphs/g", {"add_edges": bad})
+        assert status == 409
+        assert body["unknown_left"] == [graph.n_left + 3]
+        status, body = patch(
+            base, "/v1/graphs/g", {"add_edges": bad, "create_vertices": True}
+        )
+        assert status == 200
+        assert body["n_left"] == graph.n_left + 4
+
+    def test_patch_error_mapping(self, service, graph):
+        base, _executor, _obs = service
+        post(base, "/v1/graphs", graph_payload(graph, "g"))
+        status, _ = patch(base, "/v1/graphs/nope", {"add_edges": [[0, 0]]})
+        assert status == 404
+        status, _ = patch(base, "/v1/graphs/g", {})
+        assert status == 400  # neither add_edges nor remove_edges
+        status, _ = patch(base, "/v1/graphs/g", {"add_edges": [[0]]})
+        assert status == 400  # malformed pair
+        status, _ = patch(base, "/v1/graphs/g", {"add_edges": [[0, True]]})
+        assert status == 400  # bool endpoint
+        status, _ = patch(
+            base, "/v1/graphs/g", {"add_edges": [], "create_vertices": "yes"}
+        )
+        assert status == 400  # non-bool flag
